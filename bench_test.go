@@ -1,0 +1,396 @@
+// Benchmarks regenerating every figure of the paper's evaluation (run with
+// `go test -bench=. -benchmem`). One benchmark per paper artifact, named
+// after DESIGN.md's experiment index, plus solver/curve microbenchmarks and
+// the ablations DESIGN.md calls out. Quality numbers (the figures' y
+// values) are attached to the timing output via b.ReportMetric so a single
+// bench run shows both cost and reproduction quality.
+package spectrallpm_test
+
+import (
+	"fmt"
+	"testing"
+
+	spectrallpm "github.com/spectral-lpm/spectrallpm"
+	"github.com/spectral-lpm/spectrallpm/internal/eigen"
+	"github.com/spectral-lpm/spectrallpm/internal/experiments"
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/sfc"
+)
+
+// BenchmarkFig1BoundaryEffect regenerates Figure 1 (the §2 boundary-effect
+// demonstration) and reports the worst fractal-vs-spectral gap ratio on the
+// largest grid.
+func BenchmarkFig1BoundaryEffect(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure1(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstFractal, spectral := 0.0, 0.0
+		for _, s := range fig.Series {
+			last := s.Y[len(s.Y)-1]
+			switch s.Name {
+			case "Peano", "Gray", "Hilbert":
+				if last > worstFractal {
+					worstFractal = last
+				}
+			case "Spectral":
+				spectral = last
+			}
+		}
+		ratio = worstFractal / spectral
+	}
+	b.ReportMetric(ratio, "fractal/spectral-gap")
+}
+
+// BenchmarkFig3WorkedExample regenerates the paper's 3x3 example and
+// reports λ₂ (the paper prints 1).
+func BenchmarkFig3WorkedExample(b *testing.B) {
+	var lambda float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lambda = res.Lambda2
+	}
+	b.ReportMetric(lambda, "lambda2")
+}
+
+// BenchmarkFig4Connectivity regenerates the §4 connectivity variants.
+func BenchmarkFig4Connectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5aNearestNeighborWorstCase regenerates Figure 5a (5-D NN
+// worst case) and reports the mean spectral y-value (percent of N).
+func BenchmarkFig5aNearestNeighborWorstCase(b *testing.B) {
+	var spectralMean float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure5a(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range fig.Series {
+			if s.Name == "Spectral" {
+				spectralMean = meanOf(s.Y)
+			}
+		}
+	}
+	b.ReportMetric(spectralMean, "spectral-maxgap-%")
+}
+
+// BenchmarkFig5bFairness regenerates Figure 5b and reports the spectral
+// X/Y fairness ratio (1.0 is perfectly fair; sweep's is ~side).
+func BenchmarkFig5bFairness(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure5b(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sx, sy float64
+		for _, s := range fig.Series {
+			switch s.Name {
+			case "Spectral-X":
+				sx = meanOf(s.Y)
+			case "Spectral-Y":
+				sy = meanOf(s.Y)
+			}
+		}
+		if sx > sy {
+			ratio = sx / sy
+		} else {
+			ratio = sy / sx
+		}
+	}
+	b.ReportMetric(ratio, "spectral-axis-ratio")
+}
+
+// BenchmarkFig6aRangeWorstCase regenerates Figure 6a (partial range
+// queries, 4-D) and reports spectral's worst span at the largest size.
+func BenchmarkFig6aRangeWorstCase(b *testing.B) {
+	var spectralWorst float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure6a(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range fig.Series {
+			if s.Name == "Spectral" {
+				spectralWorst = s.Y[len(s.Y)-1]
+			}
+		}
+	}
+	b.ReportMetric(spectralWorst, "spectral-max-span")
+}
+
+// BenchmarkFig6bRangeFairness regenerates Figure 6b.
+func BenchmarkFig6bRangeFairness(b *testing.B) {
+	var spectralStd float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure6b(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range fig.Series {
+			if s.Name == "Spectral" {
+				spectralStd = meanOf(s.Y)
+			}
+		}
+	}
+	b.ReportMetric(spectralStd, "spectral-mean-stddev")
+}
+
+// BenchmarkExtAffinity regenerates the §4 affinity ablation and reports the
+// gap reduction factor at the strongest weight.
+func BenchmarkExtAffinity(b *testing.B) {
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.ExtAffinity(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range fig.Series {
+			if s.Name == "Spectral+affinity" {
+				factor = s.Y[0] / s.Y[len(s.Y)-1]
+			}
+		}
+	}
+	b.ReportMetric(factor, "gap-reduction-x")
+}
+
+// BenchmarkExtIO regenerates the intro-applications comparison.
+func BenchmarkExtIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtIO(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFiedlerSolvers compares the eigensolver implementations on grid
+// Laplacians of growing size (the DESIGN.md EXT3 ablation). Each solver
+// runs only at the sizes it is appropriate for: dense Jacobi up to n=256,
+// plain Lanczos up to n=1024 (its fixed Krylov budget cannot resolve the
+// shrinking spectral gap of larger grids — exactly why deflated inverse
+// power with CG is the production path), inverse power everywhere.
+func BenchmarkFiedlerSolvers(b *testing.B) {
+	for _, side := range []int{16, 32, 64} {
+		g := graph.GridGraph(graph.MustGrid(side, side), graph.Orthogonal)
+		op := eigen.CSROperator{M: g.Laplacian()}
+		methods := []eigen.Method{eigen.MethodInversePower}
+		if side <= 32 {
+			methods = append(methods, eigen.MethodLanczos)
+		}
+		if side <= 16 {
+			methods = append(methods, eigen.MethodDense)
+		}
+		for _, m := range methods {
+			b.Run(fmt.Sprintf("%s/n=%d", m, side*side), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := eigen.Fiedler(op, eigen.Options{Method: m, Seed: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSpectralOrder measures the full Spectral LPM pipeline (graph →
+// Laplacian → Fiedler → order) on 2-D grids.
+func BenchmarkSpectralOrder(b *testing.B) {
+	for _, side := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("grid%dx%d", side, side), func(b *testing.B) {
+			grid := spectrallpm.MustGrid(side, side)
+			for i := 0; i < b.N; i++ {
+				if _, err := spectrallpm.NewMapping("spectral", grid, spectrallpm.SpectralConfig{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDegeneracyPolicy is the ablation of the balanced eigenspace
+// resolution DESIGN.md calls out: it times both policies on a square grid
+// and reports the fairness ratio each produces.
+func BenchmarkDegeneracyPolicy(b *testing.B) {
+	grid := graph.MustGrid(16, 16)
+	for _, tc := range []struct {
+		name   string
+		policy spectrallpm.DegeneracyPolicy
+	}{
+		{"balanced", spectrallpm.DegeneracyBalanced},
+		{"raw", spectrallpm.DegeneracyRaw},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				g := graph.GridGraph(grid, graph.Orthogonal)
+				res, err := spectrallpm.SpectralOrder(g, spectrallpm.Options{Degeneracy: tc.policy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := spectrallpm.MappingFromRanks("x", grid, res.Rank)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ax, err := spectrallpm.AxisGap(m, 1, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ay, err := spectrallpm.AxisGap(m, 0, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hi, lo := float64(ax.Max), float64(ay.Max)
+				if lo > hi {
+					hi, lo = lo, hi
+				}
+				if lo == 0 {
+					lo = 1
+				}
+				ratio = hi / lo
+			}
+			b.ReportMetric(ratio, "axis-ratio")
+		})
+	}
+}
+
+// BenchmarkCurveIndex measures the forward transform of each curve family
+// in 2-D and 4-D.
+func BenchmarkCurveIndex(b *testing.B) {
+	type tc struct {
+		name    string
+		d, side int
+	}
+	cases := []tc{
+		{"hilbert", 2, 256}, {"hilbert", 4, 16},
+		{"peano", 2, 243}, {"peano", 4, 27},
+		{"gray", 2, 256}, {"gray", 4, 16},
+		{"morton", 2, 256}, {"morton", 4, 16},
+		{"sweep", 2, 256}, {"snake", 2, 256},
+	}
+	for _, c := range cases {
+		curve, err := sfc.New(c.name, c.d, c.side)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coords := make([]int, c.d)
+		for i := range coords {
+			coords[i] = c.side / 2
+		}
+		b.Run(fmt.Sprintf("%s/%dd", c.name, c.d), func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				coords[0] = i % c.side
+				sink += curve.Index(coords)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkPairwiseMetric measures the exact all-pairs locality metric.
+func BenchmarkPairwiseMetric(b *testing.B) {
+	grid := spectrallpm.MustGrid(16, 16)
+	m, err := spectrallpm.NewMapping("hilbert", grid, spectrallpm.SpectralConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spectrallpm.PairwiseByManhattan(m)
+	}
+}
+
+// BenchmarkPartialRangeSpan measures the sliding-window partial-query
+// evaluator that makes Figure 6 affordable.
+func BenchmarkPartialRangeSpan(b *testing.B) {
+	grid := spectrallpm.MustGrid(6, 6, 6, 6)
+	m, err := spectrallpm.NewMapping("hilbert", grid, spectrallpm.SpectralConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectrallpm.PartialRangeSpan(m, 0.08, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// BenchmarkExtKNN regenerates the k-NN recall experiment and reports
+// spectral recall at the tightest window.
+func BenchmarkExtKNN(b *testing.B) {
+	var recall float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.ExtKNN(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range fig.Series {
+			if s.Name == "Spectral" {
+				recall = s.Y[0]
+			}
+		}
+	}
+	b.ReportMetric(recall, "spectral-recall@k")
+}
+
+// BenchmarkKWayPartition measures recursive spectral partitioning and
+// reports the resulting edge cut on a 16x16 grid.
+func BenchmarkKWayPartition(b *testing.B) {
+	grid := graph.MustGrid(16, 16)
+	g := graph.GridGraph(grid, graph.Orthogonal)
+	var cut float64
+	for i := 0; i < b.N; i++ {
+		parts, err := spectrallpm.KWayPartition(g, 8, spectrallpm.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		labels, err := spectrallpm.PartitionLabels(parts, g.N())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut, err = spectrallpm.PartitionEdgeCut(g, labels)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cut, "edge-cut")
+}
+
+// BenchmarkExactMinLA measures the exponential exact minimum-linear-
+// arrangement solver used to validate spectral orders, and reports the
+// spectral/optimal cost ratio on a 4x4 grid.
+func BenchmarkExactMinLA(b *testing.B) {
+	g := graph.GridGraph(graph.MustGrid(4, 4), graph.Orthogonal)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, _, _, err := spectrallpm.SpectralOptimalityRatio(g, spectrallpm.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r
+	}
+	b.ReportMetric(ratio, "spectral/optimal")
+}

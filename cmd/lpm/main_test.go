@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseDims(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"16,16", []int{16, 16}, false},
+		{"8x8x8", []int{8, 8, 8}, false},
+		{"4, 5", []int{4, 5}, false},
+		{"", nil, true},
+		{"a,b", nil, true},
+	}
+	for _, tc := range tests {
+		got, err := parseDims(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseDims(%q) err = %v", tc.in, err)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseDims(%q) = %v", tc.in, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseDims(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestRunGridFormats(t *testing.T) {
+	for _, format := range []string{"text", "csv", "json"} {
+		var buf bytes.Buffer
+		if err := run(&buf, "hilbert", "4,4", "", 4, format, 0); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		out := buf.String()
+		if len(out) == 0 {
+			t.Fatalf("%s: empty output", format)
+		}
+		switch format {
+		case "csv":
+			if !strings.HasPrefix(out, "rank,id,coords") {
+				t.Errorf("csv header missing: %q", out[:30])
+			}
+			if lines := strings.Count(out, "\n"); lines != 17 {
+				t.Errorf("csv lines = %d, want 17", lines)
+			}
+		case "json":
+			var rows []row
+			if err := json.Unmarshal([]byte(out), &rows); err != nil {
+				t.Fatalf("json invalid: %v", err)
+			}
+			if len(rows) != 16 {
+				t.Errorf("json rows = %d", len(rows))
+			}
+		}
+	}
+}
+
+func TestRunPointsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.txt")
+	content := "# a comment\n0 0\n0 1\n1 0\n\n1 1\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "spectral", "", path, 4, "text", 0); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 4 {
+		t.Errorf("output lines = %d, want 4", lines)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "spectral", "", "", 4, "text", 0); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run(&buf, "hilbert", "4,4", "", 5, "text", 0); err == nil {
+		t.Error("bad connectivity accepted")
+	}
+	if err := run(&buf, "hilbert", "4,4", "", 4, "yaml", 0); err == nil {
+		t.Error("bad format accepted")
+	}
+	if err := run(&buf, "nosuch", "4,4", "", 4, "text", 0); err == nil {
+		t.Error("bad mapping accepted")
+	}
+	if err := run(&buf, "hilbert", "", "/nonexistent/file", 4, "text", 0); err == nil {
+		t.Error("points file with curve mapping accepted")
+	}
+	if err := run(&buf, "spectral", "", "/nonexistent/file", 4, "text", 0); err == nil {
+		t.Error("missing points file accepted")
+	}
+}
+
+func TestReadPointsErrors(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("# only comments\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readPoints(empty); err == nil {
+		t.Error("empty points file accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("1 x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readPoints(bad); err == nil {
+		t.Error("bad coordinate accepted")
+	}
+}

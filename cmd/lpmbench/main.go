@@ -1,0 +1,159 @@
+// Command lpmbench regenerates the paper's tables and figures as text
+// tables (and optional ASCII plots). Run with -exp all to reproduce the
+// full evaluation; see DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	lpmbench -exp fig5a              # one experiment
+//	lpmbench -exp all -plot          # everything, with ASCII plots
+//	lpmbench -exp fig6a -fig6-side 8 # resize an experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/spectral-lpm/spectrallpm/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id: fig1|fig3|fig4|fig5a|fig5b|fig6a|fig6a-mean|fig6b|fig6a-hypercube|ext-affinity|ext-knn|ext-io|ext-solvers|all")
+		plot     = flag.Bool("plot", false, "render ASCII plots in addition to tables")
+		extras   = flag.Bool("extras", false, "include beyond-paper series (base-3 Peano, Snake)")
+		fig5side = flag.Int("fig5a-side", 0, "override Figure 5a grid side (default 4)")
+		fig5dims = flag.Int("fig5a-dims", 0, "override Figure 5a dimensionality (default 5)")
+		fig5b    = flag.Int("fig5b-side", 0, "override Figure 5b grid side (default 16)")
+		fig6side = flag.Int("fig6-side", 0, "override Figure 6 grid side (default 6)")
+		fig6dims = flag.Int("fig6-dims", 0, "override Figure 6 dimensionality (default 4)")
+		seed     = flag.Int64("seed", 0, "eigensolver seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Fig5aSide:     *fig5side,
+		Fig5aDims:     *fig5dims,
+		Fig5bSide:     *fig5b,
+		Fig6Side:      *fig6side,
+		Fig6Dims:      *fig6dims,
+		IncludeExtras: *extras,
+	}
+	cfg.Solver.Seed = *seed
+
+	if err := run(os.Stdout, strings.ToLower(*exp), cfg, *plot); err != nil {
+		fmt.Fprintf(os.Stderr, "lpmbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, cfg experiments.Config, plot bool) error {
+	type figureFn func(experiments.Config) (*experiments.Figure, error)
+	figures := []struct {
+		id string
+		fn figureFn
+	}{
+		{"fig1", experiments.Figure1},
+		{"fig5a", experiments.Figure5a},
+		{"fig5b", experiments.Figure5b},
+		{"fig6a", experiments.Figure6a},
+		{"fig6a-mean", experiments.Figure6aMean},
+		{"fig6b", experiments.Figure6b},
+		{"fig6a-hypercube", experiments.Figure6aHypercube},
+		{"ext-affinity", experiments.ExtAffinity},
+		{"ext-knn", experiments.ExtKNN},
+		{"ext-clusters", experiments.ExtClusters},
+	}
+	ran := false
+	for _, f := range figures {
+		if exp != "all" && exp != f.id {
+			continue
+		}
+		ran = true
+		fig, err := f.fn(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.id, err)
+		}
+		fmt.Fprintln(w, fig.Table())
+		if plot {
+			fmt.Fprintln(w, fig.Plot(64, 20))
+		}
+	}
+	if exp == "all" || exp == "fig3" {
+		ran = true
+		if err := printFig3(w, cfg); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "fig4" {
+		ran = true
+		if err := printFig4(w, cfg); err != nil {
+			return err
+		}
+	}
+	if exp == "all" || exp == "ext-io" {
+		ran = true
+		res, err := experiments.ExtIO(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res.Table())
+	}
+	if exp == "all" || exp == "ext-solvers" {
+		ran = true
+		if err := printSolvers(w, cfg); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func printFig3(w io.Writer, cfg experiments.Config) error {
+	res, err := experiments.Figure3(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "FIG3 — the paper's 3x3 worked example")
+	fmt.Fprintln(w, "Laplacian L(G):")
+	for _, row := range res.Laplacian {
+		for _, v := range row {
+			fmt.Fprintf(w, "%4.0f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "lambda2 = %.6f (paper: 1)\n", res.Lambda2)
+	fmt.Fprintf(w, "X       = %.3f\n", res.X)
+	fmt.Fprintf(w, "S       = %v\n", res.S)
+	fmt.Fprintf(w, "cost    = %.6f (optimal = lambda2; the eigenspace is degenerate, so X may differ from the paper's print while being equally optimal)\n\n", res.Cost)
+	return nil
+}
+
+func printFig4(w io.Writer, cfg experiments.Config) error {
+	res, err := experiments.Figure4(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "FIG4 — §4 connectivity variants on a 4x4 grid")
+	fmt.Fprintf(w, "4-connectivity: lambda2 = %.4f, order = %v\n", res.FourConnLambda2, res.FourConnOrder)
+	fmt.Fprintf(w, "8-connectivity: lambda2 = %.4f, order = %v\n\n", res.EightConnLambda, res.EightConnOrder)
+	return nil
+}
+
+func printSolvers(w io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.ExtSolvers(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "EXT-SOLVERS — eigensolver cross-check on square-grid Laplacians")
+	fmt.Fprintf(w, "%-16s%8s%14s%14s%10s\n", "method", "n", "lambda2", "residual", "ms")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s%8d%14.8f%14.3g%10.2f\n", r.Method, r.N, r.Lambda2, r.Residual, r.Millis)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/experiments"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Quick experiments only; the heavyweight figures run in their own
+	// package tests and in the benchmarks.
+	for _, exp := range []string{"fig1", "fig3", "fig4", "fig5b", "ext-io", "ext-solvers"} {
+		t.Run(exp, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := experiments.Config{Fig1Sides: []int{4, 8}}
+			if err := run(&buf, exp, cfg, false); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Error("no output")
+			}
+		})
+	}
+}
+
+func TestRunWithPlot(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := experiments.Config{Fig1Sides: []int{4}}
+	if err := run(&buf, "fig1", cfg, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "S = Sweep") {
+		t.Errorf("plot legend missing:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nosuch", experiments.Config{}, false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunFig6WithSmallOverride(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := experiments.Config{Fig6Side: 4, Fig6Dims: 3}
+	if err := run(&buf, "fig6b", cfg, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FIG6B") {
+		t.Error("fig6b output missing header")
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunHilbertWalkHasNoJumps(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "hilbert", 8, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0 non-adjacent jumps") {
+		t.Errorf("hilbert walk should have zero jumps:\n%s", out)
+	}
+	if !strings.Contains(out, "rank matrix") {
+		t.Error("missing rank matrix section")
+	}
+}
+
+func TestRunSweepWalkJumpsOncePerRow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "sweep", 4, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Row-major order jumps at the end of each row: 3 jumps on 4x4.
+	if !strings.Contains(buf.String(), "3 non-adjacent jumps") {
+		t.Errorf("sweep jump count wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunSpectralEightConn(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "spectral", 5, 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.String()) == 0 {
+		t.Error("empty output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "spectral", 1, 4, 0); err == nil {
+		t.Error("side 1 accepted")
+	}
+	if err := run(&buf, "spectral", 65, 4, 0); err == nil {
+		t.Error("side 65 accepted")
+	}
+	if err := run(&buf, "spectral", 8, 5, 0); err == nil {
+		t.Error("bad connectivity accepted")
+	}
+	if err := run(&buf, "nosuch", 8, 4, 0); err == nil {
+		t.Error("unknown mapping accepted")
+	}
+}

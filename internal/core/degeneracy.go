@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/spectral-lpm/spectrallpm/internal/eigen"
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/la"
+)
+
+// DegeneracyPolicy selects how SpectralOrder resolves a degenerate λ₂
+// eigenspace. On symmetric point sets — every hypercubic grid, including
+// the paper's own 3x3 example — λ₂ has multiplicity > 1 and *every* unit
+// vector of the eigenspace satisfies the paper's Theorem 1 equally well,
+// yet the induced orders differ wildly: an axis-aligned eigenvector
+// degenerates to a Sweep-like order that is maximally unfair between
+// dimensions, while a mixed vector (like the one the paper prints in
+// Figure 3d) treats all dimensions alike.
+type DegeneracyPolicy int
+
+const (
+	// DegeneracyBalanced (default) picks, within the λ₂ eigenspace, the
+	// unit vector minimizing the quartic edge objective
+	// Σ_{(u,v)∈E} w·(x_u−x_v)⁴. All eigenspace vectors share the same
+	// quadratic cost λ₂, so the quartic term is the natural tie-breaker:
+	// it spreads the edge differences evenly over the edges, which on
+	// grids selects the diagonal mix of the axis eigenvectors and restores
+	// the fairness the paper reports (Figure 5b). The choice is
+	// deterministic and basis-independent.
+	DegeneracyBalanced DegeneracyPolicy = iota
+	// DegeneracyRaw keeps whatever single eigenvector the solver returns —
+	// the literal reading of the paper's Figure 2. Exposed for the
+	// ablation benchmarks.
+	DegeneracyRaw
+)
+
+// degeneracyRelTol is the relative eigenvalue gap below which two
+// eigenvalues are treated as one degenerate cluster.
+const degeneracyRelTol = 1e-6
+
+// maxProbedMultiplicity caps how many eigenpairs the degeneracy probe
+// computes; hypercubic grids in d dimensions have multiplicity d, so 8
+// covers every practical case.
+const maxProbedMultiplicity = 8
+
+// resolveFiedler returns the Fiedler value and the eigenspace-resolved
+// assignment vector for a connected graph, honoring the policy.
+func resolveFiedler(g *graph.Graph, opt Options) (float64, []float64, error) {
+	op := eigen.CSROperator{M: g.Laplacian()}
+	fr, err := eigen.Fiedler(op, opt.Solver)
+	if err != nil {
+		return 0, nil, err
+	}
+	if opt.Degeneracy == DegeneracyRaw {
+		return fr.Value, fr.Vector, nil
+	}
+	basis, err := fiedlerEigenspace(op, g.N(), fr.Value, opt)
+	if err != nil || len(basis) <= 1 {
+		// Simple eigenvalue (or probe failed — fall back to the plain
+		// vector, which is always a valid answer).
+		return fr.Value, fr.Vector, nil
+	}
+	v := minimizeQuartic(g, basis, opt.Solver.Seed)
+	return fr.Value, v, nil
+}
+
+// fiedlerEigenspace probes for eigenvalues clustered at λ₂ and returns an
+// orthonormal basis of the cluster's eigenspace.
+func fiedlerEigenspace(op eigen.Operator, n int, lambda2 float64, opt Options) ([][]float64, error) {
+	k := 2
+	for {
+		if k > n-1 {
+			k = n - 1
+		}
+		vals, vecs, err := eigen.SmallestK(op, k, opt.Solver)
+		if err != nil {
+			return nil, err
+		}
+		cluster := 1
+		for cluster < len(vals) &&
+			vals[cluster] <= lambda2+degeneracyRelTol*(1+math.Abs(lambda2)) {
+			cluster++
+		}
+		if cluster < k || k >= n-1 || k >= maxProbedMultiplicity {
+			if cluster > maxProbedMultiplicity {
+				cluster = maxProbedMultiplicity
+			}
+			return vecs[:cluster], nil
+		}
+		k += 2
+	}
+}
+
+// minimizeQuartic finds the unit vector x = Σ c_j basis_j minimizing
+// f(c) = Σ_{(u,v)∈E} w(u,v)·(x_u − x_v)⁴ by projected gradient descent on
+// the unit sphere in coefficient space, with deterministic restarts. m is
+// tiny (≤ 8), so this is cheap: each evaluation is O(|E|·m).
+func minimizeQuartic(g *graph.Graph, basis [][]float64, seed int64) []float64 {
+	m := len(basis)
+	// Per-edge differences of each basis vector.
+	type edgeDiff struct {
+		w float64
+		d []float64
+	}
+	var edges []edgeDiff
+	g.Edges(func(u, v int, w float64) {
+		d := make([]float64, m)
+		for j, b := range basis {
+			d[j] = b[u] - b[v]
+		}
+		edges = append(edges, edgeDiff{w: w, d: d})
+	})
+
+	objective := func(c []float64) float64 {
+		var f float64
+		for _, e := range edges {
+			var delta float64
+			for j := range c {
+				delta += c[j] * e.d[j]
+			}
+			sq := delta * delta
+			f += e.w * sq * sq
+		}
+		return f
+	}
+	gradient := func(c, out []float64) {
+		la.Zero(out)
+		for _, e := range edges {
+			var delta float64
+			for j := range c {
+				delta += c[j] * e.d[j]
+			}
+			coef := 4 * e.w * delta * delta * delta
+			for j := range out {
+				out[j] += coef * e.d[j]
+			}
+		}
+	}
+
+	normalizeC := func(c []float64) {
+		if la.Normalize(c) == 0 {
+			c[0] = 1
+		}
+	}
+	descend := func(c []float64) ([]float64, float64) {
+		grad := make([]float64, m)
+		trial := make([]float64, m)
+		f := objective(c)
+		step := 0.5
+		for it := 0; it < 200 && step > 1e-12; it++ {
+			gradient(c, grad)
+			// Project the gradient onto the tangent space of the sphere.
+			la.Axpy(-la.Dot(grad, c), c, grad)
+			gn := la.Norm2(grad)
+			if gn < 1e-14*(1+f) {
+				break
+			}
+			la.Copy(trial, c)
+			la.Axpy(-step/gn, grad, trial)
+			normalizeC(trial)
+			if ft := objective(trial); ft < f {
+				la.Copy(c, trial)
+				f = ft
+				step *= 1.2
+			} else {
+				step *= 0.5
+			}
+		}
+		return c, f
+	}
+
+	rng := rand.New(rand.NewSource(seed + 12345))
+	var best []float64
+	bestF := math.Inf(1)
+	starts := [][]float64{make([]float64, m)}
+	for j := range starts[0] {
+		starts[0][j] = 1 // the all-mix start
+	}
+	for r := 0; r < 3+m; r++ {
+		c := make([]float64, m)
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		starts = append(starts, c)
+	}
+	for _, c0 := range starts {
+		normalizeC(c0)
+		c, f := descend(c0)
+		if f < bestF {
+			bestF = f
+			best = append([]float64(nil), c...)
+		}
+	}
+	x := make([]float64, len(basis[0]))
+	for j, b := range basis {
+		la.Axpy(best[j], b, x)
+	}
+	la.Normalize(x)
+	// Deterministic sign: largest-magnitude entry positive.
+	var maxAbs, sign float64 = 0, 1
+	for _, v := range x {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+			if v < 0 {
+				sign = -1
+			} else {
+				sign = 1
+			}
+		}
+	}
+	if sign < 0 {
+		la.Scale(-1, x)
+	}
+	return x
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+)
+
+// axisAlignment measures how much of the assignment's quadratic energy
+// flows through edges of each grid axis: Σ_{edges along axis k} (x_u−x_v)².
+func axisAlignment(grid *graph.Grid, g *graph.Graph, x []float64) []float64 {
+	d := grid.D()
+	energy := make([]float64, d)
+	g.Edges(func(u, v int, w float64) {
+		cu := grid.Coords(u, nil)
+		cv := grid.Coords(v, nil)
+		for k := 0; k < d; k++ {
+			if cu[k] != cv[k] {
+				diff := x[u] - x[v]
+				energy[k] += w * diff * diff
+				break
+			}
+		}
+	})
+	return energy
+}
+
+func TestBalancedDegeneracySpreadsEnergyAcrossAxes(t *testing.T) {
+	// On an even square grid λ₂ has multiplicity 2. The balanced policy
+	// must mix both axis eigenvectors: each axis carries a substantial
+	// share of the λ₂ energy (an axis-pure vector would put ~100% on one
+	// axis).
+	grid := graph.MustGrid(8, 8)
+	g := graph.GridGraph(grid, graph.Orthogonal)
+	res, err := SpectralOrder(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := axisAlignment(grid, g, res.Fiedler)
+	total := energy[0] + energy[1]
+	if total <= 0 {
+		t.Fatal("no energy")
+	}
+	for k, e := range energy {
+		if e/total < 0.25 {
+			t.Errorf("axis %d carries only %.1f%% of λ₂ energy: %v", k, 100*e/total, energy)
+		}
+	}
+	// The result must still be an optimal Theorem-1 solution.
+	cost, _ := ArrangementCost(g, res.Fiedler)
+	if math.Abs(cost-res.Lambda2[0]) > 1e-5 {
+		t.Errorf("balanced vector cost %v != λ₂ %v", cost, res.Lambda2[0])
+	}
+}
+
+func TestBalancedDegeneracy3DGrid(t *testing.T) {
+	grid := graph.MustGrid(5, 5, 5)
+	g := graph.GridGraph(grid, graph.Orthogonal)
+	res, err := SpectralOrder(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := axisAlignment(grid, g, res.Fiedler)
+	total := energy[0] + energy[1] + energy[2]
+	for k, e := range energy {
+		if e/total < 0.15 {
+			t.Errorf("axis %d carries only %.1f%% of λ₂ energy", k, 100*e/total)
+		}
+	}
+	cost, _ := ArrangementCost(g, res.Fiedler)
+	if math.Abs(cost-res.Lambda2[0]) > 1e-5 {
+		t.Errorf("cost %v != λ₂ %v", cost, res.Lambda2[0])
+	}
+}
+
+func TestRawDegeneracyStillOptimal(t *testing.T) {
+	// The raw policy must also return an optimal (if arbitrary) vector.
+	g := graph.GridGraph(graph.MustGrid(6, 6), graph.Orthogonal)
+	res, err := SpectralOrder(g, Options{Degeneracy: DegeneracyRaw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, _ := ArrangementCost(g, res.Fiedler)
+	if math.Abs(cost-res.Lambda2[0]) > 1e-5 {
+		t.Errorf("raw vector cost %v != λ₂ %v", cost, res.Lambda2[0])
+	}
+}
+
+func TestDegeneracyPoliciesAgreeOnSimpleEigenvalue(t *testing.T) {
+	// A path has a simple λ₂: both policies must give the same order.
+	g := graph.Path(15)
+	balanced, err := SpectralOrder(g, Options{Degeneracy: DegeneracyBalanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := SpectralOrder(g, Options{Degeneracy: DegeneracyRaw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range balanced.Order {
+		if balanced.Order[i] != raw.Order[i] {
+			t.Fatalf("orders differ on simple spectrum: %v vs %v", balanced.Order, raw.Order)
+		}
+	}
+}
+
+func TestBalancedDegeneracyDeterministic(t *testing.T) {
+	g := graph.GridGraph(graph.MustGrid(6, 6), graph.Orthogonal)
+	a, err := SpectralOrder(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SpectralOrder(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Fiedler {
+		if a.Fiedler[i] != b.Fiedler[i] {
+			t.Fatal("balanced resolution not deterministic")
+		}
+	}
+}
+
+func TestBalancedBeatsRawOnQuarticObjective(t *testing.T) {
+	// By construction the balanced vector's quartic edge objective is no
+	// worse than the raw solver vector's.
+	g := graph.GridGraph(graph.MustGrid(8, 8), graph.Orthogonal)
+	quartic := func(x []float64) float64 {
+		var f float64
+		g.Edges(func(u, v int, w float64) {
+			d := x[u] - x[v]
+			f += w * d * d * d * d
+		})
+		return f
+	}
+	bal, err := SpectralOrder(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := SpectralOrder(g, Options{Degeneracy: DegeneracyRaw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quartic(bal.Fiedler) > quartic(raw.Fiedler)+1e-9 {
+		t.Errorf("balanced quartic %v exceeds raw %v", quartic(bal.Fiedler), quartic(raw.Fiedler))
+	}
+}

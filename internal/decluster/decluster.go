@@ -1,0 +1,95 @@
+// Package decluster simulates multi-disk declustering — another application
+// the paper's introduction motivates. Once a locality-preserving mapping
+// has laid records on pages, pages are distributed round-robin across M
+// disks; the cost of a query touching a set of pages is the maximum number
+// of pages any single disk must serve, since the disks read in parallel. A
+// good mapping keeps each query's pages contiguous in the 1-D order, which
+// round-robin then spreads evenly, driving the cost toward ⌈pages/M⌉.
+package decluster
+
+import (
+	"fmt"
+)
+
+// Assignment maps pages to disks.
+type Assignment struct {
+	disk     []int
+	numDisks int
+}
+
+// RoundRobin assigns page p to disk p mod numDisks — the standard
+// declustering along a linear order.
+func RoundRobin(numPages, numDisks int) (*Assignment, error) {
+	if numPages < 0 {
+		return nil, fmt.Errorf("decluster: negative page count %d", numPages)
+	}
+	if numDisks < 1 {
+		return nil, fmt.Errorf("decluster: disk count %d < 1", numDisks)
+	}
+	d := make([]int, numPages)
+	for p := range d {
+		d[p] = p % numDisks
+	}
+	return &Assignment{disk: d, numDisks: numDisks}, nil
+}
+
+// NumDisks returns the disk count.
+func (a *Assignment) NumDisks() int { return a.numDisks }
+
+// NumPages returns the page count.
+func (a *Assignment) NumPages() int { return len(a.disk) }
+
+// Disk returns the disk holding page p.
+func (a *Assignment) Disk(p int) int {
+	if p < 0 || p >= len(a.disk) {
+		panic(fmt.Sprintf("decluster: page %d outside [0,%d)", p, len(a.disk)))
+	}
+	return a.disk[p]
+}
+
+// Cost is the parallel I/O accounting of one query.
+type Cost struct {
+	// Pages is the number of distinct pages the query touches.
+	Pages int
+	// Parallel is the response time in page reads: the maximum pages on
+	// any single disk.
+	Parallel int
+	// Ideal is the lower bound ⌈Pages / NumDisks⌉.
+	Ideal int
+}
+
+// Imbalance returns Parallel/Ideal, the slowdown versus a perfectly
+// balanced placement (1.0 is optimal). Zero-page queries report 1.
+func (c Cost) Imbalance() float64 {
+	if c.Ideal == 0 {
+		return 1
+	}
+	return float64(c.Parallel) / float64(c.Ideal)
+}
+
+// QueryCost computes the parallel cost of reading the given pages.
+// Duplicate page ids are counted once.
+func (a *Assignment) QueryCost(pages []int) Cost {
+	if len(pages) == 0 {
+		return Cost{}
+	}
+	seen := make(map[int]bool, len(pages))
+	perDisk := make([]int, a.numDisks)
+	distinct := 0
+	for _, p := range pages {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		perDisk[a.Disk(p)]++
+		distinct++
+	}
+	c := Cost{Pages: distinct}
+	for _, n := range perDisk {
+		if n > c.Parallel {
+			c.Parallel = n
+		}
+	}
+	c.Ideal = (distinct + a.numDisks - 1) / a.numDisks
+	return c
+}

@@ -1,0 +1,72 @@
+package decluster
+
+import (
+	"testing"
+)
+
+func TestRoundRobinValidation(t *testing.T) {
+	if _, err := RoundRobin(-1, 2); err == nil {
+		t.Error("negative pages accepted")
+	}
+	if _, err := RoundRobin(4, 0); err == nil {
+		t.Error("zero disks accepted")
+	}
+	a, err := RoundRobin(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDisks() != 3 || a.NumPages() != 10 {
+		t.Errorf("disks=%d pages=%d", a.NumDisks(), a.NumPages())
+	}
+	for p := 0; p < 10; p++ {
+		if a.Disk(p) != p%3 {
+			t.Errorf("Disk(%d) = %d", p, a.Disk(p))
+		}
+	}
+}
+
+func TestDiskPanics(t *testing.T) {
+	a, _ := RoundRobin(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	a.Disk(4)
+}
+
+func TestQueryCostContiguousIsBalanced(t *testing.T) {
+	a, _ := RoundRobin(100, 4)
+	// 8 contiguous pages over 4 disks: 2 per disk, perfectly balanced.
+	c := a.QueryCost([]int{10, 11, 12, 13, 14, 15, 16, 17})
+	if c.Pages != 8 || c.Parallel != 2 || c.Ideal != 2 {
+		t.Errorf("cost %+v", c)
+	}
+	if c.Imbalance() != 1 {
+		t.Errorf("imbalance %v", c.Imbalance())
+	}
+}
+
+func TestQueryCostStridedIsUnbalanced(t *testing.T) {
+	a, _ := RoundRobin(100, 4)
+	// Pages 0,4,8,12 all land on disk 0: worst case.
+	c := a.QueryCost([]int{0, 4, 8, 12})
+	if c.Pages != 4 || c.Parallel != 4 || c.Ideal != 1 {
+		t.Errorf("cost %+v", c)
+	}
+	if c.Imbalance() != 4 {
+		t.Errorf("imbalance %v", c.Imbalance())
+	}
+}
+
+func TestQueryCostDuplicatesAndEmpty(t *testing.T) {
+	a, _ := RoundRobin(10, 2)
+	c := a.QueryCost([]int{3, 3, 3})
+	if c.Pages != 1 || c.Parallel != 1 {
+		t.Errorf("duplicate cost %+v", c)
+	}
+	empty := a.QueryCost(nil)
+	if empty.Pages != 0 || empty.Parallel != 0 || empty.Imbalance() != 1 {
+		t.Errorf("empty cost %+v", empty)
+	}
+}

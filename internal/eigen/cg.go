@@ -1,0 +1,136 @@
+package eigen
+
+import (
+	"errors"
+
+	"github.com/spectral-lpm/spectrallpm/internal/la"
+)
+
+// ErrCGBreakdown is returned when conjugate gradients encounters a
+// non-positive curvature direction, which for a graph Laplacian means the
+// system is inconsistent (e.g. the graph is disconnected but only the global
+// ones vector was deflated).
+var ErrCGBreakdown = errors.New("eigen: conjugate gradient breakdown (operator not PD on deflated subspace)")
+
+// DiagonalProvider is optionally implemented by Operators that can expose
+// their main diagonal cheaply; ProjectedCG uses it as a Jacobi
+// preconditioner, which matters on weighted Laplacians with skewed degrees
+// (e.g. strong §4 affinity edges).
+type DiagonalProvider interface {
+	// Diagonal returns the operator's main diagonal (length Dim).
+	Diagonal() []float64
+}
+
+// Diagonal exposes the sparse matrix diagonal for preconditioning.
+func (c CSROperator) Diagonal() []float64 { return c.M.Diagonal() }
+
+// ProjectedCG solves A y = b for a symmetric positive semidefinite operator
+// A restricted to the orthogonal complement of span(deflate). The deflate
+// vectors must be orthonormal and must span (a superset of) the null space
+// of A; b is projected onto the complement before solving, and iterates are
+// re-projected each step to suppress numerical drift. When the operator
+// provides its diagonal, Jacobi (diagonal) preconditioning is applied. It
+// returns the solution, the iteration count, and an error when the residual
+// does not reach tol*||b|| within maxIter iterations.
+func ProjectedCG(op Operator, b []float64, deflate [][]float64, tol float64, maxIter int) ([]float64, int, error) {
+	n := op.Dim()
+	if len(b) != n {
+		return nil, 0, errors.New("eigen: ProjectedCG dimension mismatch")
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+
+	project := func(x []float64) {
+		la.OrthogonalizeAgainst(x, deflate...)
+	}
+
+	// Jacobi preconditioner from the operator diagonal, when available and
+	// strictly positive; identity otherwise.
+	var invDiag []float64
+	if dp, ok := op.(DiagonalProvider); ok {
+		d := dp.Diagonal()
+		usable := len(d) == n
+		for _, v := range d {
+			if v <= 0 {
+				usable = false
+				break
+			}
+		}
+		if usable {
+			invDiag = make([]float64, n)
+			for i, v := range d {
+				invDiag[i] = 1 / v
+			}
+		}
+	}
+	applyPrec := func(dst, r []float64) {
+		if invDiag == nil {
+			copy(dst, r)
+		} else {
+			for i := range dst {
+				dst[i] = invDiag[i] * r[i]
+			}
+		}
+		project(dst)
+	}
+
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	borig := la.Norm2(r)
+	project(r)
+	bnorm := la.Norm2(r)
+	// A RHS that projects (numerically) to zero lies in the deflated space;
+	// the restricted system's solution is zero.
+	if bnorm <= 1e-14*borig {
+		return x, 0, nil
+	}
+	z := make([]float64, n)
+	applyPrec(z, r)
+	p := append([]float64(nil), z...)
+	ap := make([]float64, n)
+	rz := la.Dot(r, z)
+	if rz <= 0 {
+		return nil, 0, ErrCGBreakdown
+	}
+	target := tol * bnorm
+
+	for it := 1; it <= maxIter; it++ {
+		op.Apply(ap, p)
+		project(ap)
+		pap := la.Dot(p, ap)
+		if pap <= 0 {
+			return nil, it, ErrCGBreakdown
+		}
+		alpha := rz / pap
+		la.Axpy(alpha, p, x)
+		la.Axpy(-alpha, ap, r)
+		if it%50 == 0 {
+			// Periodically recompute the true residual to avoid drift.
+			op.Apply(ap, x)
+			project(ap)
+			for i := range r {
+				r[i] = b[i] - ap[i]
+			}
+			project(r)
+		}
+		if la.Norm2(r) <= target {
+			project(x)
+			return x, it, nil
+		}
+		applyPrec(z, r)
+		rzNew := la.Dot(r, z)
+		if rzNew <= 0 {
+			return nil, it, ErrCGBreakdown
+		}
+		beta := rzNew / rz
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		rz = rzNew
+	}
+	return nil, maxIter, ErrNoConvergence
+}

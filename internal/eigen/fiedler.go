@@ -1,0 +1,359 @@
+package eigen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/spectral-lpm/spectrallpm/internal/la"
+)
+
+// Method selects the eigensolver used by Fiedler and SmallestK.
+type Method int
+
+const (
+	// MethodAuto picks MethodDense for small problems and
+	// MethodInversePower otherwise.
+	MethodAuto Method = iota
+	// MethodInversePower runs deflated inverse-power iteration with
+	// projected conjugate-gradient inner solves. It is the production path
+	// for graph Laplacians: the smallest nonzero eigenvalue is extremal in
+	// the deflated space and each outer step contracts error by λ₂/λ₃.
+	MethodInversePower
+	// MethodLanczos runs Lanczos with full reorthogonalization.
+	MethodLanczos
+	// MethodDense densifies the operator and runs the Jacobi solver;
+	// intended for n up to a few hundred and for cross-validation.
+	MethodDense
+)
+
+// String names the method for logs and errors.
+func (m Method) String() string {
+	switch m {
+	case MethodAuto:
+		return "auto"
+	case MethodInversePower:
+		return "inverse-power"
+	case MethodLanczos:
+		return "lanczos"
+	case MethodDense:
+		return "dense-jacobi"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Options tunes Fiedler and SmallestK.
+type Options struct {
+	// Method selects the solver; MethodAuto by default.
+	Method Method
+	// Tol is the relative residual target ||L x - λ x|| <= Tol*||L||.
+	// Defaults to 1e-9.
+	Tol float64
+	// MaxIter caps outer iterations (inverse power) or Krylov dimension
+	// (Lanczos). 0 picks a solver-specific default.
+	MaxIter int
+	// Seed makes the randomized starts deterministic. Same seed, same
+	// result.
+	Seed int64
+	// DenseCutoff is the dimension at or below which MethodAuto uses the
+	// dense solver. Defaults to 96.
+	DenseCutoff int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.DenseCutoff <= 0 {
+		o.DenseCutoff = 96
+	}
+	return o
+}
+
+// Result is the outcome of a Fiedler computation.
+type Result struct {
+	// Value is λ₂, the algebraic connectivity.
+	Value float64
+	// Vector is the unit Fiedler eigenvector, orthogonal to the all-ones
+	// vector, with its largest-magnitude entry made positive.
+	Vector []float64
+	// Iterations counts outer iterations (inverse power), Krylov steps
+	// (Lanczos), or sweeps (dense).
+	Iterations int
+	// Method is the solver that actually ran.
+	Method Method
+	// Residual is the final ||L x - λ x||.
+	Residual float64
+}
+
+// Fiedler computes the second-smallest eigenpair (λ₂, v₂) of a connected
+// graph Laplacian given as a symmetric operator. The all-ones null direction
+// is deflated internally. For disconnected graphs the result is undefined
+// and the inverse-power path typically returns ErrCGBreakdown; callers
+// should split into connected components first (internal/core does).
+func Fiedler(op Operator, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	n := op.Dim()
+	if n == 0 {
+		return Result{}, errors.New("eigen: empty operator")
+	}
+	if n == 1 {
+		return Result{}, errors.New("eigen: Fiedler undefined for a single vertex")
+	}
+	method := opt.Method
+	if method == MethodAuto {
+		if n <= opt.DenseCutoff {
+			method = MethodDense
+		} else {
+			method = MethodInversePower
+		}
+	}
+	switch method {
+	case MethodDense:
+		return fiedlerDense(op, opt)
+	case MethodLanczos:
+		return fiedlerLanczos(op, opt)
+	case MethodInversePower:
+		return fiedlerInversePower(op, opt)
+	default:
+		return Result{}, fmt.Errorf("eigen: unknown method %v", method)
+	}
+}
+
+func fiedlerDense(op Operator, opt Options) (Result, error) {
+	n := op.Dim()
+	vals, vecs, err := Jacobi(denseFromOperator(op), 0)
+	if err != nil {
+		return Result{}, err
+	}
+	// vals[0] ~ 0 (ones); λ₂ = vals[1]. Orthogonalize against exact ones to
+	// clean the degenerate-at-zero case, then re-normalize.
+	v := append([]float64(nil), vecs[1]...)
+	la.OrthogonalizeAgainst(v, la.UnitOnes(n))
+	if la.Normalize(v) == 0 {
+		return Result{}, errors.New("eigen: dense Fiedler vector vanished (disconnected graph?)")
+	}
+	canonicalizeSign([][]float64{v})
+	res := residual(op, v, vals[1])
+	return Result{Value: vals[1], Vector: v, Iterations: 1, Method: MethodDense, Residual: res}, nil
+}
+
+func fiedlerLanczos(op Operator, opt Options) (Result, error) {
+	n := op.Dim()
+	vals, vecs, err := LanczosSmallest(op, 1, LanczosOptions{
+		MaxIter: opt.MaxIter,
+		Tol:     opt.Tol,
+		Seed:    opt.Seed,
+		Deflate: [][]float64{la.UnitOnes(n)},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := residual(op, vecs[0], vals[0])
+	return Result{Value: vals[0], Vector: vecs[0], Iterations: opt.MaxIter, Method: MethodLanczos, Residual: res}, nil
+}
+
+func fiedlerInversePower(op Operator, opt Options) (Result, error) {
+	n := op.Dim()
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	scale := normEst(op, opt.Seed+7)
+	deflate := [][]float64{la.UnitOnes(n)}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	x := randomUnit(rng, n)
+	la.OrthogonalizeAgainst(x, deflate...)
+	if la.Normalize(x) == 0 {
+		return Result{}, errors.New("eigen: degenerate start vector")
+	}
+	lx := make([]float64, n)
+	var lambda, res float64
+	for it := 1; it <= maxIter; it++ {
+		y, _, err := ProjectedCG(op, x, deflate, 1e-10, 40*n)
+		if err != nil {
+			return Result{}, fmt.Errorf("inverse power inner solve failed: %w", err)
+		}
+		la.OrthogonalizeAgainst(y, deflate...)
+		if la.Normalize(y) == 0 {
+			return Result{}, errors.New("eigen: inverse power iterate vanished")
+		}
+		x = y
+		op.Apply(lx, x)
+		lambda = la.Dot(x, lx)
+		la.Axpy(-lambda, x, lx)
+		res = la.Norm2(lx)
+		if res <= opt.Tol*scale {
+			canonicalizeSign([][]float64{x})
+			return Result{Value: lambda, Vector: x, Iterations: it, Method: MethodInversePower, Residual: res}, nil
+		}
+	}
+	return Result{}, fmt.Errorf("%w: inverse power residual %.3g after %d iterations (target %.3g)",
+		ErrNoConvergence, res, maxIter, opt.Tol*scale)
+}
+
+// residual returns ||op(x) - lambda x||.
+func residual(op Operator, x []float64, lambda float64) float64 {
+	y := make([]float64, len(x))
+	op.Apply(y, x)
+	la.Axpy(-lambda, x, y)
+	return la.Norm2(y)
+}
+
+// SmallestK computes the k smallest eigenpairs of a connected graph
+// Laplacian beyond the deflated all-ones null space — the spectral embedding
+// used for multi-dimensional spectral layouts and recursive bisection. It
+// uses block inverse-power iteration with a Rayleigh-Ritz projection
+// (MethodInversePower/Auto) or Lanczos. vecs[j] is the unit eigenvector for
+// vals[j], j = 0 corresponding to λ₂.
+func SmallestK(op Operator, k int, opt Options) (vals []float64, vecs [][]float64, err error) {
+	opt = opt.withDefaults()
+	n := op.Dim()
+	if k <= 0 || k > n-1 {
+		return nil, nil, fmt.Errorf("eigen: SmallestK k=%d out of range for n=%d", k, n)
+	}
+	method := opt.Method
+	if method == MethodAuto {
+		if n <= opt.DenseCutoff {
+			method = MethodDense
+		} else {
+			method = MethodInversePower
+		}
+	}
+	deflate := [][]float64{la.UnitOnes(n)}
+	switch method {
+	case MethodDense:
+		s := denseFromOperator(op)
+		allVals, allVecs, err := Jacobi(s, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals = append([]float64(nil), allVals[1:1+k]...)
+		vecs = make([][]float64, k)
+		for i := range vecs {
+			v := append([]float64(nil), allVecs[1+i]...)
+			la.OrthogonalizeAgainst(v, deflate...)
+			la.Normalize(v)
+			vecs[i] = v
+		}
+		canonicalizeSign(vecs)
+		return vals, vecs, nil
+	case MethodLanczos:
+		return LanczosSmallest(op, k, LanczosOptions{
+			MaxIter: opt.MaxIter, Tol: opt.Tol, Seed: opt.Seed, Deflate: deflate,
+		})
+	case MethodInversePower:
+		return smallestKBlock(op, k, opt, deflate)
+	default:
+		return nil, nil, fmt.Errorf("eigen: unknown method %v", method)
+	}
+}
+
+func denseFromOperator(op Operator) *la.Sym {
+	n := op.Dim()
+	s := la.NewSym(n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for j := 0; j < n; j++ {
+		la.Zero(x)
+		x[j] = 1
+		op.Apply(y, x)
+		for i := 0; i < n; i++ {
+			s.Set(i, j, y[i])
+		}
+	}
+	return s
+}
+
+func smallestKBlock(op Operator, k int, opt Options, deflate [][]float64) ([]float64, [][]float64, error) {
+	n := op.Dim()
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	scale := normEst(op, opt.Seed+11)
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Random orthonormal block X of width k, orthogonal to deflate.
+	X := make([][]float64, k)
+	for j := range X {
+		X[j] = randomUnit(rng, n)
+	}
+	orthonormalize(X, deflate)
+
+	tmp := make([]float64, n)
+	vals := make([]float64, k)
+	for it := 1; it <= maxIter; it++ {
+		// Inverse iteration: solve L Y_j = X_j.
+		for j := range X {
+			y, _, err := ProjectedCG(op, X[j], deflate, 1e-10, 40*n)
+			if err != nil {
+				return nil, nil, fmt.Errorf("block inverse power inner solve failed: %w", err)
+			}
+			X[j] = y
+		}
+		orthonormalize(X, deflate)
+		// Rayleigh-Ritz on span(X): H = Xᵀ L X (k x k), rotate X by its
+		// eigenvectors.
+		h := la.NewSym(k)
+		LX := make([][]float64, k)
+		for j := range X {
+			lx := make([]float64, n)
+			op.Apply(lx, X[j])
+			LX[j] = lx
+		}
+		for a := 0; a < k; a++ {
+			for b := a; b < k; b++ {
+				h.Set(a, b, la.Dot(X[a], LX[b]))
+			}
+		}
+		hv, hw, err := Jacobi(h, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		rot := make([][]float64, k)
+		for a := 0; a < k; a++ {
+			v := make([]float64, n)
+			for b := 0; b < k; b++ {
+				la.Axpy(hw[a][b], X[b], v)
+			}
+			rot[a] = v
+		}
+		X = rot
+		copy(vals, hv)
+		// Convergence: max residual over the block.
+		var worst float64
+		for j := range X {
+			op.Apply(tmp, X[j])
+			la.Axpy(-vals[j], X[j], tmp)
+			if r := la.Norm2(tmp); r > worst {
+				worst = r
+			}
+		}
+		if worst <= opt.Tol*scale {
+			canonicalizeSign(X)
+			return vals, X, nil
+		}
+	}
+	return nil, nil, ErrNoConvergence
+}
+
+// orthonormalize applies modified Gram-Schmidt to the block, first removing
+// deflated directions. Vectors that vanish are replaced by fresh random
+// directions (deterministic via position-derived seeds).
+func orthonormalize(X [][]float64, deflate [][]float64) {
+	for j := range X {
+		for pass := 0; pass < 2; pass++ {
+			la.OrthogonalizeAgainst(X[j], deflate...)
+			la.OrthogonalizeAgainst(X[j], X[:j]...)
+		}
+		if la.Normalize(X[j]) < 1e-12 {
+			rng := rand.New(rand.NewSource(int64(1000 + j)))
+			X[j] = randomUnit(rng, len(X[j]))
+			la.OrthogonalizeAgainst(X[j], deflate...)
+			la.OrthogonalizeAgainst(X[j], X[:j]...)
+			la.Normalize(X[j])
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package eigen
+
+import (
+	"math"
+	"sort"
+
+	"github.com/spectral-lpm/spectrallpm/internal/la"
+)
+
+// Jacobi computes the full eigendecomposition of the dense symmetric matrix
+// s using the cyclic Jacobi rotation method. It is the reference solver the
+// sparse solvers are validated against, and the production path for small
+// problems (n up to a few hundred). Results are sorted by ascending
+// eigenvalue; vecs[k] is the unit eigenvector for vals[k]. s is not
+// modified.
+func Jacobi(s *la.Sym, maxSweeps int) (vals []float64, vecs [][]float64, err error) {
+	n := s.N()
+	if n == 0 {
+		return nil, nil, nil
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 64
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = s.At(i, j)
+		}
+	}
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+
+	offNorm := func() float64 {
+		var sum float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				sum += a[i][j] * a[i][j]
+			}
+		}
+		return math.Sqrt(2 * sum)
+	}
+	// Frobenius norm scale for the stopping test.
+	var frob float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			frob += a[i][j] * a[i][j]
+		}
+	}
+	frob = math.Sqrt(frob)
+	tol := 1e-14 * (frob + 1)
+
+	converged := false
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if offNorm() <= tol {
+			converged = true
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a[p][q]
+				if math.Abs(apq) <= tol/float64(n*n+1) {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				sn := t * c
+				// Rotate rows/columns p and q of a.
+				for k := 0; k < n; k++ {
+					akp, akq := a[k][p], a[k][q]
+					a[k][p] = c*akp - sn*akq
+					a[k][q] = sn*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p][k], a[q][k]
+					a[p][k] = c*apk - sn*aqk
+					a[q][k] = sn*apk + c*aqk
+				}
+				// Accumulate eigenvectors (columns of v).
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - sn*vkq
+					v[k][q] = sn*vkp + c*vkq
+				}
+			}
+		}
+	}
+	if !converged && offNorm() > tol*100 {
+		return nil, nil, ErrNoConvergence
+	}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return a[idx[x]][idx[x]] < a[idx[y]][idx[y]] })
+	vals = make([]float64, n)
+	vecs = make([][]float64, n)
+	for k, j := range idx {
+		vals[k] = a[j][j]
+		w := make([]float64, n)
+		for i := 0; i < n; i++ {
+			w[i] = v[i][j]
+		}
+		vecs[k] = w
+	}
+	return vals, vecs, nil
+}

@@ -1,0 +1,105 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/la"
+)
+
+func TestJacobiKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3 with vectors (1,-1) and (1,1).
+	s := la.NewSym(2)
+	s.Set(0, 0, 2)
+	s.Set(1, 1, 2)
+	s.Set(0, 1, 1)
+	vals, vecs, err := Jacobi(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-12 || math.Abs(vals[1]-3) > 1e-12 {
+		t.Fatalf("vals = %v, want [1 3]", vals)
+	}
+	if math.Abs(math.Abs(vecs[0][0])-math.Sqrt(0.5)) > 1e-10 {
+		t.Errorf("vec0 = %v", vecs[0])
+	}
+	if vecs[0][0]*vecs[0][1] > 0 {
+		t.Errorf("vec0 components should have opposite signs: %v", vecs[0])
+	}
+	if vecs[1][0]*vecs[1][1] < 0 {
+		t.Errorf("vec1 components should share sign: %v", vecs[1])
+	}
+}
+
+func TestJacobiIdentity(t *testing.T) {
+	n := 5
+	s := la.NewSym(n)
+	for i := 0; i < n; i++ {
+		s.Set(i, i, 1)
+	}
+	vals, vecs, err := Jacobi(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(vals[i]-1) > 1e-12 {
+			t.Errorf("identity eigenvalue %d = %v", i, vals[i])
+		}
+	}
+	// Eigenvectors must be orthonormal.
+	checkOrthonormal(t, vecs, 1e-10)
+}
+
+func TestJacobiEmpty(t *testing.T) {
+	vals, vecs, err := Jacobi(la.NewSym(0), 0)
+	if err != nil || vals != nil || vecs != nil {
+		t.Errorf("empty Jacobi: %v %v %v", vals, vecs, err)
+	}
+}
+
+func TestJacobiRandomReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(12)
+		s := la.NewSym(n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				s.Set(i, j, rng.NormFloat64())
+			}
+		}
+		vals, vecs, err := Jacobi(s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOrthonormal(t, vecs, 1e-9)
+		// Reconstruct A = Σ λ_k v_k v_kᵀ and compare entrywise.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var a float64
+				for k := 0; k < n; k++ {
+					a += vals[k] * vecs[k][i] * vecs[k][j]
+				}
+				if math.Abs(a-s.At(i, j)) > 1e-8 {
+					t.Fatalf("trial %d: reconstruction (%d,%d) = %v, want %v", trial, i, j, a, s.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func checkOrthonormal(t *testing.T, vecs [][]float64, tol float64) {
+	t.Helper()
+	for a := range vecs {
+		for b := a; b < len(vecs); b++ {
+			d := la.Dot(vecs[a], vecs[b])
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(d-want) > tol {
+				t.Errorf("vec %d · vec %d = %v, want %v", a, b, d, want)
+			}
+		}
+	}
+}

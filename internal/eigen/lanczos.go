@@ -1,0 +1,188 @@
+package eigen
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"github.com/spectral-lpm/spectrallpm/internal/la"
+)
+
+// LanczosOptions tunes LanczosSmallest.
+type LanczosOptions struct {
+	// MaxIter caps the Krylov subspace dimension per eigenpair. Defaults
+	// to min(deflated dimension, 180).
+	MaxIter int
+	// Tol is the relative residual tolerance ||A x - θ x|| <= Tol*||A||.
+	// Defaults to 1e-9.
+	Tol float64
+	// Seed selects the deterministic random start vector. The same seed
+	// always yields the same result.
+	Seed int64
+	// Deflate lists orthonormal vectors the Krylov space must stay
+	// orthogonal to (e.g. known null vectors such as the normalized ones
+	// vector of a connected Laplacian).
+	Deflate [][]float64
+}
+
+// LanczosSmallest computes the k smallest eigenpairs of the symmetric
+// operator op, excluding directions spanned by opt.Deflate. Eigenpairs are
+// found one at a time, each run deflating the previously converged vectors —
+// the standard remedy for the fact that a single Krylov sequence contains at
+// most one vector per eigenspace, so degenerate eigenvalues (multiplicity
+// > 1, e.g. λ₂ of a square grid) are recovered with their full multiplicity.
+// Each inner run uses full reorthogonalization (classical Gram-Schmidt
+// applied twice per step). vecs[j] is the unit eigenvector for vals[j].
+func LanczosSmallest(op Operator, k int, opt LanczosOptions) (vals []float64, vecs [][]float64, err error) {
+	n := op.Dim()
+	if k <= 0 {
+		return nil, nil, errors.New("eigen: LanczosSmallest requires k >= 1")
+	}
+	if k > n-len(opt.Deflate) {
+		return nil, nil, errors.New("eigen: k exceeds deflated dimension")
+	}
+	deflate := append([][]float64(nil), opt.Deflate...)
+	vals = make([]float64, 0, k)
+	vecs = make([][]float64, 0, k)
+	for i := 0; i < k; i++ {
+		inner := opt
+		inner.Deflate = deflate
+		inner.Seed = opt.Seed + int64(i)*7919
+		val, vec, err := lanczosOne(op, inner)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals = append(vals, val)
+		vecs = append(vecs, vec)
+		deflate = append(deflate, vec)
+	}
+	canonicalizeSign(vecs)
+	return vals, vecs, nil
+}
+
+// lanczosOne computes the single smallest eigenpair of op in the orthogonal
+// complement of opt.Deflate.
+func lanczosOne(op Operator, opt LanczosOptions) (float64, []float64, error) {
+	n := op.Dim()
+	avail := n - len(opt.Deflate)
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 180
+	}
+	if maxIter > avail {
+		maxIter = avail
+	}
+	scale := normEst(op, opt.Seed+1)
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	Q := make([][]float64, 0, maxIter)
+	alpha := make([]float64, 0, maxIter)
+	beta := make([]float64, 0, maxIter)
+
+	newStart := func() ([]float64, bool) {
+		for attempt := 0; attempt < 8; attempt++ {
+			v := randomUnit(rng, n)
+			for pass := 0; pass < 2; pass++ {
+				la.OrthogonalizeAgainst(v, opt.Deflate...)
+				la.OrthogonalizeAgainst(v, Q...)
+			}
+			if la.Normalize(v) > 1e-8 {
+				return v, true
+			}
+		}
+		return nil, false
+	}
+
+	q, ok := newStart()
+	if !ok {
+		return 0, nil, errors.New("eigen: cannot build start vector (deflated space exhausted)")
+	}
+	w := make([]float64, n)
+	checkEvery := 12
+
+	for j := 0; j < maxIter; j++ {
+		Q = append(Q, q)
+		op.Apply(w, q)
+		a := la.Dot(w, q)
+		alpha = append(alpha, a)
+		la.Axpy(-a, q, w)
+		if j > 0 {
+			la.Axpy(-beta[j-1], Q[j-1], w)
+		}
+		for pass := 0; pass < 2; pass++ {
+			la.OrthogonalizeAgainst(w, opt.Deflate...)
+			la.OrthogonalizeAgainst(w, Q...)
+		}
+		b := la.Norm2(w)
+
+		done := j+1 == maxIter
+		if !done && (j+1)%checkEvery == 0 {
+			// Residual bound for the smallest Ritz pair: |β_j·y[last]|.
+			_, tvecs, terr := SymTriQL(alpha, beta, true)
+			if terr == nil {
+				if res := math.Abs(b * tvecs[0][len(alpha)-1]); res <= tol*scale {
+					done = true
+				}
+			}
+		}
+		if b <= 1e-12*scale {
+			break // happy breakdown: exact invariant subspace
+		}
+		if done {
+			break
+		}
+		beta = append(beta, b)
+		q = append([]float64(nil), w...)
+		la.Scale(1/b, q)
+	}
+
+	m := len(alpha)
+	if m == 0 {
+		return 0, nil, ErrNoConvergence
+	}
+	_, tvecs, terr := SymTriQL(alpha, beta[:m-1], true)
+	if terr != nil {
+		return 0, nil, terr
+	}
+	y := make([]float64, n)
+	for j := 0; j < m; j++ {
+		la.Axpy(tvecs[0][j], Q[j], y)
+	}
+	la.OrthogonalizeAgainst(y, opt.Deflate...)
+	if la.Normalize(y) == 0 {
+		return 0, nil, ErrNoConvergence
+	}
+	op.Apply(w, y)
+	lambda := la.Dot(y, w)
+	la.Axpy(-lambda, y, w)
+	if la.Norm2(w) > 100*tol*scale {
+		return 0, nil, ErrNoConvergence
+	}
+	return lambda, y, nil
+}
+
+// canonicalizeSign flips each eigenvector so its largest-magnitude entry is
+// positive, giving deterministic output across solvers.
+func canonicalizeSign(vecs [][]float64) {
+	for _, v := range vecs {
+		var maxAbs float64
+		var sign float64 = 1
+		for _, x := range v {
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+				if x < 0 {
+					sign = -1
+				} else {
+					sign = 1
+				}
+			}
+		}
+		if sign < 0 {
+			la.Scale(-1, v)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package eigen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/la"
+)
+
+func TestLanczosSmallestMatchesJacobiOnRandomLaplacian(t *testing.T) {
+	// Connected random-ish graph: cycle plus chords.
+	n := 40
+	edges := cycleEdges(n)
+	for i := 0; i < n; i += 3 {
+		edges = append(edges, [2]int{i, (i + n/2) % n})
+	}
+	l := laplacianCSR(t, n, edges)
+	op := CSROperator{M: l}
+
+	jvals, _, err := Jacobi(la.SymFromCSR(l), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	vals, vecs, err := LanczosSmallest(op, k, LanczosOptions{
+		Seed: 7, Deflate: [][]float64{la.UnitOnes(n)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		// jvals[0] is the deflated zero eigenvalue.
+		if math.Abs(vals[i]-jvals[i+1]) > 1e-6*(1+jvals[i+1]) {
+			t.Errorf("eig %d: lanczos %v vs jacobi %v", i, vals[i], jvals[i+1])
+		}
+	}
+	checkOrthonormal(t, vecs, 1e-7)
+	for i, v := range vecs {
+		y := make([]float64, n)
+		op.Apply(y, v)
+		la.Axpy(-vals[i], v, y)
+		if r := la.Norm2(y); r > 1e-6 {
+			t.Errorf("eig %d residual %v", i, r)
+		}
+	}
+}
+
+func TestLanczosWithoutDeflationFindsZero(t *testing.T) {
+	// Without deflation the smallest eigenvalue of a Laplacian is 0.
+	l := laplacianCSR(t, 15, pathEdges(15))
+	vals, _, err := LanczosSmallest(CSROperator{M: l}, 1, LanczosOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]) > 1e-7 {
+		t.Errorf("smallest eigenvalue %v, want 0", vals[0])
+	}
+}
+
+func TestLanczosInvalidK(t *testing.T) {
+	l := laplacianCSR(t, 4, pathEdges(4))
+	if _, _, err := LanczosSmallest(CSROperator{M: l}, 0, LanczosOptions{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := LanczosSmallest(CSROperator{M: l}, 4, LanczosOptions{
+		Deflate: [][]float64{la.UnitOnes(4)},
+	}); err == nil {
+		t.Error("k beyond deflated dimension accepted")
+	}
+}
+
+func TestLanczosHappyBreakdownOnTinyGraph(t *testing.T) {
+	// A 2-vertex graph exhausts the Krylov space immediately; the solver
+	// must still return the single deflated eigenvalue λ = 2.
+	l := laplacianCSR(t, 2, [][2]int{{0, 1}})
+	vals, vecs, err := LanczosSmallest(CSROperator{M: l}, 1, LanczosOptions{
+		Seed: 3, Deflate: [][]float64{la.UnitOnes(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-2) > 1e-9 {
+		t.Errorf("λ = %v, want 2", vals[0])
+	}
+	if math.Abs(math.Abs(vecs[0][0])-math.Sqrt(0.5)) > 1e-9 {
+		t.Errorf("vec = %v", vecs[0])
+	}
+}
+
+func TestLanczosDeterministic(t *testing.T) {
+	l := laplacianCSR(t, 30, cycleEdges(30))
+	opts := LanczosOptions{Seed: 99, Deflate: [][]float64{la.UnitOnes(30)}}
+	v1, w1, err := LanczosSmallest(CSROperator{M: l}, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, w2, err := LanczosSmallest(CSROperator{M: l}, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("eigenvalues differ across identical runs")
+		}
+		for j := range w1[i] {
+			if w1[i][j] != w2[i][j] {
+				t.Fatal("eigenvectors differ across identical runs")
+			}
+		}
+	}
+}
+
+func TestCanonicalizeSign(t *testing.T) {
+	v := [][]float64{{0.1, -0.9, 0.2}, {0.5, 0.4, 0.0}}
+	canonicalizeSign(v)
+	if v[0][1] != 0.9 {
+		t.Errorf("sign not flipped: %v", v[0])
+	}
+	if v[1][0] != 0.5 {
+		t.Errorf("sign flipped unnecessarily: %v", v[1])
+	}
+}
+
+func TestNormEstUsesEstimatorAndFallback(t *testing.T) {
+	l := laplacianCSR(t, 10, pathEdges(10))
+	// Path Laplacian infinity norm = 4 (interior row 1+2+1).
+	if got := normEst(CSROperator{M: l}, 1); math.Abs(got-4) > 1e-12 {
+		t.Errorf("CSR NormEst = %v, want 4", got)
+	}
+	// FuncOperator lacks NormEstimator: falls back to power iteration,
+	// which for 3*I must return roughly 3.
+	op := FuncOperator{N: 6, Fn: func(dst, x []float64) {
+		for i := range dst {
+			dst[i] = 3 * x[i]
+		}
+	}}
+	if got := normEst(op, 1); math.Abs(got-3) > 1e-6 {
+		t.Errorf("fallback norm estimate = %v, want 3", got)
+	}
+}

@@ -1,0 +1,123 @@
+package eigen
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoConvergence is returned when an iterative eigensolver exceeds its
+// iteration budget before meeting its tolerance.
+var ErrNoConvergence = errors.New("eigen: no convergence within iteration budget")
+
+// SymTriQL computes all eigenvalues — and, when wantVectors is set, all
+// eigenvectors — of the symmetric tridiagonal matrix with diagonal d
+// (length n) and subdiagonal e (length n-1). It uses the implicit-shift QL
+// algorithm with Wilkinson shifts. Results are sorted by ascending
+// eigenvalue; vecs[k] is the unit eigenvector for vals[k]. Inputs are not
+// modified.
+func SymTriQL(d, e []float64, wantVectors bool) (vals []float64, vecs [][]float64, err error) {
+	n := len(d)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	if len(e) < n-1 {
+		return nil, nil, errors.New("eigen: SymTriQL subdiagonal too short")
+	}
+	dd := append([]float64(nil), d...)
+	ee := make([]float64, n)
+	copy(ee, e[:n-1]) // ee[n-1] stays 0 as the algorithm requires
+
+	// z[i][j]: row i of the accumulated rotation matrix; column j becomes
+	// the eigenvector of dd[j].
+	var z [][]float64
+	if wantVectors {
+		z = make([][]float64, n)
+		for i := range z {
+			z[i] = make([]float64, n)
+			z[i][i] = 1
+		}
+	}
+
+	const eps = 2.220446049250313e-16
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find the first m >= l where the subdiagonal is negligible.
+			m := l
+			for ; m < n-1; m++ {
+				scale := math.Abs(dd[m]) + math.Abs(dd[m+1])
+				if math.Abs(ee[m]) <= eps*scale {
+					break
+				}
+			}
+			if m == l {
+				break // dd[l] has converged
+			}
+			if iter >= 60 {
+				return nil, nil, ErrNoConvergence
+			}
+			// Wilkinson shift.
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			g = dd[m] - dd[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					// Recover from underflow: deflate and restart this l.
+					dd[i+1] -= p
+					ee[m] = 0
+					underflow = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+				if wantVectors {
+					for k := 0; k < n; k++ {
+						f := z[k][i+1]
+						z[k][i+1] = s*z[k][i] + c*f
+						z[k][i] = c*z[k][i] - s*f
+					}
+				}
+			}
+			if underflow {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+
+	// Sort ascending, permuting eigenvectors alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return dd[idx[a]] < dd[idx[b]] })
+	vals = make([]float64, n)
+	for k, j := range idx {
+		vals[k] = dd[j]
+	}
+	if wantVectors {
+		vecs = make([][]float64, n)
+		for k, j := range idx {
+			v := make([]float64, n)
+			for i := 0; i < n; i++ {
+				v[i] = z[i][j]
+			}
+			vecs[k] = v
+		}
+	}
+	return vals, vecs, nil
+}

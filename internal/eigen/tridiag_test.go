@@ -1,0 +1,180 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/la"
+)
+
+// pathLaplacianTri returns the diagonal and subdiagonal of the Laplacian of
+// the path graph P_n, whose eigenvalues are known in closed form:
+// λ_k = 4 sin²(kπ / 2n), k = 0..n-1.
+func pathLaplacianTri(n int) (d, e []float64) {
+	d = make([]float64, n)
+	e = make([]float64, n-1)
+	for i := range d {
+		d[i] = 2
+	}
+	d[0], d[n-1] = 1, 1
+	for i := range e {
+		e[i] = -1
+	}
+	return d, e
+}
+
+func pathEigenvalue(n, k int) float64 {
+	s := math.Sin(float64(k) * math.Pi / (2 * float64(n)))
+	return 4 * s * s
+}
+
+func TestSymTriQLPathGraphClosedForm(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 17, 40} {
+		d, e := pathLaplacianTri(n)
+		vals, vecs, err := SymTriQL(d, e, true)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for k := 0; k < n; k++ {
+			want := pathEigenvalue(n, k)
+			if math.Abs(vals[k]-want) > 1e-10*(1+want) {
+				t.Errorf("n=%d λ_%d = %.12f, want %.12f", n, k, vals[k], want)
+			}
+		}
+		// Eigenvector check: residual and orthonormality.
+		for k := 0; k < n; k++ {
+			if math.Abs(la.Norm2(vecs[k])-1) > 1e-10 {
+				t.Errorf("n=%d vec %d not unit", n, k)
+			}
+			r := triResidual(d, e, vecs[k], vals[k])
+			if r > 1e-9 {
+				t.Errorf("n=%d vec %d residual %g", n, k, r)
+			}
+		}
+	}
+}
+
+func triResidual(d, e []float64, v []float64, lambda float64) float64 {
+	n := len(d)
+	r := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := d[i] * v[i]
+		if i > 0 {
+			s += e[i-1] * v[i-1]
+		}
+		if i < n-1 {
+			s += e[i] * v[i+1]
+		}
+		r[i] = s - lambda*v[i]
+	}
+	return la.Norm2(r)
+}
+
+func TestSymTriQLDiagonalMatrix(t *testing.T) {
+	d := []float64{5, -3, 2, 0}
+	e := []float64{0, 0, 0}
+	vals, vecs, err := SymTriQL(d, e, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-3, 0, 2, 5}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Errorf("vals = %v, want %v", vals, want)
+		}
+	}
+	// Each eigenvector should be a standard basis vector (up to sign).
+	for k := range vecs {
+		nonzero := 0
+		for _, x := range vecs[k] {
+			if math.Abs(x) > 1e-9 {
+				nonzero++
+			}
+		}
+		if nonzero != 1 {
+			t.Errorf("eigvec %d of diagonal matrix not a basis vector: %v", k, vecs[k])
+		}
+	}
+}
+
+func TestSymTriQLEmptyAndSingle(t *testing.T) {
+	vals, vecs, err := SymTriQL(nil, nil, true)
+	if err != nil || vals != nil || vecs != nil {
+		t.Errorf("empty: %v %v %v", vals, vecs, err)
+	}
+	vals, vecs, err = SymTriQL([]float64{7}, nil, true)
+	if err != nil || len(vals) != 1 || vals[0] != 7 || vecs[0][0] != 1 {
+		t.Errorf("single: %v %v %v", vals, vecs, err)
+	}
+}
+
+func TestSymTriQLShortSubdiagonal(t *testing.T) {
+	if _, _, err := SymTriQL([]float64{1, 2, 3}, []float64{1}, false); err == nil {
+		t.Error("short subdiagonal accepted")
+	}
+}
+
+func TestSymTriQLRandomAgainstJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(14)
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = rng.NormFloat64() * 3
+		}
+		for i := range e {
+			e[i] = rng.NormFloat64() * 3
+		}
+		vals, _, err := SymTriQL(d, e, false)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		s := la.NewSym(n)
+		for i := 0; i < n; i++ {
+			s.Set(i, i, d[i])
+			if i < n-1 {
+				s.Set(i, i+1, e[i])
+			}
+		}
+		jvals, _, err := Jacobi(s, 0)
+		if err != nil {
+			t.Fatalf("trial %d jacobi: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(vals[i]-jvals[i]) > 1e-8*(1+math.Abs(jvals[i])) {
+				t.Errorf("trial %d: tri %v vs jacobi %v", trial, vals, jvals)
+				break
+			}
+		}
+	}
+}
+
+func TestSymTriQLEigenvalueSumEqualsTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(20)
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		var trace float64
+		for i := range d {
+			d[i] = rng.NormFloat64()
+			trace += d[i]
+		}
+		for i := range e {
+			e[i] = rng.NormFloat64()
+		}
+		vals, _, err := SymTriQL(d, e, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		if math.Abs(sum-trace) > 1e-9*(1+math.Abs(trace)) {
+			t.Errorf("trial %d: Σλ = %v, trace = %v", trial, sum, trace)
+		}
+	}
+}

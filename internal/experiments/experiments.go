@@ -1,0 +1,195 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2 Figure 1, §3 Figure 3, §4 Figure 4, §5 Figures 5–6), plus
+// the beyond-paper ablations DESIGN.md lists. Each experiment returns a
+// Figure value holding the same series the paper plots, renderable as an
+// aligned text table or a crude ASCII plot.
+//
+// Terminology note: the paper's "Peano" curve is the quadrant-recursive
+// bit-interleaving curve of the database literature (Orenstein's Peano
+// curve — Figure 1a divides the space into FOUR quadrants), i.e. the
+// Z-order/Morton curve, not Peano's original base-3 curve. The experiments
+// therefore build the "Peano" series from sfc.Morton; the classical base-3
+// Peano curve is also implemented (sfc.Peano) and reported as the extra
+// series "Peano3" when Config.IncludeExtras is set.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/spectral-lpm/spectrallpm/internal/eigen"
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+)
+
+// Config sizes the experiments. The zero value reproduces the defaults
+// recorded in DESIGN.md/EXPERIMENTS.md; benchmarks may shrink them.
+type Config struct {
+	// Fig1Sides are the 2-D grid sides for the boundary-effect table
+	// (default 4, 8, 16).
+	Fig1Sides []int
+	// Fig5aSide and Fig5aDims shape the Figure 5a grid (default side 4 in
+	// 5 dimensions, N = 1024).
+	Fig5aSide, Fig5aDims int
+	// Fig5bSide is the 2-D grid side for the fairness experiment
+	// (default 16).
+	Fig5bSide int
+	// Fig6Side and Fig6Dims shape the Figure 6 grid (default side 6 in 4
+	// dimensions, N = 1296 — matching the paper's y-axis range of
+	// 400..1100 for a ~1300-point space).
+	Fig6Side, Fig6Dims int
+	// Percents are the x-axis sample points for Figure 5 (default
+	// 10..50%).
+	Percents []int
+	// QueryPercents are the range-query sizes for Figure 6 (default
+	// 2,4,8,16,32,64%).
+	QueryPercents []int
+	// Solver tunes every spectral solve.
+	Solver eigen.Options
+	// IncludeExtras adds the beyond-paper series (base-3 Peano, Snake)
+	// where the grids allow them.
+	IncludeExtras bool
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Fig1Sides) == 0 {
+		c.Fig1Sides = []int{4, 8, 16}
+	}
+	if c.Fig5aSide == 0 {
+		c.Fig5aSide = 4
+	}
+	if c.Fig5aDims == 0 {
+		c.Fig5aDims = 5
+	}
+	if c.Fig5bSide == 0 {
+		c.Fig5bSide = 16
+	}
+	if c.Fig6Side == 0 {
+		c.Fig6Side = 6
+	}
+	if c.Fig6Dims == 0 {
+		c.Fig6Dims = 4
+	}
+	if len(c.Percents) == 0 {
+		c.Percents = []int{10, 20, 30, 40, 50}
+	}
+	if len(c.QueryPercents) == 0 {
+		c.QueryPercents = []int{2, 4, 8, 16, 32, 64}
+	}
+	return c
+}
+
+// Series is one named curve: Y[i] measured at X[i].
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is one reproduced paper artifact.
+type Figure struct {
+	ID     string // "fig5a", ...
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Table renders the figure as an aligned text table: one row per x value,
+// one column per series.
+func (f *Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+	if len(f.Series) == 0 {
+		b.WriteString("(no series)\n")
+		return b.String()
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-24s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for i := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-24.6g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%14.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, "%14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(y: %s)\n", f.YLabel)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// mappingSpec pairs a paper label with the mapping-family name package
+// order understands.
+type mappingSpec struct {
+	Label string
+	Name  string
+}
+
+// paperMappings is the comparison set of the paper's §5, in presentation
+// order. "Peano" is the Z-order curve (see the package comment).
+func paperMappings() []mappingSpec {
+	return []mappingSpec{
+		{"Sweep", "sweep"},
+		{"Peano", "morton"},
+		{"Gray", "gray"},
+		{"Hilbert", "hilbert"},
+		{"Spectral", "spectral"},
+	}
+}
+
+// extraMappings are the beyond-paper reference curves: the true base-3
+// Peano, the boustrophedon Snake, and the plain anti-diagonal order (the
+// closed-form cousin of the balanced spectral order).
+func extraMappings() []mappingSpec {
+	return []mappingSpec{
+		{"Peano3", "peano"},
+		{"Snake", "snake"},
+		{"Diagonal", "diagonal"},
+	}
+}
+
+// buildMappings instantiates the mapping suite on a grid.
+func buildMappings(g *graph.Grid, cfg Config) ([]mappingSpec, map[string]*order.Mapping, error) {
+	specs := paperMappings()
+	if cfg.IncludeExtras {
+		specs = append(specs, extraMappings()...)
+	}
+	out := make(map[string]*order.Mapping, len(specs))
+	for _, sp := range specs {
+		m, err := order.New(sp.Name, g, order.SpectralConfig{Solver: cfg.Solver})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: build %s: %w", sp.Label, err)
+		}
+		out[sp.Label] = m
+	}
+	return specs, out, nil
+}
+
+// cubeGrid builds a d-dimensional grid of the given side.
+func cubeGrid(d, side int) (*graph.Grid, error) {
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = side
+	}
+	return graph.NewGrid(dims...)
+}
+
+// roundPositive rounds to the nearest integer, at least 1.
+func roundPositive(v float64) int {
+	r := int(v + 0.5)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}

@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// findSeries returns the named series or fails.
+func findSeries(t *testing.T, f *Figure, name string) Series {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %q missing from %s (have %v)", name, f.ID, seriesNames(f))
+	return Series{}
+}
+
+func seriesNames(f *Figure) []string {
+	var out []string
+	for _, s := range f.Series {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+func TestFigure1BoundaryEffect(t *testing.T) {
+	fig, err := Figure1(Config{Fig1Sides: []int{4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %v", seriesNames(fig))
+	}
+	// The paper's claim: fractal curves place some adjacent
+	// boundary-crossing pairs far apart; Spectral LPM, optimizing
+	// globally, stays well below the worst fractal at every side.
+	spectral := findSeries(t, fig, "Spectral")
+	for i := range spectral.X {
+		worstFractal := 0.0
+		for _, name := range []string{"Peano", "Gray", "Hilbert"} {
+			s := findSeries(t, fig, name)
+			if s.Y[i] > worstFractal {
+				worstFractal = s.Y[i]
+			}
+		}
+		if spectral.Y[i] >= worstFractal {
+			t.Errorf("side %v: spectral boundary gap %v not below worst fractal %v",
+				spectral.X[i], spectral.Y[i], worstFractal)
+		}
+	}
+	// At side 8 the fractal boundary effect must be substantial (more
+	// than the grid side), demonstrating the paper's point.
+	for _, name := range []string{"Peano", "Gray"} {
+		s := findSeries(t, fig, name)
+		if s.Y[1] <= 8 {
+			t.Errorf("%s boundary gap %v suspiciously small on side 8", name, s.Y[1])
+		}
+	}
+}
+
+func TestFigure3MatchesPaper(t *testing.T) {
+	res, err := Figure3(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda2-1) > 1e-7 {
+		t.Errorf("λ₂ = %v, want 1 (paper Figure 3d)", res.Lambda2)
+	}
+	if math.Abs(res.Cost-1) > 1e-6 {
+		t.Errorf("objective = %v, want λ₂ = 1", res.Cost)
+	}
+	// Laplacian spot checks against Figure 3c: center degree 4, corner 2.
+	if res.Laplacian[4][4] != 4 || res.Laplacian[0][0] != 2 || res.Laplacian[0][1] != -1 {
+		t.Errorf("Laplacian wrong: %v", res.Laplacian)
+	}
+	seen := make([]bool, 9)
+	for _, v := range res.S {
+		if v < 0 || v > 8 || seen[v] {
+			t.Fatalf("S = %v not a permutation", res.S)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFigure4ConnectivityVariants(t *testing.T) {
+	res, err := Figure4(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FourConnOrder) != 16 || len(res.EightConnOrder) != 16 {
+		t.Fatal("order sizes wrong")
+	}
+	if res.EightConnLambda <= res.FourConnLambda2 {
+		t.Errorf("8-conn λ₂ %v should exceed 4-conn %v", res.EightConnLambda, res.FourConnLambda2)
+	}
+}
+
+func TestFigure5aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 5-D pairwise sweep in -short mode")
+	}
+	fig, err := Figure5a(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %v", seriesNames(fig))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 5 {
+			t.Fatalf("%s has %d points", s.Name, len(s.X))
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 100 {
+				t.Fatalf("%s percent out of range: %v", s.Name, y)
+			}
+		}
+	}
+	// Paper claim for 5a: "non-fractal algorithms have better performance
+	// than the fractals" — on average over the sweep, Spectral stays
+	// below the worst fractal.
+	spectral := findSeries(t, fig, "Spectral")
+	var worstFractalMean float64
+	for _, name := range []string{"Peano", "Gray", "Hilbert"} {
+		if m := mean(findSeries(t, fig, name).Y); m > worstFractalMean {
+			worstFractalMean = m
+		}
+	}
+	if mean(spectral.Y) >= worstFractalMean {
+		t.Errorf("spectral mean %v not below worst fractal mean %v", mean(spectral.Y), worstFractalMean)
+	}
+}
+
+func TestFigure5bFairness(t *testing.T) {
+	fig, err := Figure5b(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepX := findSeries(t, fig, "Sweep-X")
+	sweepY := findSeries(t, fig, "Sweep-Y")
+	spectX := findSeries(t, fig, "Spectral-X")
+	spectY := findSeries(t, fig, "Spectral-Y")
+	// Sweep is extremely unfair between axes; Spectral nearly symmetric
+	// (paper: "the performance is very similar for the two dimensions").
+	for i := range sweepX.X {
+		if sweepY.Y[i] <= sweepX.Y[i] {
+			t.Errorf("x=%v: Sweep-Y %v should exceed Sweep-X %v", sweepX.X[i], sweepY.Y[i], sweepX.Y[i])
+		}
+	}
+	sweepRatio := mean(sweepY.Y) / math.Max(mean(sweepX.Y), 1)
+	spectRatio := mean(spectY.Y) / math.Max(mean(spectX.Y), 1)
+	if spectRatio > 2 || spectRatio < 0.5 {
+		t.Errorf("spectral axis ratio %v not near 1", spectRatio)
+	}
+	if sweepRatio < 4 {
+		t.Errorf("sweep axis ratio %v suspiciously small", sweepRatio)
+	}
+}
+
+func TestFigure6Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 4-D range sweep in -short mode")
+	}
+	figA, err := Figure6a(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	figB, err := Figure6b(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper claim for 6a: "Spectral LPM gives an outstanding performance
+	// compared to the other mappings" — smallest worst-case span on
+	// average across query sizes.
+	spectralA := findSeries(t, figA, "Spectral")
+	for _, name := range []string{"Sweep", "Peano", "Gray", "Hilbert"} {
+		other := findSeries(t, figA, name)
+		if mean(spectralA.Y) >= mean(other.Y) {
+			t.Errorf("fig6a: spectral mean span %v not below %s %v", mean(spectralA.Y), name, mean(other.Y))
+		}
+	}
+	// 6b: spectral has the lowest stddev on average (fairness).
+	spectralB := findSeries(t, figB, "Spectral")
+	for _, name := range []string{"Sweep", "Peano", "Gray", "Hilbert"} {
+		other := findSeries(t, figB, name)
+		if mean(spectralB.Y) >= mean(other.Y) {
+			t.Errorf("fig6b: spectral mean stddev %v not below %s %v", mean(spectralB.Y), name, mean(other.Y))
+		}
+	}
+	// Spans grow with query size for every mapping.
+	for _, s := range figA.Series {
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Errorf("fig6a %s: span decreased from %v to %v", s.Name, s.Y[0], s.Y[len(s.Y)-1])
+		}
+	}
+}
+
+func TestFigureTableAndPlotRender(t *testing.T) {
+	fig := &Figure{
+		ID: "t", Title: "test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "A", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+			{Name: "B", X: []float64{1, 2, 3}, Y: []float64{2, 3, 4}},
+		},
+		Notes: []string{"a note"},
+	}
+	tbl := fig.Table()
+	for _, want := range []string{"T — test", "A", "B", "a note", "(y: y)"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	plot := fig.Plot(40, 10)
+	for _, want := range []string{"S = A", "P = B", "x: x, y: y"} {
+		if !strings.Contains(plot, want) {
+			t.Errorf("plot missing %q:\n%s", want, plot)
+		}
+	}
+	empty := (&Figure{ID: "e"}).Plot(40, 10)
+	if !strings.Contains(empty, "empty") {
+		t.Error("empty figure plot should say so")
+	}
+	if (&Figure{ID: "e"}).Table() == "" {
+		t.Error("empty figure table should render")
+	}
+}
+
+func TestExtAffinityReducesGap(t *testing.T) {
+	fig, err := ExtAffinity(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aff := findSeries(t, fig, "Spectral+affinity")
+	// Weight 0 equals the base spectral mapping; the largest weight must
+	// reduce the hot pairs' weighted gap below the unweighted value.
+	base := findSeries(t, fig, "Spectral(base)")
+	if math.Abs(aff.Y[0]-base.Y[0]) > 1e-9 {
+		t.Errorf("weight 0 gap %v != base %v", aff.Y[0], base.Y[0])
+	}
+	last := len(aff.Y) - 1
+	if aff.Y[last] >= aff.Y[0] {
+		t.Errorf("affinity weight %v did not reduce gap: %v -> %v", aff.X[last], aff.Y[0], aff.Y[last])
+	}
+}
+
+func TestExtIOAllMappings(t *testing.T) {
+	res, err := ExtIO(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byLabel := map[string]IORow{}
+	for _, r := range res.Rows {
+		if r.AvgPages <= 0 || r.AvgSeeks <= 0 || r.AvgSpanPages < r.AvgPages-1e-9 {
+			t.Errorf("%s: implausible IO row %+v", r.Label, r)
+		}
+		if r.DeclusterImbalance < 1 {
+			t.Errorf("%s: imbalance %v < 1", r.Label, r.DeclusterImbalance)
+		}
+		if r.BufferHitRate < 0 || r.BufferHitRate > 1 {
+			t.Errorf("%s: hit rate %v", r.Label, r.BufferHitRate)
+		}
+		byLabel[r.Label] = r
+	}
+	// Locality-preserving orders (Hilbert, Spectral) must beat Sweep on
+	// seeks for square queries.
+	if byLabel["Hilbert"].AvgSeeks >= byLabel["Sweep"].AvgSeeks {
+		t.Errorf("hilbert seeks %v not below sweep %v", byLabel["Hilbert"].AvgSeeks, byLabel["Sweep"].AvgSeeks)
+	}
+	if byLabel["Spectral"].AvgSeeks >= byLabel["Sweep"].AvgSeeks {
+		t.Errorf("spectral seeks %v not below sweep %v", byLabel["Spectral"].AvgSeeks, byLabel["Sweep"].AvgSeeks)
+	}
+	// Declustering: round-robin over a locality-preserving order spreads
+	// each query's pages more evenly than over the sweep order.
+	if byLabel["Spectral"].DeclusterImbalance >= byLabel["Sweep"].DeclusterImbalance {
+		t.Errorf("spectral imbalance %v not below sweep %v",
+			byLabel["Spectral"].DeclusterImbalance, byLabel["Sweep"].DeclusterImbalance)
+	}
+	// R-tree packing on square windows is where the fractals retain their
+	// edge (the trade-off EXPERIMENTS.md discusses): Hilbert must beat
+	// Sweep here.
+	if byLabel["Hilbert"].RTreeVisits >= byLabel["Sweep"].RTreeVisits {
+		t.Errorf("hilbert rtree visits %v not below sweep %v",
+			byLabel["Hilbert"].RTreeVisits, byLabel["Sweep"].RTreeVisits)
+	}
+	if !strings.Contains(res.Table(), "Spectral") {
+		t.Error("table missing rows")
+	}
+}
+
+func TestExtSolversAgree(t *testing.T) {
+	rows, err := ExtSolvers(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group λ₂ by N; all methods must agree.
+	byN := map[int][]SolverRow{}
+	for _, r := range rows {
+		byN[r.N] = append(byN[r.N], r)
+	}
+	for n, rs := range byN {
+		for i := 1; i < len(rs); i++ {
+			if math.Abs(rs[i].Lambda2-rs[0].Lambda2) > 1e-6*(1+rs[0].Lambda2) {
+				t.Errorf("N=%d: %s λ₂ %v vs %s λ₂ %v", n, rs[i].Method, rs[i].Lambda2, rs[0].Method, rs[0].Lambda2)
+			}
+		}
+	}
+}
+
+func TestMaxOfHelper(t *testing.T) {
+	if maxOf([]float64{1, 5, 3}) != 5 {
+		t.Error("maxOf wrong")
+	}
+}
+
+func TestExtClustersHilbertBestOnAverage(t *testing.T) {
+	fig, err := ExtClusters(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hilbert := findSeries(t, fig, "Hilbert")
+	for _, name := range []string{"Sweep", "Gray"} {
+		other := findSeries(t, fig, name)
+		if mean(hilbert.Y) >= mean(other.Y) {
+			t.Errorf("hilbert mean clusters %v not below %s %v", mean(hilbert.Y), name, mean(other.Y))
+		}
+	}
+	// Cluster counts grow with query side for every mapping.
+	for _, s := range fig.Series {
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Errorf("%s: clusters decreased with query size", s.Name)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/spectral-lpm/spectrallpm/internal/core"
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/metrics"
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+	"github.com/spectral-lpm/spectrallpm/internal/workload"
+)
+
+// Figure1 reproduces the paper's §2 boundary-effect demonstration: on a 2-D
+// grid split into four quadrants, fractal curves place some pairs of
+// *adjacent* points (Manhattan distance 1) that straddle the central
+// boundary very far apart in the 1-D order. For each grid side the series
+// report the worst 1-D rank gap over unit-distance pairs crossing the
+// central vertical or horizontal cut — the paper's P₁, P₂ example
+// generalized to every boundary pair. Spectral LPM, performing a global
+// optimization, has no fragment boundaries to get caught on.
+func Figure1(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	fig := &Figure{
+		ID:     "fig1",
+		Title:  "Boundary effect: worst 1-D gap of adjacent pairs crossing the central cut",
+		XLabel: "grid side",
+		YLabel: "max |rank(P1)-rank(P2)| over unit pairs crossing the center",
+	}
+	specs := paperMappings()
+	if cfg.IncludeExtras {
+		specs = append(specs, extraMappings()...)
+	}
+	series := make(map[string]*Series, len(specs))
+	for _, sp := range specs {
+		series[sp.Label] = &Series{Name: sp.Label}
+	}
+	for _, side := range cfg.Fig1Sides {
+		g, err := graph.NewGrid(side, side)
+		if err != nil {
+			return nil, err
+		}
+		for _, sp := range specs {
+			m, err := order.New(sp.Name, g, order.SpectralConfig{Solver: cfg.Solver})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig1 %s side %d: %w", sp.Label, side, err)
+			}
+			worst := boundaryWorstGap(m, side)
+			s := series[sp.Label]
+			s.X = append(s.X, float64(side))
+			s.Y = append(s.Y, float64(worst))
+		}
+	}
+	for _, sp := range specs {
+		fig.Series = append(fig.Series, *series[sp.Label])
+	}
+	fig.Notes = append(fig.Notes,
+		"pairs considered: ((r, side/2-1),(r, side/2)) and ((side/2-1, c),(side/2, c)) for all rows r / columns c",
+		"the paper's \"Peano\" is the quadrant-recursive Z-order curve; the base-3 Peano appears as Peano3 when extras are enabled")
+	return fig, nil
+}
+
+// boundaryWorstGap returns the largest rank gap among unit-distance pairs
+// that cross the central vertical or horizontal cut of a side x side grid.
+func boundaryWorstGap(m *order.Mapping, side int) int {
+	g := m.Grid()
+	mid := side / 2
+	worst := 0
+	for r := 0; r < side; r++ {
+		a := m.Rank(g.ID([]int{r, mid - 1}))
+		b := m.Rank(g.ID([]int{r, mid}))
+		if gap := abs(a - b); gap > worst {
+			worst = gap
+		}
+		a = m.Rank(g.ID([]int{mid - 1, r}))
+		b = m.Rank(g.ID([]int{mid, r}))
+		if gap := abs(a - b); gap > worst {
+			worst = gap
+		}
+	}
+	return worst
+}
+
+// Figure3Result reproduces the paper's §3 worked example (Figure 3): the
+// 3x3 grid, its Laplacian, λ₂, the Fiedler assignment, and the spectral
+// order S.
+type Figure3Result struct {
+	// Laplacian is the dense 9x9 L(G) of Figure 3c.
+	Laplacian [][]float64
+	// Lambda2 is the second-smallest eigenvalue (the paper reports 1).
+	Lambda2 float64
+	// X is the Fiedler assignment of Figure 3d. λ₂ of this grid has
+	// multiplicity 2, so any unit vector of the eigenspace — including the
+	// paper's printed X — is an equally optimal solution; ours may differ
+	// from the paper's while achieving the same objective value.
+	X []float64
+	// S is the spectral order of Figure 3d/3e.
+	S []int
+	// Cost is the Theorem 1 objective value of X (equals λ₂ at the
+	// optimum).
+	Cost float64
+}
+
+// Figure3 runs Spectral LPM on the paper's 3x3 example.
+func Figure3(cfg Config) (*Figure3Result, error) {
+	cfg = cfg.withDefaults()
+	g := graph.GridGraph(graph.MustGrid(3, 3), graph.Orthogonal)
+	res, err := core.SpectralOrder(g, core.Options{Solver: cfg.Solver})
+	if err != nil {
+		return nil, err
+	}
+	cost, err := core.ArrangementCost(g, res.Fiedler)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure3Result{
+		Laplacian: g.Laplacian().Dense(),
+		Lambda2:   res.Lambda2[0],
+		X:         res.Fiedler,
+		S:         res.Order,
+		Cost:      cost,
+	}, nil
+}
+
+// Figure4Result reproduces the paper's §4 connectivity variants: the
+// spectral orders of a grid under 4-connectivity and 8-connectivity.
+type Figure4Result struct {
+	Side            int
+	FourConnOrder   []int
+	EightConnOrder  []int
+	FourConnLambda2 float64
+	EightConnLambda float64
+}
+
+// Figure4 computes both variants on a 4x4 grid (the paper draws 16-point
+// grids).
+func Figure4(cfg Config) (*Figure4Result, error) {
+	cfg = cfg.withDefaults()
+	grid := graph.MustGrid(4, 4)
+	r4, err := core.SpectralOrder(graph.GridGraph(grid, graph.Orthogonal), core.Options{Solver: cfg.Solver})
+	if err != nil {
+		return nil, err
+	}
+	r8, err := core.SpectralOrder(graph.GridGraph(grid, graph.Diagonal), core.Options{Solver: cfg.Solver})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure4Result{
+		Side:            4,
+		FourConnOrder:   r4.Order,
+		EightConnOrder:  r8.Order,
+		FourConnLambda2: r4.Lambda2[0],
+		EightConnLambda: r8.Lambda2[0],
+	}, nil
+}
+
+// Figure5a reproduces the nearest-neighbor worst-case experiment: on a
+// 5-dimensional grid, for pairs at Manhattan distance d (d swept as a
+// percent of the maximum), the maximum 1-D rank distance as a percent of N.
+// Lower is better for nearest-neighbor queries.
+func Figure5a(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	g, err := cubeGrid(cfg.Fig5aDims, cfg.Fig5aSide)
+	if err != nil {
+		return nil, err
+	}
+	specs, maps, err := buildMappings(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "fig5a",
+		Title:  fmt.Sprintf("NN worst case, %d-D side %d (N=%d)", cfg.Fig5aDims, cfg.Fig5aSide, g.Size()),
+		XLabel: "Manhattan distance (percent)",
+		YLabel: "max 1-D distance (percent of N)",
+	}
+	maxD := g.MaxManhattan()
+	n := g.Size()
+	for _, sp := range specs {
+		stats := metrics.PairwiseByManhattan(maps[sp.Label])
+		s := Series{Name: sp.Label}
+		for _, pct := range cfg.Percents {
+			d := roundPositive(float64(pct) / 100 * float64(maxD))
+			if d > maxD {
+				d = maxD
+			}
+			s.X = append(s.X, float64(pct))
+			s.Y = append(s.Y, 100*float64(stats.MaxGapAt(d))/float64(n-1))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure5b reproduces the fairness experiment: on a 2-D grid, for pairs
+// separated by delta along only the X (fast) or only the Y (slow) axis, the
+// maximum 1-D rank distance. Sweep is extremely asymmetric between axes;
+// Spectral treats both alike.
+func Figure5b(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	g, err := graph.NewGrid(cfg.Fig5bSide, cfg.Fig5bSide)
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := order.New("sweep", g, order.SpectralConfig{Solver: cfg.Solver})
+	if err != nil {
+		return nil, err
+	}
+	spectral, err := order.New("spectral", g, order.SpectralConfig{Solver: cfg.Solver})
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "fig5b",
+		Title:  fmt.Sprintf("Fairness, 2-D side %d", cfg.Fig5bSide),
+		XLabel: "axis distance (percent of side)",
+		YLabel: "max 1-D distance",
+	}
+	// Axis 1 is the fast (X) axis of the row-major sweep; axis 0 is Y.
+	type axisSpec struct {
+		name string
+		m    *order.Mapping
+		axis int
+	}
+	for _, as := range []axisSpec{
+		{"Sweep-X", sweep, 1},
+		{"Sweep-Y", sweep, 0},
+		{"Spectral-X", spectral, 1},
+		{"Spectral-Y", spectral, 0},
+	} {
+		s := Series{Name: as.name}
+		for _, pct := range cfg.Percents {
+			delta := roundPositive(float64(pct) / 100 * float64(cfg.Fig5bSide-1))
+			if delta >= cfg.Fig5bSide {
+				delta = cfg.Fig5bSide - 1
+			}
+			st, err := metrics.AxisGap(as.m, as.axis, delta)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(pct))
+			s.Y = append(s.Y, float64(st.Max))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure6a reproduces the range-query worst case: on a 4-dimensional grid,
+// over all *partial* range queries of approximately the given size — every
+// shape (l₁..l₄), 1 ≤ lᵢ ≤ side, whose volume falls within a √2 band of
+// the target percent, at every position — the worst per-query "Max.
+// Difference" (max rank − min rank inside the query). Lower means a
+// shorter sequential scan answers any query of that size (paper §5:
+// "allows a sequential access from the minimum point to the maximum
+// point"). Under this reading our mapping ordering matches the paper's at
+// every size: Spectral < Peano < Sweep < Gray ≈ Hilbert; the population
+// *mean* reading (Figure6aMean) instead favors Sweep — see EXPERIMENTS.md
+// for the discussion.
+func Figure6a(cfg Config) (*Figure, error) {
+	return figure6(cfg, "fig6a", "Range query worst case (partial queries, population max)",
+		"max of (max-min rank) over all partial queries",
+		func(st metrics.PartialSpanStats) float64 { return float64(st.Max) })
+}
+
+// Figure6aMean is the population-mean reading of Figure 6a, reported
+// alongside the maximum because the paper's text ("the maximum difference
+// ... for a certain range query") is ambiguous about the aggregation.
+func Figure6aMean(cfg Config) (*Figure, error) {
+	return figure6(cfg, "fig6a-mean", "Range query Max.Difference (partial queries, population mean)",
+		"mean of (max-min rank) over all partial queries",
+		func(st metrics.PartialSpanStats) float64 { return st.Mean })
+}
+
+// Figure6b reproduces the range-query fairness experiment: the standard
+// deviation of the same span over the whole partial-query population. Lower
+// means the mapping treats all shapes and regions of the space alike.
+func Figure6b(cfg Config) (*Figure, error) {
+	return figure6(cfg, "fig6b", "Range query fairness (partial queries)", "stddev of (max-min rank)",
+		func(st metrics.PartialSpanStats) float64 { return st.StdDev })
+}
+
+func figure6(cfg Config, id, title, ylabel string, pick func(metrics.PartialSpanStats) float64) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	g, err := cubeGrid(cfg.Fig6Dims, cfg.Fig6Side)
+	if err != nil {
+		return nil, err
+	}
+	specs, maps, err := buildMappings(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("%s, %d-D side %d (N=%d)", title, cfg.Fig6Dims, cfg.Fig6Side, g.Size()),
+		XLabel: "range query size (percent)",
+		YLabel: ylabel,
+	}
+	for _, sp := range specs {
+		s := Series{Name: sp.Label}
+		for _, pct := range cfg.QueryPercents {
+			st, err := metrics.PartialRangeSpan(maps[sp.Label], float64(pct)/100, 0)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(pct))
+			s.Y = append(s.Y, pick(st))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"population: all partial range queries (every box shape within a √2 volume band of the target size, at every position)",
+		"the paper's \"partial range queries\" constrain a subset of dimensions; unconstrained dimensions span the full side")
+	return fig, nil
+}
+
+// Figure6aHypercube is the hypercube-query ablation of Figure 6a: the same
+// statistic restricted to cubic query shapes. Included because the paper's
+// text is ambiguous about the query population; EXPERIMENTS.md reports
+// both. On hypercubes Sweep's span is artificially strong (queries are
+// contiguous in its fast dimensions), which is visibly not the regime the
+// paper plots.
+func Figure6aHypercube(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	g, err := cubeGrid(cfg.Fig6Dims, cfg.Fig6Side)
+	if err != nil {
+		return nil, err
+	}
+	specs, maps, err := buildMappings(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "fig6a-hypercube",
+		Title:  fmt.Sprintf("Range query worst case (hypercube ablation), %d-D side %d", cfg.Fig6Dims, cfg.Fig6Side),
+		XLabel: "range query size (percent)",
+		YLabel: "max difference (max-min rank)",
+	}
+	for _, sp := range specs {
+		s := Series{Name: sp.Label}
+		for _, pct := range cfg.QueryPercents {
+			qdims, err := workload.HypercubeQueryDims(g, float64(pct)/100)
+			if err != nil {
+				return nil, err
+			}
+			st, err := metrics.RangeSpanFast(maps[sp.Label], qdims)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(pct))
+			s.Y = append(s.Y, float64(st.Max))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// mean of a float slice; 0 when empty.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// variance helpers for tests of figure shapes.
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,47 @@
+package graph
+
+// Path returns the path graph P_n (vertices 0..n-1 in a line).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddUnitEdge(i, i+1); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Cycle returns the cycle graph C_n.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		if err := g.AddUnitEdge(n-1, 0); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.AddUnitEdge(i, j); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}
+
+// Star returns the star graph on n vertices with vertex 0 at the center.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddUnitEdge(0, i); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}

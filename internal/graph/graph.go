@@ -1,0 +1,212 @@
+// Package graph provides the weighted undirected graph substrate of
+// Spectral LPM: the paper models a multi-dimensional point set as a graph
+// G(V,E) with an edge wherever two points have Manhattan distance 1 (step 1
+// of the algorithm), generalized in §4 to application-defined connectivity,
+// affinity edges, and edge weights. The package assembles graph Laplacians
+// (step 2) and splits graphs into connected components so the eigensolvers
+// only ever see connected Laplacians.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/spectral-lpm/spectrallpm/internal/la"
+)
+
+// Edge is one directed half of an undirected weighted edge.
+type Edge struct {
+	// To is the neighbor vertex.
+	To int
+	// Weight is the edge weight; higher means "map these closer" (paper
+	// §4 footnote). Always positive.
+	Weight float64
+}
+
+// Graph is a weighted undirected graph on vertices 0..N-1. The zero value is
+// unusable; construct with New.
+type Graph struct {
+	adj      [][]Edge
+	numEdges int
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Graph{adj: make([][]Edge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges (parallel edges counted
+// individually).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// AddEdge adds an undirected edge between u and v with weight w. Self loops,
+// out-of-range endpoints, and non-positive weights are rejected. Adding the
+// same pair twice accumulates both edges; the Laplacian sums their weights.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	n := g.N()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) outside vertex range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self loop at %d rejected", u)
+	}
+	if w <= 0 {
+		return fmt.Errorf("graph: non-positive weight %v on edge (%d,%d)", w, u, v)
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Weight: w})
+	g.adj[v] = append(g.adj[v], Edge{To: u, Weight: w})
+	g.numEdges++
+	return nil
+}
+
+// AddUnitEdge adds an undirected edge of weight 1 — the paper's base
+// construction.
+func (g *Graph) AddUnitEdge(u, v int) error { return g.AddEdge(u, v, 1) }
+
+// Neighbors returns the adjacency list of u. The returned slice must not be
+// modified.
+func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+
+// Degree returns the weighted degree of u (sum of incident edge weights),
+// the diagonal entry D(u,u) of the paper's step 2.
+func (g *Graph) Degree(u int) float64 {
+	var d float64
+	for _, e := range g.adj[u] {
+		d += e.Weight
+	}
+	return d
+}
+
+// HasEdge reports whether at least one edge connects u and v.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+		return false
+	}
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeWeight returns the total weight between u and v (0 when not adjacent).
+func (g *Graph) EdgeWeight(u, v int) float64 {
+	var w float64
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			w += e.Weight
+		}
+	}
+	return w
+}
+
+// Edges calls fn(u, v, w) once per undirected edge with u < v. Parallel
+// edges are reported individually.
+func (g *Graph) Edges(fn func(u, v int, w float64)) {
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if u < e.To {
+				fn(u, e.To, e.Weight)
+			}
+		}
+	}
+}
+
+// Laplacian assembles the weighted graph Laplacian L = D − W as a sparse
+// CSR matrix: L(i,i) = weighted degree of i, L(i,j) = −w(i,j). Row sums are
+// zero and the matrix is symmetric positive semidefinite.
+func (g *Graph) Laplacian() *la.CSR {
+	b := la.NewBuilder(g.N(), g.N())
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			b.Add(u, u, e.Weight)
+			b.Add(u, e.To, -e.Weight)
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		// Unreachable: AddEdge validated all indices.
+		panic(fmt.Sprintf("graph: laplacian assembly failed: %v", err))
+	}
+	return m
+}
+
+// Components returns the connected components as sorted vertex lists,
+// ordered by their smallest vertex.
+func (g *Graph) Components() [][]int {
+	n := g.N()
+	seen := make([]bool, n)
+	var comps [][]int
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], s)
+		comp := []int{s}
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, e := range g.adj[u] {
+				if !seen[e.To] {
+					seen[e.To] = true
+					comp = append(comp, e.To)
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the graph has exactly one connected component
+// (and at least one vertex).
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return false
+	}
+	return len(g.Components()) == 1
+}
+
+// Subgraph returns the induced subgraph on the given vertices together with
+// the mapping from new vertex ids to original ids (the given slice, copied
+// and sorted). Duplicate vertices are rejected.
+func (g *Graph) Subgraph(vertices []int) (*Graph, []int, error) {
+	vs := append([]int(nil), vertices...)
+	sort.Ints(vs)
+	for i := 1; i < len(vs); i++ {
+		if vs[i] == vs[i-1] {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in subgraph", vs[i])
+		}
+	}
+	index := make(map[int]int, len(vs))
+	for i, v := range vs {
+		if v < 0 || v >= g.N() {
+			return nil, nil, fmt.Errorf("graph: vertex %d outside range", v)
+		}
+		index[v] = i
+	}
+	sub := New(len(vs))
+	for i, v := range vs {
+		for _, e := range g.adj[v] {
+			j, ok := index[e.To]
+			if !ok || v >= e.To {
+				continue // keep each undirected edge once, endpoints inside
+			}
+			if err := sub.AddEdge(i, j, e.Weight); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return sub, vs, nil
+}

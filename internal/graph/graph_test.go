@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/spectral-lpm/spectrallpm/internal/la"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	tests := []struct {
+		name    string
+		u, v    int
+		w       float64
+		wantErr bool
+	}{
+		{"valid", 0, 1, 1, false},
+		{"weighted", 1, 2, 2.5, false},
+		{"self loop", 0, 0, 1, true},
+		{"negative u", -1, 0, 1, true},
+		{"v out of range", 0, 3, 1, true},
+		{"zero weight", 0, 2, 0, true},
+		{"negative weight", 0, 2, -1, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := g.AddEdge(tc.u, tc.v, tc.w)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("AddEdge(%d,%d,%v) err = %v, wantErr %v", tc.u, tc.v, tc.w, err, tc.wantErr)
+			}
+		})
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := New(4)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 0, 2, 2)
+	mustAdd(t, g, 0, 3, 0.5)
+	if d := g.Degree(0); d != 3.5 {
+		t.Errorf("Degree(0) = %v, want 3.5", d)
+	}
+	if d := g.Degree(3); d != 0.5 {
+		t.Errorf("Degree(3) = %v, want 0.5", d)
+	}
+	if len(g.Neighbors(0)) != 3 || len(g.Neighbors(1)) != 1 {
+		t.Error("Neighbors lists wrong")
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) || g.HasEdge(1, 2) {
+		t.Error("HasEdge wrong")
+	}
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 99) {
+		t.Error("HasEdge out of range should be false")
+	}
+	if w := g.EdgeWeight(0, 2); w != 2 {
+		t.Errorf("EdgeWeight = %v, want 2", w)
+	}
+}
+
+func TestParallelEdgesAccumulate(t *testing.T) {
+	g := New(2)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 0, 1, 2)
+	if w := g.EdgeWeight(0, 1); w != 3 {
+		t.Errorf("parallel EdgeWeight = %v, want 3", w)
+	}
+	l := g.Laplacian()
+	if l.At(0, 0) != 3 || l.At(0, 1) != -3 {
+		t.Errorf("parallel Laplacian wrong: %v", l.Dense())
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := Path(4)
+	var count int
+	g.Edges(func(u, v int, w float64) {
+		if u >= v {
+			t.Errorf("Edges reported u=%d >= v=%d", u, v)
+		}
+		if w != 1 {
+			t.Errorf("weight %v", w)
+		}
+		count++
+	})
+	if count != 3 {
+		t.Errorf("Edges visited %d, want 3", count)
+	}
+}
+
+func TestLaplacianProperties(t *testing.T) {
+	// The paper's step 2: L = D − A. Row sums zero, symmetric, PSD.
+	g := GridGraph(MustGrid(3, 3), Orthogonal)
+	l := g.Laplacian()
+	if !l.IsSymmetric(0) {
+		t.Error("Laplacian not symmetric")
+	}
+	n := l.Rows()
+	ones := la.Ones(n)
+	out := make([]float64, n)
+	l.MulVec(out, ones)
+	for i, v := range out {
+		if math.Abs(v) > 1e-12 {
+			t.Errorf("row %d sum = %v, want 0", i, v)
+		}
+	}
+	// Paper Figure 3c: the 3x3 grid Laplacian has corner degree 2, edge
+	// degree 3, center degree 4.
+	wantDiag := []float64{2, 3, 2, 3, 4, 3, 2, 3, 2}
+	for i, want := range wantDiag {
+		if l.At(i, i) != want {
+			t.Errorf("L(%d,%d) = %v, want %v", i, i, l.At(i, i), want)
+		}
+	}
+	// PSD: random quadratic forms are nonnegative.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		if q := l.QuadForm(x); q < -1e-9 {
+			t.Fatalf("negative quadratic form %v", q)
+		}
+	}
+}
+
+func TestLaplacianQuadFormEqualsEdgeSum(t *testing.T) {
+	// xᵀLx = Σ_{(u,v)∈E} w(u,v)·(x_u − x_v)² — the objective of the
+	// paper's Theorem 1/2 equivalence.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		for tries := 0; tries < 3*n; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				_ = g.AddEdge(u, v, 0.1+rng.Float64())
+			}
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		var want float64
+		g.Edges(func(u, v int, w float64) {
+			d := x[u] - x[v]
+			want += w * d * d
+		})
+		got := g.Laplacian().QuadForm(x)
+		return math.Abs(got-want) <= 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(7)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 1)
+	mustAdd(t, g, 3, 4, 1)
+	// 5 and 6 isolated.
+	comps := g.Components()
+	if len(comps) != 4 {
+		t.Fatalf("components = %v", comps)
+	}
+	wantSizes := []int{3, 2, 1, 1}
+	for i, c := range comps {
+		if len(c) != wantSizes[i] {
+			t.Errorf("component %d = %v", i, c)
+		}
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if !Path(5).IsConnected() {
+		t.Error("path reported disconnected")
+	}
+	if New(0).IsConnected() {
+		t.Error("empty graph reported connected")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := Cycle(6)
+	sub, ids, err := g.Subgraph([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.NumEdges() != 2 {
+		t.Errorf("subgraph N=%d E=%d, want 3,2", sub.N(), sub.NumEdges())
+	}
+	if ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Errorf("ids = %v", ids)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.HasEdge(0, 2) {
+		t.Error("subgraph edges wrong")
+	}
+	if _, _, err := g.Subgraph([]int{1, 1}); err == nil {
+		t.Error("duplicate vertices accepted")
+	}
+	if _, _, err := g.Subgraph([]int{99}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	tests := []struct {
+		name      string
+		g         *Graph
+		wantN     int
+		wantEdges int
+	}{
+		{"path5", Path(5), 5, 4},
+		{"path0", Path(0), 0, 0},
+		{"path1", Path(1), 1, 0},
+		{"cycle5", Cycle(5), 5, 5},
+		{"cycle2 no closing edge", Cycle(2), 2, 1},
+		{"complete5", Complete(5), 5, 10},
+		{"star6", Star(6), 6, 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.g.N() != tc.wantN || tc.g.NumEdges() != tc.wantEdges {
+				t.Errorf("N=%d E=%d, want N=%d E=%d", tc.g.N(), tc.g.NumEdges(), tc.wantN, tc.wantEdges)
+			}
+		})
+	}
+}
+
+func mustAdd(t *testing.T, g *Graph, u, v int, w float64) {
+	t.Helper()
+	if err := g.AddEdge(u, v, w); err != nil {
+		t.Fatal(err)
+	}
+}

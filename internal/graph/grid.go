@@ -1,0 +1,301 @@
+package graph
+
+import (
+	"fmt"
+)
+
+// Grid describes a finite d-dimensional axis-aligned grid of integer points.
+// Vertex ids are row-major: coordinate 0 varies slowest, the last coordinate
+// fastest.
+type Grid struct {
+	dims   []int
+	stride []int
+	size   int
+}
+
+// NewGrid returns a grid with the given per-dimension side lengths. Every
+// side must be at least 1 and the total size must fit in an int.
+func NewGrid(dims ...int) (*Grid, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("graph: grid needs at least one dimension")
+	}
+	size := 1
+	for _, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("graph: grid side %d < 1", d)
+		}
+		if size > (1<<62)/d {
+			return nil, fmt.Errorf("graph: grid size overflow")
+		}
+		size *= d
+	}
+	g := &Grid{dims: append([]int(nil), dims...), size: size}
+	g.stride = make([]int, len(dims))
+	s := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		g.stride[i] = s
+		s *= dims[i]
+	}
+	return g, nil
+}
+
+// MustGrid is NewGrid that panics on error, for literals in examples and
+// tests.
+func MustGrid(dims ...int) *Grid {
+	g, err := NewGrid(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Dims returns the per-dimension side lengths. The slice must not be
+// modified.
+func (g *Grid) Dims() []int { return g.dims }
+
+// D returns the number of dimensions.
+func (g *Grid) D() int { return len(g.dims) }
+
+// Size returns the number of grid points.
+func (g *Grid) Size() int { return g.size }
+
+// MaxManhattan returns the largest possible Manhattan distance between two
+// grid points: Σ (side−1).
+func (g *Grid) MaxManhattan() int {
+	var s int
+	for _, d := range g.dims {
+		s += d - 1
+	}
+	return s
+}
+
+// ID converts coordinates to a vertex id. It panics when coords has the
+// wrong arity or an out-of-range component.
+func (g *Grid) ID(coords []int) int {
+	if len(coords) != len(g.dims) {
+		panic(fmt.Sprintf("graph: coordinate arity %d, want %d", len(coords), len(g.dims)))
+	}
+	id := 0
+	for i, c := range coords {
+		if c < 0 || c >= g.dims[i] {
+			panic(fmt.Sprintf("graph: coordinate %d out of range [0,%d)", c, g.dims[i]))
+		}
+		id += c * g.stride[i]
+	}
+	return id
+}
+
+// Coords converts a vertex id to coordinates, filling dst when it has the
+// right length (avoiding an allocation) and allocating otherwise.
+func (g *Grid) Coords(id int, dst []int) []int {
+	if id < 0 || id >= g.size {
+		panic(fmt.Sprintf("graph: id %d out of range [0,%d)", id, g.size))
+	}
+	if len(dst) != len(g.dims) {
+		dst = make([]int, len(g.dims))
+	}
+	for i := range g.dims {
+		dst[i] = id / g.stride[i]
+		id -= dst[i] * g.stride[i]
+	}
+	return dst
+}
+
+// Manhattan returns the Manhattan (L1) distance between two vertex ids.
+func (g *Grid) Manhattan(a, b int) int {
+	ca := g.Coords(a, nil)
+	cb := g.Coords(b, nil)
+	var s int
+	for i := range ca {
+		d := ca[i] - cb[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// Chebyshev returns the L∞ distance between two vertex ids.
+func (g *Grid) Chebyshev(a, b int) int {
+	ca := g.Coords(a, nil)
+	cb := g.Coords(b, nil)
+	var m int
+	for i := range ca {
+		d := ca[i] - cb[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Connectivity selects which grid points count as neighbors when building a
+// grid graph.
+type Connectivity int
+
+const (
+	// Orthogonal connects points at Manhattan distance 1 (4-connectivity
+	// in 2-D) — the paper's default construction.
+	Orthogonal Connectivity = iota
+	// Diagonal connects points at Chebyshev distance 1 (8-connectivity in
+	// 2-D) — the paper's Figure 4 variant.
+	Diagonal
+)
+
+// String names the connectivity.
+func (c Connectivity) String() string {
+	switch c {
+	case Orthogonal:
+		return "orthogonal"
+	case Diagonal:
+		return "diagonal"
+	default:
+		return fmt.Sprintf("connectivity(%d)", int(c))
+	}
+}
+
+// GridGraph builds the unit-weight graph of the grid under the given
+// connectivity.
+func GridGraph(g *Grid, conn Connectivity) *Graph {
+	return GridGraphWeighted(g, conn, nil)
+}
+
+// GridGraphWeighted builds the grid graph with per-edge weights from the
+// paper's §4 weighted extension. weight receives both endpoints' ids and
+// must return a positive weight; nil means unit weights. Edges whose weight
+// function returns 0 are omitted (weight < 0 panics via AddEdge's error).
+func GridGraphWeighted(g *Grid, conn Connectivity, weight func(u, v int) float64) *Graph {
+	gr := New(g.Size())
+	d := g.D()
+	coords := make([]int, d)
+	neighbor := make([]int, d)
+
+	addEdge := func(u, v int) {
+		w := 1.0
+		if weight != nil {
+			w = weight(u, v)
+			if w == 0 {
+				return
+			}
+		}
+		if err := gr.AddEdge(u, v, w); err != nil {
+			panic(fmt.Sprintf("graph: grid edge (%d,%d): %v", u, v, err))
+		}
+	}
+
+	switch conn {
+	case Orthogonal:
+		for id := 0; id < g.Size(); id++ {
+			g.Coords(id, coords)
+			for i := 0; i < d; i++ {
+				if coords[i]+1 < g.dims[i] {
+					addEdge(id, id+g.stride[i])
+				}
+			}
+		}
+	case Diagonal:
+		// Enumerate each point's successors in the {−1,0,1}^d offset box,
+		// keeping offsets that are lexicographically positive so each
+		// undirected edge appears once.
+		offsets := diagonalOffsets(d)
+		for id := 0; id < g.Size(); id++ {
+			g.Coords(id, coords)
+			for _, off := range offsets {
+				ok := true
+				for i := 0; i < d; i++ {
+					neighbor[i] = coords[i] + off[i]
+					if neighbor[i] < 0 || neighbor[i] >= g.dims[i] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					addEdge(id, g.ID(neighbor))
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("graph: unknown connectivity %v", conn))
+	}
+	return gr
+}
+
+// diagonalOffsets returns the lexicographically positive half of the
+// {−1,0,1}^d offset box (excluding the origin).
+func diagonalOffsets(d int) [][]int {
+	var out [][]int
+	off := make([]int, d)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == d {
+			for _, v := range off {
+				if v > 0 {
+					out = append(out, append([]int(nil), off...))
+					return
+				}
+				if v < 0 {
+					return
+				}
+			}
+			return // all zero
+		}
+		for _, v := range []int{-1, 0, 1} {
+			off[i] = v
+			rec(i + 1)
+		}
+		off[i] = 0
+	}
+	rec(0)
+	return out
+}
+
+// PointGraph builds the paper's step-1 graph on an arbitrary set of distinct
+// d-dimensional integer points: vertices are point indices, with a unit edge
+// between every pair at Manhattan distance exactly 1. Duplicate points and
+// mixed arities are rejected.
+func PointGraph(points [][]int) (*Graph, error) {
+	if len(points) == 0 {
+		return New(0), nil
+	}
+	d := len(points[0])
+	index := make(map[string]int, len(points))
+	keyBuf := make([]byte, 0, d*9)
+	key := func(p []int) string {
+		keyBuf = keyBuf[:0]
+		for _, c := range p {
+			for s := 0; s < 64; s += 8 {
+				keyBuf = append(keyBuf, byte(uint64(int64(c))>>s))
+			}
+		}
+		return string(keyBuf)
+	}
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("graph: point %d has arity %d, want %d", i, len(p), d)
+		}
+		k := key(p)
+		if j, dup := index[k]; dup {
+			return nil, fmt.Errorf("graph: duplicate point at indices %d and %d", j, i)
+		}
+		index[k] = i
+	}
+	g := New(len(points))
+	probe := make([]int, d)
+	for i, p := range points {
+		copy(probe, p)
+		for dim := 0; dim < d; dim++ {
+			probe[dim] = p[dim] + 1 // only +1 so each edge is added once
+			if j, ok := index[key(probe)]; ok {
+				if err := g.AddUnitEdge(i, j); err != nil {
+					return nil, err
+				}
+			}
+			probe[dim] = p[dim]
+		}
+	}
+	return g, nil
+}

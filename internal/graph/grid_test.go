@@ -1,0 +1,266 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(); err == nil {
+		t.Error("no dimensions accepted")
+	}
+	if _, err := NewGrid(0); err == nil {
+		t.Error("zero side accepted")
+	}
+	if _, err := NewGrid(1<<31, 1<<31, 4); err == nil {
+		t.Error("overflowing size accepted")
+	}
+	g, err := NewGrid(3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 60 || g.D() != 3 {
+		t.Errorf("Size=%d D=%d", g.Size(), g.D())
+	}
+	if g.MaxManhattan() != 2+3+4 {
+		t.Errorf("MaxManhattan = %d", g.MaxManhattan())
+	}
+}
+
+func TestGridIDCoordsRoundTrip(t *testing.T) {
+	g := MustGrid(3, 4, 5)
+	for id := 0; id < g.Size(); id++ {
+		c := g.Coords(id, nil)
+		if got := g.ID(c); got != id {
+			t.Fatalf("round trip %d -> %v -> %d", id, c, got)
+		}
+	}
+	// Row-major: last coordinate fastest.
+	if g.ID([]int{0, 0, 1}) != 1 || g.ID([]int{0, 1, 0}) != 5 || g.ID([]int{1, 0, 0}) != 20 {
+		t.Error("row-major layout wrong")
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	g := MustGrid(2, 2)
+	for name, fn := range map[string]func(){
+		"bad arity":     func() { g.ID([]int{1}) },
+		"coord range":   func() { g.ID([]int{0, 2}) },
+		"id range":      func() { g.Coords(4, nil) },
+		"negative id":   func() { g.Coords(-1, nil) },
+		"negative coor": func() { g.ID([]int{-1, 0}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestGridDistances(t *testing.T) {
+	g := MustGrid(4, 4)
+	a := g.ID([]int{0, 0})
+	b := g.ID([]int{3, 2})
+	if d := g.Manhattan(a, b); d != 5 {
+		t.Errorf("Manhattan = %d, want 5", d)
+	}
+	if d := g.Chebyshev(a, b); d != 3 {
+		t.Errorf("Chebyshev = %d, want 3", d)
+	}
+	if g.Manhattan(a, a) != 0 || g.Chebyshev(b, b) != 0 {
+		t.Error("self distance nonzero")
+	}
+}
+
+func TestGridGraphOrthogonalCounts(t *testing.T) {
+	tests := []struct {
+		dims      []int
+		wantEdges int
+	}{
+		{[]int{3, 3}, 12},    // 2*3*2 horizontal+vertical
+		{[]int{2, 2, 2}, 12}, // cube
+		{[]int{5}, 4},        // path
+		{[]int{1, 1}, 0},     // single point
+		{[]int{4, 1, 4}, 24}, // degenerate middle dimension
+		{[]int{2, 3, 4}, 46}, // 1*3*4 + 2*2*4 + 2*3*3
+	}
+	for _, tc := range tests {
+		g := GridGraph(MustGrid(tc.dims...), Orthogonal)
+		if g.NumEdges() != tc.wantEdges {
+			t.Errorf("dims %v: edges = %d, want %d", tc.dims, g.NumEdges(), tc.wantEdges)
+		}
+	}
+}
+
+func TestGridGraphOrthogonalNeighborsAreManhattan1(t *testing.T) {
+	grid := MustGrid(4, 3, 2)
+	g := GridGraph(grid, Orthogonal)
+	g.Edges(func(u, v int, w float64) {
+		if grid.Manhattan(u, v) != 1 {
+			t.Errorf("edge (%d,%d) at Manhattan distance %d", u, v, grid.Manhattan(u, v))
+		}
+	})
+	// And conversely: every Manhattan-1 pair is an edge.
+	for u := 0; u < grid.Size(); u++ {
+		for v := u + 1; v < grid.Size(); v++ {
+			if grid.Manhattan(u, v) == 1 && !g.HasEdge(u, v) {
+				t.Errorf("missing edge (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestGridGraphDiagonal2D(t *testing.T) {
+	// Paper Figure 4: 8-connectivity. On a 3x3 grid: 12 orthogonal + 8
+	// diagonal edges.
+	grid := MustGrid(3, 3)
+	g := GridGraph(grid, Diagonal)
+	if g.NumEdges() != 20 {
+		t.Errorf("8-conn 3x3 edges = %d, want 20", g.NumEdges())
+	}
+	g.Edges(func(u, v int, w float64) {
+		if grid.Chebyshev(u, v) != 1 {
+			t.Errorf("edge (%d,%d) at Chebyshev distance %d", u, v, grid.Chebyshev(u, v))
+		}
+	})
+	center := grid.ID([]int{1, 1})
+	if len(g.Neighbors(center)) != 8 {
+		t.Errorf("center degree = %d, want 8", len(g.Neighbors(center)))
+	}
+}
+
+func TestGridGraphDiagonal3D(t *testing.T) {
+	grid := MustGrid(3, 3, 3)
+	g := GridGraph(grid, Diagonal)
+	center := grid.ID([]int{1, 1, 1})
+	if len(g.Neighbors(center)) != 26 {
+		t.Errorf("3-D center degree = %d, want 26", len(g.Neighbors(center)))
+	}
+}
+
+func TestGridGraphWeighted(t *testing.T) {
+	grid := MustGrid(2, 2)
+	g := GridGraphWeighted(grid, Orthogonal, func(u, v int) float64 {
+		if u == 0 || v == 0 {
+			return 5
+		}
+		return 1
+	})
+	if w := g.EdgeWeight(0, 1); w != 5 {
+		t.Errorf("weight(0,1) = %v, want 5", w)
+	}
+	if w := g.EdgeWeight(2, 3); w != 1 {
+		t.Errorf("weight(2,3) = %v, want 1", w)
+	}
+	// Zero weight omits the edge.
+	g2 := GridGraphWeighted(grid, Orthogonal, func(u, v int) float64 {
+		if u == 0 && v == 1 {
+			return 0
+		}
+		return 1
+	})
+	if g2.HasEdge(0, 1) {
+		t.Error("zero-weight edge present")
+	}
+}
+
+func TestConnectivityString(t *testing.T) {
+	if Orthogonal.String() != "orthogonal" || Diagonal.String() != "diagonal" {
+		t.Error("connectivity names wrong")
+	}
+	if Connectivity(9).String() != "connectivity(9)" {
+		t.Error("unknown connectivity name wrong")
+	}
+}
+
+func TestPointGraphMatchesGridGraph(t *testing.T) {
+	// A point set covering an entire grid must produce exactly the
+	// orthogonal grid graph.
+	grid := MustGrid(4, 5)
+	points := make([][]int, grid.Size())
+	for id := range points {
+		points[id] = grid.Coords(id, nil)
+	}
+	pg, err := PointGraph(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg := GridGraph(grid, Orthogonal)
+	if pg.NumEdges() != gg.NumEdges() {
+		t.Fatalf("point graph edges = %d, grid graph = %d", pg.NumEdges(), gg.NumEdges())
+	}
+	gg.Edges(func(u, v int, w float64) {
+		if !pg.HasEdge(u, v) {
+			t.Errorf("missing edge (%d,%d)", u, v)
+		}
+	})
+}
+
+func TestPointGraphSparsePoints(t *testing.T) {
+	// Points with gaps: only adjacent ones get edges.
+	points := [][]int{{0, 0}, {0, 1}, {5, 5}, {0, 2}, {-3, 7}, {-3, 8}}
+	g, err := PointGraph(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 3) || !g.HasEdge(4, 5) {
+		t.Error("expected adjacencies missing")
+	}
+}
+
+func TestPointGraphErrors(t *testing.T) {
+	if _, err := PointGraph([][]int{{0, 0}, {0, 0}}); err == nil {
+		t.Error("duplicate points accepted")
+	}
+	if _, err := PointGraph([][]int{{0, 0}, {1}}); err == nil {
+		t.Error("mixed arity accepted")
+	}
+	g, err := PointGraph(nil)
+	if err != nil || g.N() != 0 {
+		t.Errorf("empty point set: %v %v", g, err)
+	}
+}
+
+func TestPointGraphNegativeCoordinates(t *testing.T) {
+	// The key encoding must distinguish negatives correctly.
+	points := [][]int{{-1, 0}, {0, 0}, {-1, -1}, {-2, 0}}
+	g, err := PointGraph(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || !g.HasEdge(0, 3) {
+		t.Errorf("negative coordinate adjacency wrong: %d edges", g.NumEdges())
+	}
+}
+
+// Property: for random grids, id→coords→id is the identity and Manhattan
+// distance of graph edges is 1.
+func TestGridRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(4)
+		dims := make([]int, d)
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(6)
+		}
+		g := MustGrid(dims...)
+		for trial := 0; trial < 20; trial++ {
+			id := rng.Intn(g.Size())
+			if g.ID(g.Coords(id, nil)) != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

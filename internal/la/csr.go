@@ -1,0 +1,198 @@
+package la
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coord is one nonzero entry of a matrix under construction.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a sparse matrix in compressed sparse row form. It is immutable once
+// built; construct it with NewCSR or via a Builder. The zero value is an
+// empty 0x0 matrix.
+type CSR struct {
+	n, m    int       // rows, cols
+	rowPtr  []int     // len n+1
+	colIdx  []int     // len nnz, sorted within each row
+	values  []float64 // len nnz
+	symFlag bool      // set when built from symmetric input; informational
+}
+
+// NewCSR builds an n x m CSR matrix from coordinate entries. Duplicate
+// (row,col) entries are summed. Entries out of range cause an error.
+func NewCSR(n, m int, entries []Coord) (*CSR, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("la: invalid dimensions %dx%d", n, m)
+	}
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= n || e.Col < 0 || e.Col >= m {
+			return nil, fmt.Errorf("la: entry (%d,%d) outside %dx%d matrix", e.Row, e.Col, n, m)
+		}
+	}
+	sorted := make([]Coord, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	// Merge duplicates.
+	merged := sorted[:0]
+	for _, e := range sorted {
+		if k := len(merged); k > 0 && merged[k-1].Row == e.Row && merged[k-1].Col == e.Col {
+			merged[k-1].Val += e.Val
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	c := &CSR{
+		n:      n,
+		m:      m,
+		rowPtr: make([]int, n+1),
+		colIdx: make([]int, len(merged)),
+		values: make([]float64, len(merged)),
+	}
+	for i, e := range merged {
+		c.rowPtr[e.Row+1]++
+		c.colIdx[i] = e.Col
+		c.values[i] = e.Val
+	}
+	for i := 0; i < n; i++ {
+		c.rowPtr[i+1] += c.rowPtr[i]
+	}
+	return c, nil
+}
+
+// Rows returns the number of rows.
+func (c *CSR) Rows() int { return c.n }
+
+// Cols returns the number of columns.
+func (c *CSR) Cols() int { return c.m }
+
+// NNZ returns the number of stored entries.
+func (c *CSR) NNZ() int { return len(c.values) }
+
+// At returns the entry at (i, j), zero when not stored. It panics on an
+// out-of-range index.
+func (c *CSR) At(i, j int) float64 {
+	if i < 0 || i >= c.n || j < 0 || j >= c.m {
+		panic(fmt.Sprintf("la: At(%d,%d) outside %dx%d matrix", i, j, c.n, c.m))
+	}
+	lo, hi := c.rowPtr[i], c.rowPtr[i+1]
+	k := lo + sort.SearchInts(c.colIdx[lo:hi], j)
+	if k < hi && c.colIdx[k] == j {
+		return c.values[k]
+	}
+	return 0
+}
+
+// MulVec computes dst = C*x. dst must have length Rows and x length Cols;
+// dst and x must not alias.
+func (c *CSR) MulVec(dst, x []float64) {
+	if len(dst) != c.n || len(x) != c.m {
+		panic(fmt.Sprintf("la: MulVec dims dst=%d x=%d for %dx%d matrix", len(dst), len(x), c.n, c.m))
+	}
+	for i := 0; i < c.n; i++ {
+		var s float64
+		for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+			s += c.values[k] * x[c.colIdx[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// Diagonal returns a copy of the main diagonal (length min(n,m)).
+func (c *CSR) Diagonal() []float64 {
+	n := c.n
+	if c.m < n {
+		n = c.m
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = c.At(i, i)
+	}
+	return d
+}
+
+// RowRange calls fn(col, val) for every stored entry of row i.
+func (c *CSR) RowRange(i int, fn func(col int, val float64)) {
+	for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+		fn(c.colIdx[k], c.values[k])
+	}
+}
+
+// IsSymmetric reports whether the matrix equals its transpose to within tol
+// on every stored entry. It is O(nnz log nnz) and intended for tests and
+// validation, not hot paths.
+func (c *CSR) IsSymmetric(tol float64) bool {
+	if c.n != c.m {
+		return false
+	}
+	for i := 0; i < c.n; i++ {
+		for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+			j, v := c.colIdx[k], c.values[k]
+			d := v - c.At(j, i)
+			if d > tol || d < -tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// QuadForm returns xᵀ C x, the quadratic form. x must have length n == m.
+func (c *CSR) QuadForm(x []float64) float64 {
+	if c.n != c.m || len(x) != c.n {
+		panic("la: QuadForm requires square matrix and matching vector")
+	}
+	var s float64
+	for i := 0; i < c.n; i++ {
+		var row float64
+		for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+			row += c.values[k] * x[c.colIdx[k]]
+		}
+		s += x[i] * row
+	}
+	return s
+}
+
+// Dense expands the matrix into a row-major dense [][]float64, for tests and
+// small examples only.
+func (c *CSR) Dense() [][]float64 {
+	out := make([][]float64, c.n)
+	buf := make([]float64, c.n*c.m)
+	for i := range out {
+		out[i] = buf[i*c.m : (i+1)*c.m]
+		for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+			out[i][c.colIdx[k]] = c.values[k]
+		}
+	}
+	return out
+}
+
+// Builder accumulates coordinate entries and produces a CSR. It is the
+// convenient way to assemble Laplacians edge by edge.
+type Builder struct {
+	n, m    int
+	entries []Coord
+}
+
+// NewBuilder returns a Builder for an n x m matrix.
+func NewBuilder(n, m int) *Builder {
+	return &Builder{n: n, m: m}
+}
+
+// Add accumulates v at (i, j). Duplicate coordinates sum when Build runs.
+func (b *Builder) Add(i, j int, v float64) {
+	b.entries = append(b.entries, Coord{Row: i, Col: j, Val: v})
+}
+
+// Build assembles the CSR matrix.
+func (b *Builder) Build() (*CSR, error) {
+	return NewCSR(b.n, b.m, b.entries)
+}

@@ -1,0 +1,206 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCSRBasic(t *testing.T) {
+	// [ 1 0 2 ]
+	// [ 0 0 0 ]
+	// [ 3 4 0 ]
+	c, err := NewCSR(3, 3, []Coord{
+		{0, 0, 1}, {0, 2, 2}, {2, 0, 3}, {2, 1, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows() != 3 || c.Cols() != 3 || c.NNZ() != 4 {
+		t.Fatalf("dims/nnz wrong: %dx%d nnz=%d", c.Rows(), c.Cols(), c.NNZ())
+	}
+	want := [][]float64{{1, 0, 2}, {0, 0, 0}, {3, 4, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if got := c.At(i, j); got != want[i][j] {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, got, want[i][j])
+			}
+		}
+	}
+	dense := c.Dense()
+	for i := range want {
+		for j := range want[i] {
+			if dense[i][j] != want[i][j] {
+				t.Errorf("Dense[%d][%d] = %v, want %v", i, j, dense[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestNewCSRDuplicatesSum(t *testing.T) {
+	c, err := NewCSR(2, 2, []Coord{{0, 1, 1.5}, {0, 1, 2.5}, {1, 1, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(0, 1); got != 4 {
+		t.Errorf("duplicate sum At(0,1) = %v, want 4", got)
+	}
+	if c.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2", c.NNZ())
+	}
+}
+
+func TestNewCSROutOfRange(t *testing.T) {
+	if _, err := NewCSR(2, 2, []Coord{{2, 0, 1}}); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := NewCSR(2, 2, []Coord{{0, -1, 1}}); err == nil {
+		t.Error("negative col accepted")
+	}
+	if _, err := NewCSR(-1, 2, nil); err == nil {
+		t.Error("negative dimension accepted")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	c, err := NewCSR(2, 3, []Coord{{0, 0, 1}, {0, 2, 2}, {1, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 2, 3}
+	dst := make([]float64, 2)
+	c.MulVec(dst, x)
+	if dst[0] != 7 || dst[1] != 6 {
+		t.Errorf("MulVec = %v, want [7 6]", dst)
+	}
+}
+
+func TestDiagonalAndRowRange(t *testing.T) {
+	c, err := NewCSR(3, 3, []Coord{{0, 0, 5}, {1, 1, -2}, {1, 2, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Diagonal()
+	if d[0] != 5 || d[1] != -2 || d[2] != 0 {
+		t.Errorf("Diagonal = %v", d)
+	}
+	var cols []int
+	var vals []float64
+	c.RowRange(1, func(col int, val float64) {
+		cols = append(cols, col)
+		vals = append(vals, val)
+	})
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 2 || vals[0] != -2 || vals[1] != 7 {
+		t.Errorf("RowRange(1) cols=%v vals=%v", cols, vals)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	sym, _ := NewCSR(2, 2, []Coord{{0, 1, 3}, {1, 0, 3}, {0, 0, 1}})
+	if !sym.IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	asym, _ := NewCSR(2, 2, []Coord{{0, 1, 3}})
+	if asym.IsSymmetric(1e-12) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	rect, _ := NewCSR(2, 3, nil)
+	if rect.IsSymmetric(0) {
+		t.Error("rectangular matrix reported symmetric")
+	}
+}
+
+func TestQuadForm(t *testing.T) {
+	// Laplacian of a single edge: [[1,-1],[-1,1]]; xᵀLx = (x0-x1)².
+	l, _ := NewCSR(2, 2, []Coord{{0, 0, 1}, {1, 1, 1}, {0, 1, -1}, {1, 0, -1}})
+	x := []float64{3, -1}
+	if got, want := l.QuadForm(x), 16.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("QuadForm = %v, want %v", got, want)
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 1)
+	b.Add(1, 0, -3)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0) != 2 || c.At(1, 0) != -3 {
+		t.Errorf("Builder matrix wrong: %v", c.Dense())
+	}
+}
+
+// Property: MulVec agrees with the naive dense product for random sparse
+// matrices.
+func TestMulVecMatchesDenseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		m := 1 + r.Intn(12)
+		nnz := r.Intn(n * m)
+		entries := make([]Coord, 0, nnz)
+		for k := 0; k < nnz; k++ {
+			entries = append(entries, Coord{r.Intn(n), r.Intn(m), r.NormFloat64()})
+		}
+		c, err := NewCSR(n, m, entries)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		got := make([]float64, n)
+		c.MulVec(got, x)
+		dense := c.Dense()
+		for i := 0; i < n; i++ {
+			var want float64
+			for j := 0; j < m; j++ {
+				want += dense[i][j] * x[j]
+			}
+			if math.Abs(got[i]-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymBasics(t *testing.T) {
+	s := NewSym(3)
+	s.Set(0, 1, 2)
+	s.Add(1, 2, -1)
+	s.Add(2, 2, 5)
+	if s.At(1, 0) != 2 || s.At(2, 1) != -1 || s.At(2, 2) != 5 {
+		t.Errorf("Sym storage wrong")
+	}
+	x := []float64{1, 1, 1}
+	dst := make([]float64, 3)
+	s.MulVec(dst, x)
+	// Row sums: [2, 2-1, -1+5].
+	if dst[0] != 2 || dst[1] != 1 || dst[2] != 4 {
+		t.Errorf("Sym.MulVec = %v", dst)
+	}
+	c := s.Clone()
+	c.Set(0, 0, 9)
+	if s.At(0, 0) == 9 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestSymFromCSRSymmetrizes(t *testing.T) {
+	c, _ := NewCSR(2, 2, []Coord{{0, 1, 4}})
+	s := SymFromCSR(c)
+	if s.At(0, 1) != 2 || s.At(1, 0) != 2 {
+		t.Errorf("SymFromCSR did not symmetrize: %v %v", s.At(0, 1), s.At(1, 0))
+	}
+}

@@ -1,0 +1,85 @@
+package la
+
+import "fmt"
+
+// Sym is a dense symmetric matrix stored fully (both triangles) in row-major
+// order. It backs the Jacobi reference eigensolver and small Rayleigh-Ritz
+// problems inside the sparse solvers.
+type Sym struct {
+	n    int
+	data []float64 // row-major n*n
+}
+
+// NewSym returns a zero n x n symmetric matrix.
+func NewSym(n int) *Sym {
+	if n < 0 {
+		panic(fmt.Sprintf("la: NewSym negative size %d", n))
+	}
+	return &Sym{n: n, data: make([]float64, n*n)}
+}
+
+// SymFromDense builds a Sym from a row-major square matrix, symmetrizing as
+// (A+Aᵀ)/2.
+func SymFromDense(a [][]float64) *Sym {
+	n := len(a)
+	s := NewSym(n)
+	for i := 0; i < n; i++ {
+		if len(a[i]) != n {
+			panic("la: SymFromDense requires a square matrix")
+		}
+		for j := 0; j < n; j++ {
+			s.data[i*n+j] = (a[i][j] + a[j][i]) / 2
+		}
+	}
+	return s
+}
+
+// SymFromCSR densifies a square CSR matrix into a Sym, symmetrizing.
+func SymFromCSR(c *CSR) *Sym {
+	if c.Rows() != c.Cols() {
+		panic("la: SymFromCSR requires a square matrix")
+	}
+	return SymFromDense(c.Dense())
+}
+
+// N returns the dimension.
+func (s *Sym) N() int { return s.n }
+
+// At returns the (i, j) entry.
+func (s *Sym) At(i, j int) float64 { return s.data[i*s.n+j] }
+
+// Set assigns v to entries (i, j) and (j, i).
+func (s *Sym) Set(i, j int, v float64) {
+	s.data[i*s.n+j] = v
+	s.data[j*s.n+i] = v
+}
+
+// Add accumulates v at (i, j) and, when i != j, at (j, i).
+func (s *Sym) Add(i, j int, v float64) {
+	s.data[i*s.n+j] += v
+	if i != j {
+		s.data[j*s.n+i] += v
+	}
+}
+
+// MulVec computes dst = S*x.
+func (s *Sym) MulVec(dst, x []float64) {
+	if len(dst) != s.n || len(x) != s.n {
+		panic("la: Sym.MulVec dimension mismatch")
+	}
+	for i := 0; i < s.n; i++ {
+		row := s.data[i*s.n : (i+1)*s.n]
+		var acc float64
+		for j, v := range row {
+			acc += v * x[j]
+		}
+		dst[i] = acc
+	}
+}
+
+// Clone returns a deep copy.
+func (s *Sym) Clone() *Sym {
+	c := NewSym(s.n)
+	copy(c.data, s.data)
+	return c
+}

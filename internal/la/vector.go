@@ -1,0 +1,156 @@
+// Package la provides the small dense/sparse linear-algebra substrate the
+// Spectral LPM eigensolvers are built on: float64 vectors, CSR sparse
+// matrices with symmetric matrix-vector products, and dense symmetric
+// matrices. Everything is allocation-conscious and stdlib-only; callers that
+// need repeated products should reuse destination slices.
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of x and y. It panics if the lengths differ.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("la: Dot length mismatch %d != %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow by
+// scaling with the largest magnitude entry.
+func Norm2(x []float64) float64 {
+	var max float64
+	for _, v := range x {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		r := v / max
+		s += r * r
+	}
+	return max * math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute entry of x.
+func NormInf(x []float64) float64 {
+	var max float64
+	for _, v := range x {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Axpy computes y += alpha*x in place. It panics if the lengths differ.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("la: Axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every entry of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Copy copies src into dst. It panics if the lengths differ.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("la: Copy length mismatch %d != %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// Zero sets every entry of x to zero.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Normalize scales x to unit Euclidean norm and returns the original norm.
+// A zero vector is left unchanged and 0 is returned.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n == 0 {
+		return 0
+	}
+	Scale(1/n, x)
+	return n
+}
+
+// OrthogonalizeAgainst removes from x its components along each of the given
+// unit vectors: x -= (x·q) q for every q in basis. The basis vectors are
+// assumed to have unit norm. It is applied twice by callers that need
+// numerical orthogonality after cancellation (classical Gram-Schmidt with
+// reorthogonalization).
+func OrthogonalizeAgainst(x []float64, basis ...[]float64) {
+	for _, q := range basis {
+		Axpy(-Dot(x, q), q, x)
+	}
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// CenterMean subtracts the mean from every entry, making x orthogonal to the
+// all-ones vector. This is the projection used to deflate the trivial
+// Laplacian null space on a connected graph.
+func CenterMean(x []float64) {
+	m := Mean(x)
+	for i := range x {
+		x[i] -= m
+	}
+}
+
+// Ones returns a length-n vector of ones.
+func Ones(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	return x
+}
+
+// UnitOnes returns the normalized all-ones vector of length n (each entry
+// 1/sqrt(n)), the unit null vector of a connected graph Laplacian.
+func UnitOnes(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	x := make([]float64, n)
+	v := 1 / math.Sqrt(float64(n))
+	for i := range x {
+		x[i] = v
+	}
+	return x
+}

@@ -1,0 +1,202 @@
+package la
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		{"empty", nil, nil, 0},
+		{"ones", []float64{1, 1, 1}, []float64{1, 1, 1}, 3},
+		{"orthogonal", []float64{1, 0}, []float64{0, 1}, 0},
+		{"mixed", []float64{1, -2, 3}, []float64{4, 5, -6}, 4 - 10 - 18},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Dot(tc.x, tc.y); !almostEqual(got, tc.want, 1e-12) {
+				t.Errorf("Dot(%v,%v) = %v, want %v", tc.x, tc.y, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	tests := []struct {
+		name string
+		x    []float64
+		want float64
+	}{
+		{"zero", []float64{0, 0}, 0},
+		{"pythagorean", []float64{3, 4}, 5},
+		{"single", []float64{-7}, 7},
+		{"tiny values no underflow", []float64{3e-200, 4e-200}, 5e-200},
+		{"huge values no overflow", []float64{3e200, 4e200}, 5e200},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Norm2(tc.x)
+			if tc.want == 0 {
+				if got != 0 {
+					t.Errorf("Norm2 = %v, want 0", got)
+				}
+				return
+			}
+			if math.Abs(got-tc.want)/tc.want > 1e-12 {
+				t.Errorf("Norm2(%v) = %v, want %v", tc.x, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAxpyScaleCopy(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	Axpy(2, x, y)
+	want := []float64{12, 24, 36}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy result %v, want %v", y, want)
+		}
+	}
+	Scale(0.5, y)
+	for i := range want {
+		if y[i] != want[i]/2 {
+			t.Fatalf("Scale result %v", y)
+		}
+	}
+	dst := make([]float64, 3)
+	Copy(dst, y)
+	for i := range dst {
+		if dst[i] != y[i] {
+			t.Fatalf("Copy result %v, want %v", dst, y)
+		}
+	}
+	Zero(dst)
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatalf("Zero left %v", dst)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float64{3, 0, 4}
+	n := Normalize(x)
+	if !almostEqual(n, 5, 1e-12) {
+		t.Errorf("Normalize returned %v, want 5", n)
+	}
+	if !almostEqual(Norm2(x), 1, 1e-12) {
+		t.Errorf("normalized vector has norm %v", Norm2(x))
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 {
+		t.Error("Normalize of zero vector should return 0")
+	}
+}
+
+func TestCenterMeanMakesOrthogonalToOnes(t *testing.T) {
+	x := []float64{5, -1, 2, 8, 0.5}
+	CenterMean(x)
+	ones := Ones(len(x))
+	if d := Dot(x, ones); !almostEqual(d, 0, 1e-12) {
+		t.Errorf("after CenterMean, x·1 = %v, want 0", d)
+	}
+}
+
+func TestUnitOnes(t *testing.T) {
+	u := UnitOnes(9)
+	if !almostEqual(Norm2(u), 1, 1e-12) {
+		t.Errorf("UnitOnes norm = %v", Norm2(u))
+	}
+	if UnitOnes(0) != nil {
+		t.Error("UnitOnes(0) should be nil")
+	}
+}
+
+func TestOrthogonalizeAgainst(t *testing.T) {
+	// Remove the component of x along two orthonormal basis vectors.
+	q1 := []float64{1, 0, 0}
+	q2 := []float64{0, 1, 0}
+	x := []float64{3, 4, 5}
+	OrthogonalizeAgainst(x, q1, q2)
+	if !almostEqual(Dot(x, q1), 0, 1e-12) || !almostEqual(Dot(x, q2), 0, 1e-12) {
+		t.Errorf("orthogonalization failed: %v", x)
+	}
+	if !almostEqual(x[2], 5, 1e-12) {
+		t.Errorf("unrelated component changed: %v", x)
+	}
+}
+
+// Property: Cauchy-Schwarz |x·y| <= ||x|| ||y|| for random vectors.
+func TestDotCauchySchwarzProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		x, y := clean(xs[:n]), clean(ys[:n])
+		d := math.Abs(Dot(x, y))
+		bound := Norm2(x) * Norm2(y)
+		return d <= bound*(1+1e-9)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CenterMean output is orthogonal to ones for any input.
+func TestCenterMeanProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		x := clean(xs)
+		if len(x) == 0 {
+			return true
+		}
+		CenterMean(x)
+		scale := NormInf(x)
+		if scale == 0 {
+			scale = 1
+		}
+		return math.Abs(Dot(x, Ones(len(x))))/scale < 1e-6*float64(len(x)+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// clean replaces NaN/Inf and clamps huge magnitudes so quick-generated
+// inputs exercise numerics without trivially overflowing.
+func clean(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			out[i] = 1
+		case v > 1e100:
+			out[i] = 1e100
+		case v < -1e100:
+			out[i] = -1e100
+		default:
+			out[i] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+)
+
+// RecallStats summarizes how well the 1-D order answers k-nearest-neighbor
+// queries — the "multi-dimensional similarity search" application the
+// paper's introduction and Figure 5 motivate. For each sampled query
+// point, the candidate set is the window of `window` ranks on each side of
+// the query's rank; recall is the fraction of true k nearest neighbors
+// (Manhattan distance, ties admitted) found in the window.
+type RecallStats struct {
+	K, Window, Samples int
+	// MeanRecall and MinRecall summarize recall over the sampled queries.
+	MeanRecall, MinRecall float64
+}
+
+// NNRecall samples query points (deterministic in seed) and measures rank-
+// window k-NN recall. window must be at least k for a recall of 1 to be
+// possible.
+func NNRecall(m *order.Mapping, k, window, samples int, seed int64) (RecallStats, error) {
+	g := m.Grid()
+	n := g.Size()
+	if k < 1 || k >= n {
+		return RecallStats{}, fmt.Errorf("metrics: k = %d outside [1,%d)", k, n)
+	}
+	if window < 1 {
+		return RecallStats{}, fmt.Errorf("metrics: window = %d < 1", window)
+	}
+	if samples < 1 {
+		return RecallStats{}, fmt.Errorf("metrics: samples = %d < 1", samples)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	st := RecallStats{K: k, Window: window, Samples: samples, MinRecall: 1}
+	dists := make([]int, n)
+	var sum float64
+	for s := 0; s < samples; s++ {
+		q := rng.Intn(n)
+		// True k-NN threshold: the k-th smallest positive Manhattan
+		// distance (ties admitted — any point at distance <= d_k counts).
+		for id := 0; id < n; id++ {
+			dists[id] = g.Manhattan(q, id)
+		}
+		sorted := append([]int(nil), dists...)
+		sort.Ints(sorted)
+		dk := sorted[k] // sorted[0] is the query itself at distance 0
+		// Candidates: the rank window around the query.
+		r := m.Rank(q)
+		lo, hi := r-window, r+window
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		found := 0
+		for rr := lo; rr <= hi; rr++ {
+			id := m.Vertex(rr)
+			if id != q && dists[id] <= dk {
+				found++
+			}
+		}
+		recall := float64(found) / float64(k)
+		if recall > 1 {
+			recall = 1
+		}
+		sum += recall
+		if recall < st.MinRecall {
+			st.MinRecall = recall
+		}
+	}
+	st.MeanRecall = sum / float64(samples)
+	return st, nil
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+)
+
+func TestNNRecallValidation(t *testing.T) {
+	g := graph.MustGrid(4, 4)
+	m, err := order.New("sweep", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NNRecall(m, 0, 4, 10, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NNRecall(m, 16, 4, 10, 1); err == nil {
+		t.Error("k=n accepted")
+	}
+	if _, err := NNRecall(m, 2, 0, 10, 1); err == nil {
+		t.Error("window=0 accepted")
+	}
+	if _, err := NNRecall(m, 2, 4, 0, 1); err == nil {
+		t.Error("samples=0 accepted")
+	}
+}
+
+func TestNNRecall1DGridIsPerfect(t *testing.T) {
+	// On a 1-D grid the sweep order IS the spatial order: a window of k
+	// ranks contains every true k-NN (ties included need window >= k on
+	// each side, which it has).
+	g := graph.MustGrid(32)
+	m, err := order.New("sweep", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NNRecall(m, 3, 3, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanRecall < 0.999 {
+		t.Errorf("1-D recall = %v, want 1", st.MeanRecall)
+	}
+}
+
+func TestNNRecallBoundsAndDeterminism(t *testing.T) {
+	g := graph.MustGrid(8, 8)
+	m, err := order.New("hilbert", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NNRecall(m, 4, 8, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NNRecall(m, 4, 8, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("NNRecall not deterministic for fixed seed")
+	}
+	if a.MeanRecall < 0 || a.MeanRecall > 1 || a.MinRecall > a.MeanRecall {
+		t.Errorf("implausible stats %+v", a)
+	}
+}
+
+func TestNNRecallLocalityOrdersBeatRandom(t *testing.T) {
+	// Hilbert and spectral windows must recall far more true neighbors
+	// than a random permutation's window.
+	g := graph.MustGrid(12, 12)
+	recall := func(m *order.Mapping) float64 {
+		st, err := NNRecall(m, 4, 8, 60, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.MeanRecall
+	}
+	hilbert, err := order.New("hilbert", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spectral, err := order.New("spectral", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic "random" mapping: multiply ranks by a unit coprime to
+	// N to scatter locality.
+	scramble := make([]int, g.Size())
+	for id := range scramble {
+		scramble[id] = (id * 77) % g.Size()
+	}
+	random, err := order.FromRanks("scramble", g, scramble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, rs, rr := recall(hilbert), recall(spectral), recall(random)
+	if rh <= rr || rs <= rr {
+		t.Errorf("locality orders should beat scrambled: hilbert %v spectral %v scrambled %v", rh, rs, rr)
+	}
+}

@@ -1,0 +1,322 @@
+// Package metrics measures locality preservation of a mapping, defining the
+// quantities plotted in the paper's evaluation:
+//
+//   - Figure 5a: for point pairs at a given multi-dimensional Manhattan
+//     distance, the worst-case 1-D rank distance (PairwiseByManhattan).
+//   - Figure 5b: the same quantity restricted to pairs separated along a
+//     single axis, exposing per-dimension fairness (AxisGap).
+//   - Figure 6a: for axis-aligned range queries, the worst-case difference
+//     between the largest and smallest rank inside the query (RangeSpan).
+//   - Figure 6b: the standard deviation of that difference over all query
+//     positions (RangeSpan.StdDev).
+//
+// Plus the cluster count of Moon et al. (IEEE TKDE 2001), the classic
+// measure of how many contiguous runs of the 1-D order a query touches.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+)
+
+// PairStats aggregates 1-D rank distances of all point pairs, bucketed by
+// their multi-dimensional Manhattan distance. Index 0 corresponds to
+// distance 1 (distance-0 pairs do not exist).
+type PairStats struct {
+	// MaxDistance is the largest Manhattan distance with any pair.
+	MaxDistance int
+	// MaxGap[d-1] is the largest |rank(p) − rank(q)| over pairs at
+	// Manhattan distance d.
+	MaxGap []int
+	// SumGap[d-1] accumulates the rank gaps at distance d (for means).
+	SumGap []float64
+	// Count[d-1] is the number of pairs at distance d.
+	Count []int64
+}
+
+// MeanGap returns the average rank gap at Manhattan distance d, or 0 when
+// no pair exists.
+func (s *PairStats) MeanGap(d int) float64 {
+	if d < 1 || d > s.MaxDistance || s.Count[d-1] == 0 {
+		return 0
+	}
+	return s.SumGap[d-1] / float64(s.Count[d-1])
+}
+
+// MaxGapAt returns the worst-case rank gap at Manhattan distance d.
+func (s *PairStats) MaxGapAt(d int) int {
+	if d < 1 || d > s.MaxDistance {
+		return 0
+	}
+	return s.MaxGap[d-1]
+}
+
+// PairwiseByManhattan computes exact pair statistics over all N·(N−1)/2
+// point pairs of the mapping's grid. It is O(N²·d) — exact and affordable
+// for the grid sizes the experiments use (N up to ~10⁴).
+func PairwiseByManhattan(m *order.Mapping) *PairStats {
+	g := m.Grid()
+	n := g.Size()
+	d := g.D()
+	maxD := g.MaxManhattan()
+	stats := &PairStats{
+		MaxDistance: maxD,
+		MaxGap:      make([]int, maxD),
+		SumGap:      make([]float64, maxD),
+		Count:       make([]int64, maxD),
+	}
+	// Precompute coordinates as a flat int16 array for cache-friendliness.
+	coords := make([]int16, n*d)
+	buf := make([]int, d)
+	for id := 0; id < n; id++ {
+		g.Coords(id, buf)
+		for k, c := range buf {
+			coords[id*d+k] = int16(c)
+		}
+	}
+	ranks := m.Ranks()
+	for a := 0; a < n; a++ {
+		ca := coords[a*d : a*d+d]
+		ra := ranks[a]
+		for b := a + 1; b < n; b++ {
+			cb := coords[b*d : b*d+d]
+			dist := 0
+			for k := 0; k < d; k++ {
+				dd := int(ca[k]) - int(cb[k])
+				if dd < 0 {
+					dd = -dd
+				}
+				dist += dd
+			}
+			gap := ra - ranks[b]
+			if gap < 0 {
+				gap = -gap
+			}
+			idx := dist - 1
+			if gap > stats.MaxGap[idx] {
+				stats.MaxGap[idx] = gap
+			}
+			stats.SumGap[idx] += float64(gap)
+			stats.Count[idx]++
+		}
+	}
+	return stats
+}
+
+// AxisGapStats summarizes the rank gaps of pairs separated by exactly delta
+// along a single axis (all other coordinates equal) — the paper's Figure 5b
+// fairness measurement.
+type AxisGapStats struct {
+	Axis  int
+	Delta int
+	Max   int
+	Mean  float64
+	Count int64
+}
+
+// AxisGap measures pairs (p, q) with q = p + delta·e_axis.
+func AxisGap(m *order.Mapping, axis, delta int) (AxisGapStats, error) {
+	g := m.Grid()
+	dims := g.Dims()
+	if axis < 0 || axis >= len(dims) {
+		return AxisGapStats{}, fmt.Errorf("metrics: axis %d outside [0,%d)", axis, len(dims))
+	}
+	if delta < 1 || delta >= dims[axis] {
+		return AxisGapStats{}, fmt.Errorf("metrics: delta %d outside [1,%d)", delta, dims[axis])
+	}
+	st := AxisGapStats{Axis: axis, Delta: delta}
+	coords := make([]int, len(dims))
+	var sum float64
+	for id := 0; id < g.Size(); id++ {
+		g.Coords(id, coords)
+		if coords[axis]+delta >= dims[axis] {
+			continue
+		}
+		coords[axis] += delta
+		other := g.ID(coords)
+		coords[axis] -= delta
+		gap := m.Rank(id) - m.Rank(other)
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap > st.Max {
+			st.Max = gap
+		}
+		sum += float64(gap)
+		st.Count++
+	}
+	if st.Count > 0 {
+		st.Mean = sum / float64(st.Count)
+	}
+	return st, nil
+}
+
+// SpanStats summarizes, over all positions of an axis-aligned query box,
+// the span = (max rank − min rank) of the points inside the box. Keeping
+// the span small allows answering the query with one short sequential scan
+// of the 1-D order (paper §5).
+type SpanStats struct {
+	// QueryDims is the box shape measured.
+	QueryDims []int
+	// Queries is the number of box positions evaluated.
+	Queries int64
+	// Max and Min are the extreme spans over all positions.
+	Max, Min int
+	// Mean and StdDev summarize the span distribution (Figure 6b plots
+	// the standard deviation).
+	Mean, StdDev float64
+}
+
+// RangeSpan slides a qdims-shaped box over every position of the grid and
+// measures the rank span inside each box.
+func RangeSpan(m *order.Mapping, qdims []int) (SpanStats, error) {
+	g := m.Grid()
+	dims := g.Dims()
+	if len(qdims) != len(dims) {
+		return SpanStats{}, fmt.Errorf("metrics: query arity %d, grid %d", len(qdims), len(dims))
+	}
+	for i, q := range qdims {
+		if q < 1 || q > dims[i] {
+			return SpanStats{}, fmt.Errorf("metrics: query side %d outside [1,%d] in dim %d", q, dims[i], i)
+		}
+	}
+	st := SpanStats{QueryDims: append([]int(nil), qdims...), Min: math.MaxInt}
+	var sum, sumSq float64
+	forEachQueryPosition(dims, qdims, func(start []int) {
+		span := spanInBox(m, start, qdims)
+		if span > st.Max {
+			st.Max = span
+		}
+		if span < st.Min {
+			st.Min = span
+		}
+		sum += float64(span)
+		sumSq += float64(span) * float64(span)
+		st.Queries++
+	})
+	if st.Queries > 0 {
+		st.Mean = sum / float64(st.Queries)
+		variance := sumSq/float64(st.Queries) - st.Mean*st.Mean
+		if variance > 0 {
+			st.StdDev = math.Sqrt(variance)
+		}
+	} else {
+		st.Min = 0
+	}
+	return st, nil
+}
+
+// spanInBox returns max rank − min rank over the box cells.
+func spanInBox(m *order.Mapping, start, qdims []int) int {
+	g := m.Grid()
+	lo, hi := math.MaxInt, -1
+	cell := make([]int, len(start))
+	copy(cell, start)
+	for {
+		r := m.Rank(g.ID(cell))
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+		if !boxOdometer(cell, start, qdims) {
+			break
+		}
+	}
+	return hi - lo
+}
+
+// ClusterStats summarizes the number of contiguous 1-D runs (clusters) the
+// points of a query box occupy — Moon et al.'s clustering metric. Each
+// cluster beyond the first costs a disk seek.
+type ClusterStats struct {
+	QueryDims []int
+	Queries   int64
+	Max       int
+	Mean      float64
+}
+
+// RangeClusters slides a qdims-shaped box over every grid position and
+// counts, for each, the contiguous rank runs inside the box.
+func RangeClusters(m *order.Mapping, qdims []int) (ClusterStats, error) {
+	g := m.Grid()
+	dims := g.Dims()
+	if len(qdims) != len(dims) {
+		return ClusterStats{}, fmt.Errorf("metrics: query arity %d, grid %d", len(qdims), len(dims))
+	}
+	boxSize := 1
+	for i, q := range qdims {
+		if q < 1 || q > dims[i] {
+			return ClusterStats{}, fmt.Errorf("metrics: query side %d outside [1,%d] in dim %d", q, dims[i], i)
+		}
+		boxSize *= q
+	}
+	st := ClusterStats{QueryDims: append([]int(nil), qdims...)}
+	ranks := make([]int, 0, boxSize)
+	cell := make([]int, len(dims))
+	var sum float64
+	forEachQueryPosition(dims, qdims, func(start []int) {
+		ranks = ranks[:0]
+		copy(cell, start)
+		for {
+			ranks = append(ranks, m.Rank(g.ID(cell)))
+			if !boxOdometer(cell, start, qdims) {
+				break
+			}
+		}
+		sort.Ints(ranks)
+		clusters := 1
+		for i := 1; i < len(ranks); i++ {
+			if ranks[i] != ranks[i-1]+1 {
+				clusters++
+			}
+		}
+		if clusters > st.Max {
+			st.Max = clusters
+		}
+		sum += float64(clusters)
+		st.Queries++
+	})
+	if st.Queries > 0 {
+		st.Mean = sum / float64(st.Queries)
+	}
+	return st, nil
+}
+
+// forEachQueryPosition calls fn with every valid start position for a
+// qdims-shaped box inside dims. The slice passed to fn is reused.
+func forEachQueryPosition(dims, qdims []int, fn func(start []int)) {
+	start := make([]int, len(dims))
+	for {
+		fn(start)
+		// Odometer over start positions, bounded by dims-qdims.
+		i := len(start) - 1
+		for ; i >= 0; i-- {
+			start[i]++
+			if start[i] <= dims[i]-qdims[i] {
+				break
+			}
+			start[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// boxOdometer advances cell within the box anchored at start; returns false
+// after the last cell.
+func boxOdometer(cell, start, qdims []int) bool {
+	for i := len(cell) - 1; i >= 0; i-- {
+		cell[i]++
+		if cell[i] < start[i]+qdims[i] {
+			return true
+		}
+		cell[i] = start[i]
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+)
+
+// PairwiseByManhattanSampled estimates PairStats from uniformly random
+// point pairs (deterministic in seed), for grids too large for the exact
+// O(N²) sweep of PairwiseByManhattan. Max gaps are lower bounds on the true
+// worst case; means are unbiased estimates. Counts reflect the sample, not
+// the population.
+func PairwiseByManhattanSampled(m *order.Mapping, pairs int, seed int64) (*PairStats, error) {
+	if pairs < 1 {
+		return nil, fmt.Errorf("metrics: sample size %d < 1", pairs)
+	}
+	g := m.Grid()
+	n := g.Size()
+	if n < 2 {
+		return nil, fmt.Errorf("metrics: grid too small for pairs")
+	}
+	maxD := g.MaxManhattan()
+	stats := &PairStats{
+		MaxDistance: maxD,
+		MaxGap:      make([]int, maxD),
+		SumGap:      make([]float64, maxD),
+		Count:       make([]int64, maxD),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ranks := m.Ranks()
+	for k := 0; k < pairs; k++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if a == b {
+			k--
+			continue
+		}
+		dist := g.Manhattan(a, b)
+		gap := ranks[a] - ranks[b]
+		if gap < 0 {
+			gap = -gap
+		}
+		idx := dist - 1
+		if gap > stats.MaxGap[idx] {
+			stats.MaxGap[idx] = gap
+		}
+		stats.SumGap[idx] += float64(gap)
+		stats.Count[idx]++
+	}
+	return stats, nil
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+)
+
+func TestPairwiseSampledValidation(t *testing.T) {
+	g := graph.MustGrid(4, 4)
+	m, _ := order.New("sweep", g, order.SpectralConfig{})
+	if _, err := PairwiseByManhattanSampled(m, 0, 1); err == nil {
+		t.Error("zero sample accepted")
+	}
+	one := graph.MustGrid(1)
+	m1, err := order.New("sweep", one, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PairwiseByManhattanSampled(m1, 10, 1); err == nil {
+		t.Error("single-point grid accepted")
+	}
+}
+
+func TestPairwiseSampledApproximatesExact(t *testing.T) {
+	// With a large sample on a small grid, sampled means converge to the
+	// exact means and sampled maxima never exceed the exact maxima.
+	g := graph.MustGrid(6, 6)
+	m, err := order.New("hilbert", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := PairwiseByManhattan(m)
+	sampled, err := PairwiseByManhattanSampled(m, 60000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.MaxDistance != exact.MaxDistance {
+		t.Fatalf("max distance mismatch")
+	}
+	for d := 1; d <= exact.MaxDistance; d++ {
+		if sampled.MaxGapAt(d) > exact.MaxGapAt(d) {
+			t.Errorf("d=%d: sampled max %d exceeds exact %d", d, sampled.MaxGapAt(d), exact.MaxGapAt(d))
+		}
+		if exact.Count[d-1] > 20 && sampled.Count[d-1] > 100 {
+			em, sm := exact.MeanGap(d), sampled.MeanGap(d)
+			if math.Abs(em-sm) > 0.25*em+1 {
+				t.Errorf("d=%d: sampled mean %v far from exact %v", d, sm, em)
+			}
+		}
+	}
+	// With enough samples the global worst pair is usually found; check
+	// the overall max is close.
+	var exactMax, sampledMax int
+	for d := 1; d <= exact.MaxDistance; d++ {
+		if exact.MaxGapAt(d) > exactMax {
+			exactMax = exact.MaxGapAt(d)
+		}
+		if sampled.MaxGapAt(d) > sampledMax {
+			sampledMax = sampled.MaxGapAt(d)
+		}
+	}
+	if float64(sampledMax) < 0.9*float64(exactMax) {
+		t.Errorf("sampled global max %d too far below exact %d", sampledMax, exactMax)
+	}
+}
+
+func TestPairwiseSampledDeterministic(t *testing.T) {
+	g := graph.MustGrid(8, 8)
+	m, _ := order.New("gray", g, order.SpectralConfig{})
+	a, err := PairwiseByManhattanSampled(m, 1000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PairwiseByManhattanSampled(m, 1000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d <= a.MaxDistance; d++ {
+		if a.MaxGapAt(d) != b.MaxGapAt(d) || a.Count[d-1] != b.Count[d-1] {
+			t.Fatal("sampled stats not deterministic")
+		}
+	}
+}

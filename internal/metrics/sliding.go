@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+)
+
+// RangeSpanFast computes exactly the same statistics as RangeSpan but in
+// O(N·d) per shape instead of O(positions·volume), using separable
+// monotonic-deque sliding-window minima/maxima. It makes the partial-query
+// populations of the paper's Figure 6 affordable.
+func RangeSpanFast(m *order.Mapping, qdims []int) (SpanStats, error) {
+	g := m.Grid()
+	dims := g.Dims()
+	if len(qdims) != len(dims) {
+		return SpanStats{}, fmt.Errorf("metrics: query arity %d, grid %d", len(qdims), len(dims))
+	}
+	for i, q := range qdims {
+		if q < 1 || q > dims[i] {
+			return SpanStats{}, fmt.Errorf("metrics: query side %d outside [1,%d] in dim %d", q, dims[i], i)
+		}
+	}
+	spans := slidingSpans(m, qdims)
+	st := SpanStats{QueryDims: append([]int(nil), qdims...), Min: math.MaxInt}
+	var sum, sumSq float64
+	for _, sp := range spans {
+		if sp > st.Max {
+			st.Max = sp
+		}
+		if sp < st.Min {
+			st.Min = sp
+		}
+		sum += float64(sp)
+		sumSq += float64(sp) * float64(sp)
+		st.Queries++
+	}
+	if st.Queries > 0 {
+		st.Mean = sum / float64(st.Queries)
+		variance := sumSq/float64(st.Queries) - st.Mean*st.Mean
+		if variance > 0 {
+			st.StdDev = math.Sqrt(variance)
+		}
+	} else {
+		st.Min = 0
+	}
+	return st, nil
+}
+
+// slidingSpans returns (max−min rank) for every position of a qdims-shaped
+// box, as a flat row-major array over the position space
+// (dims[i]−qdims[i]+1 per dimension).
+func slidingSpans(m *order.Mapping, qdims []int) []int {
+	g := m.Grid()
+	dims := append([]int(nil), g.Dims()...)
+	n := g.Size()
+	mins := make([]int, n)
+	maxs := make([]int, n)
+	ranks := m.Ranks()
+	copy(mins, ranks)
+	copy(maxs, ranks)
+	for axis := range dims {
+		if qdims[axis] == 1 {
+			continue
+		}
+		mins, _ = slideAxis(mins, dims, axis, qdims[axis], true)
+		maxs, dims = slideAxis(maxs, dims, axis, qdims[axis], false)
+	}
+	out := make([]int, len(mins))
+	for i := range out {
+		out[i] = maxs[i] - mins[i]
+	}
+	return out
+}
+
+// slideAxis applies a 1-D sliding-window min (useMin) or max along the
+// given axis of a row-major array, returning the shrunk array and its new
+// dimensions. Classic monotonic-deque algorithm, O(len(data)).
+func slideAxis(data []int, dims []int, axis, window int, useMin bool) ([]int, []int) {
+	outDims := append([]int(nil), dims...)
+	outDims[axis] = dims[axis] - window + 1
+
+	// Row-major strides of the input.
+	stride := make([]int, len(dims))
+	s := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		stride[i] = s
+		s *= dims[i]
+	}
+	outStride := make([]int, len(outDims))
+	s = 1
+	for i := len(outDims) - 1; i >= 0; i-- {
+		outStride[i] = s
+		s *= outDims[i]
+	}
+	out := make([]int, s)
+
+	// Enumerate all lines along `axis`: iterate over every combination of
+	// the other coordinates.
+	lineLen := dims[axis]
+	outLen := outDims[axis]
+	idx := make([]int, len(dims)) // other-coordinate odometer; idx[axis] stays 0
+	deque := make([]int, 0, window)
+	values := make([]int, lineLen)
+	better := func(a, b int) bool {
+		if useMin {
+			return a <= b
+		}
+		return a >= b
+	}
+	for {
+		base, outBase := 0, 0
+		for i, c := range idx {
+			base += c * stride[i]
+			outBase += c * outStride[i]
+		}
+		// Load the line, run the deque.
+		for k := 0; k < lineLen; k++ {
+			values[k] = data[base+k*stride[axis]]
+		}
+		deque = deque[:0]
+		for k := 0; k < lineLen; k++ {
+			for len(deque) > 0 && better(values[k], values[deque[len(deque)-1]]) {
+				deque = deque[:len(deque)-1]
+			}
+			deque = append(deque, k)
+			if deque[0] <= k-window {
+				deque = deque[1:]
+			}
+			if k >= window-1 {
+				out[outBase+(k-window+1)*outStride[axis]] = values[deque[0]]
+			}
+		}
+		// Advance the odometer over the non-axis coordinates.
+		i := len(dims) - 1
+		for ; i >= 0; i-- {
+			if i == axis {
+				continue
+			}
+			idx[i]++
+			if idx[i] < dims[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	_ = outLen
+	return out, outDims
+}
+
+// PartialSpanStats aggregates the span statistic over the paper's Figure 6
+// query population: all *partial* range queries of approximately a target
+// volume — every shape (l_1, ..., l_d) with 1 ≤ l_i ≤ side (l_i = side
+// leaving dimension i unconstrained) whose volume falls within the
+// tolerance band, at every position.
+type PartialSpanStats struct {
+	// TargetFraction is the requested size as a fraction of the space.
+	TargetFraction float64
+	// Shapes is the number of query shapes in the band.
+	Shapes int
+	// Queries counts (shape, position) pairs evaluated.
+	Queries int64
+	// Max, Mean, StdDev summarize the span over the whole population.
+	Max    int
+	Mean   float64
+	StdDev float64
+}
+
+// PartialRangeSpan evaluates the partial-query population for a target
+// volume fraction. tolFactor bounds the band: volumes within
+// [target/tolFactor, target*tolFactor] qualify (√2 is a reasonable
+// default; pass 0 to use it). It errors when no shape falls in the band.
+func PartialRangeSpan(m *order.Mapping, fraction, tolFactor float64) (PartialSpanStats, error) {
+	if fraction <= 0 || fraction > 1 {
+		return PartialSpanStats{}, fmt.Errorf("metrics: fraction %v outside (0,1]", fraction)
+	}
+	if tolFactor == 0 {
+		tolFactor = math.Sqrt2
+	}
+	if tolFactor < 1 {
+		return PartialSpanStats{}, fmt.Errorf("metrics: tolerance factor %v < 1", tolFactor)
+	}
+	g := m.Grid()
+	dims := g.Dims()
+	target := fraction * float64(g.Size())
+	lo := target / tolFactor
+	hi := target * tolFactor
+
+	st := PartialSpanStats{TargetFraction: fraction}
+	var sum, sumSq float64
+	shape := make([]int, len(dims))
+	var rec func(i int, vol float64) error
+	rec = func(i int, vol float64) error {
+		if vol > hi {
+			return nil // volume only grows with more dimensions
+		}
+		if i == len(dims) {
+			if vol < lo {
+				return nil
+			}
+			spans := slidingSpans(m, shape)
+			st.Shapes++
+			for _, sp := range spans {
+				if sp > st.Max {
+					st.Max = sp
+				}
+				sum += float64(sp)
+				sumSq += float64(sp) * float64(sp)
+				st.Queries++
+			}
+			return nil
+		}
+		for l := 1; l <= dims[i]; l++ {
+			shape[i] = l
+			if err := rec(i+1, vol*float64(l)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, 1); err != nil {
+		return PartialSpanStats{}, err
+	}
+	if st.Shapes == 0 {
+		return PartialSpanStats{}, fmt.Errorf("metrics: no query shape has volume within [%.3g, %.3g]", lo, hi)
+	}
+	st.Mean = sum / float64(st.Queries)
+	variance := sumSq/float64(st.Queries) - st.Mean*st.Mean
+	if variance > 0 {
+		st.StdDev = math.Sqrt(variance)
+	}
+	return st, nil
+}

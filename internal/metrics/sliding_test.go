@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+)
+
+func TestSlideAxis1D(t *testing.T) {
+	data := []int{5, 1, 3, 2, 4}
+	mins, dims := slideAxis(data, []int{5}, 0, 3, true)
+	wantMins := []int{1, 1, 2}
+	if dims[0] != 3 {
+		t.Fatalf("out dims = %v", dims)
+	}
+	for i := range wantMins {
+		if mins[i] != wantMins[i] {
+			t.Fatalf("mins = %v, want %v", mins, wantMins)
+		}
+	}
+	maxs, _ := slideAxis(data, []int{5}, 0, 2, false)
+	wantMaxs := []int{5, 3, 3, 4}
+	for i := range wantMaxs {
+		if maxs[i] != wantMaxs[i] {
+			t.Fatalf("maxs = %v, want %v", maxs, wantMaxs)
+		}
+	}
+}
+
+func TestSlideAxis2D(t *testing.T) {
+	// 2x3 array row-major: [[1,2,3],[4,5,6]]; window 2 along axis 0.
+	data := []int{1, 2, 3, 4, 5, 6}
+	mins, dims := slideAxis(data, []int{2, 3}, 0, 2, true)
+	if dims[0] != 1 || dims[1] != 3 {
+		t.Fatalf("dims = %v", dims)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if mins[i] != want[i] {
+			t.Fatalf("mins = %v, want %v", mins, want)
+		}
+	}
+	// Window 2 along axis 1: [[min(1,2),min(2,3)],[min(4,5),min(5,6)]].
+	mins, dims = slideAxis(data, []int{2, 3}, 1, 2, true)
+	if dims[0] != 2 || dims[1] != 2 {
+		t.Fatalf("dims = %v", dims)
+	}
+	want = []int{1, 2, 4, 5}
+	for i := range want {
+		if mins[i] != want[i] {
+			t.Fatalf("mins = %v, want %v", mins, want)
+		}
+	}
+}
+
+func TestRangeSpanFastMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	grids := [][]int{{6, 7}, {4, 4, 4}, {3, 5, 2}, {9}}
+	for _, dims := range grids {
+		g := graph.MustGrid(dims...)
+		// Random permutation mapping.
+		perm := rng.Perm(g.Size())
+		m, err := order.FromRanks("rand", g, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			qdims := make([]int, len(dims))
+			for i := range qdims {
+				qdims[i] = 1 + rng.Intn(dims[i])
+			}
+			slow, err := RangeSpan(m, qdims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := RangeSpanFast(m, qdims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if slow.Max != fast.Max || slow.Min != fast.Min || slow.Queries != fast.Queries {
+				t.Fatalf("grid %v query %v: slow %+v fast %+v", dims, qdims, slow, fast)
+			}
+			if math.Abs(slow.Mean-fast.Mean) > 1e-9 || math.Abs(slow.StdDev-fast.StdDev) > 1e-9 {
+				t.Fatalf("grid %v query %v: stats differ: slow %+v fast %+v", dims, qdims, slow, fast)
+			}
+		}
+	}
+}
+
+func TestRangeSpanFastValidation(t *testing.T) {
+	g := graph.MustGrid(4, 4)
+	m, err := order.New("sweep", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RangeSpanFast(m, []int{1}); err == nil {
+		t.Error("arity accepted")
+	}
+	if _, err := RangeSpanFast(m, []int{5, 1}); err == nil {
+		t.Error("oversize accepted")
+	}
+	if _, err := RangeSpanFast(m, []int{0, 1}); err == nil {
+		t.Error("zero side accepted")
+	}
+}
+
+func TestPartialRangeSpanSweep(t *testing.T) {
+	// 4x4 sweep grid, target 25% (4 cells), band [2.83, 5.66] -> volumes
+	// 3,4,5: shapes (1,3),(3,1),(1,4),(4,1),(2,2).
+	g := graph.MustGrid(4, 4)
+	m, err := order.New("sweep", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := PartialRangeSpan(m, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shapes != 5 {
+		t.Errorf("shapes = %d, want 5", st.Shapes)
+	}
+	// Worst shape for sweep is the column (4,1): span = 3*4 = 12.
+	if st.Max != 12 {
+		t.Errorf("max span = %d, want 12", st.Max)
+	}
+	if st.Queries <= 0 || st.Mean <= 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestPartialRangeSpanValidation(t *testing.T) {
+	g := graph.MustGrid(4, 4)
+	m, _ := order.New("sweep", g, order.SpectralConfig{})
+	if _, err := PartialRangeSpan(m, 0, 0); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := PartialRangeSpan(m, 2, 0); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := PartialRangeSpan(m, 0.5, 0.5); err == nil {
+		t.Error("tolerance < 1 accepted")
+	}
+	// A band so tight nothing matches: target 0.1% of 16 cells = 0.016.
+	if _, err := PartialRangeSpan(m, 0.001, 1.0001); err == nil {
+		t.Error("empty band accepted")
+	}
+}
+
+func TestPartialRangeSpanSpectralBeatsSweepWorstCase(t *testing.T) {
+	// The paper's Figure 6a claim on the partial-query population: the
+	// worst-case span of Spectral is below Sweep's (whose fast-axis-only
+	// shapes span nearly the whole file).
+	g := graph.MustGrid(6, 6, 6, 6)
+	sweep, err := order.New("sweep", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spectral, err := order.New("spectral", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := PartialRangeSpan(sweep, 0.08, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := PartialRangeSpan(spectral, 0.08, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Max >= sw.Max {
+		t.Errorf("spectral worst span %d not below sweep %d", sp.Max, sw.Max)
+	}
+}

@@ -1,0 +1,48 @@
+package order
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+)
+
+// mappingJSON is the wire form of a Mapping: enough to rebuild it exactly.
+// Spectral orders are expensive to compute (an eigensolve); persisting the
+// resulting permutation lets a database compute the order once at load time
+// and reuse it for every query.
+type mappingJSON struct {
+	Name string `json:"name"`
+	Dims []int  `json:"dims"`
+	// Rank[vertexID] = 1-D position, vertex ids row-major over Dims.
+	Rank []int `json:"rank"`
+}
+
+// Encode writes the mapping as JSON.
+func (m *Mapping) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(mappingJSON{
+		Name: m.name,
+		Dims: m.grid.Dims(),
+		Rank: m.rank,
+	})
+}
+
+// Decode reads a mapping written by Encode, validating that the rank slice
+// is a permutation over the declared grid.
+func Decode(r io.Reader) (*Mapping, error) {
+	var mj mappingJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&mj); err != nil {
+		return nil, fmt.Errorf("order: decode mapping: %w", err)
+	}
+	g, err := graph.NewGrid(mj.Dims...)
+	if err != nil {
+		return nil, fmt.Errorf("order: decode mapping: %w", err)
+	}
+	if mj.Name == "" {
+		return nil, fmt.Errorf("order: decode mapping: empty name")
+	}
+	return FromRanks(mj.Name, g, mj.Rank)
+}

@@ -1,0 +1,77 @@
+package order
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+)
+
+func TestMappingEncodeDecodeRoundTrip(t *testing.T) {
+	g := graph.MustGrid(5, 7)
+	m, err := New("hilbert", g, SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "hilbert" || back.N() != 35 {
+		t.Fatalf("decoded metadata wrong: %s %d", back.Name(), back.N())
+	}
+	for id := 0; id < 35; id++ {
+		if back.Rank(id) != m.Rank(id) {
+			t.Fatalf("rank(%d) changed across round trip", id)
+		}
+	}
+	if back.Grid().Dims()[0] != 5 || back.Grid().Dims()[1] != 7 {
+		t.Error("grid dims lost")
+	}
+}
+
+func TestMappingDecodeRejectsCorruptInput(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "{",
+		"empty name":      `{"name":"","dims":[2,2],"rank":[0,1,2,3]}`,
+		"bad dims":        `{"name":"x","dims":[0],"rank":[]}`,
+		"short rank":      `{"name":"x","dims":[2,2],"rank":[0,1]}`,
+		"non-permutation": `{"name":"x","dims":[2,2],"rank":[0,1,2,2]}`,
+		"rank range":      `{"name":"x","dims":[2,2],"rank":[0,1,2,9]}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Decode(strings.NewReader(in)); err == nil {
+				t.Errorf("corrupt input accepted: %s", in)
+			}
+		})
+	}
+}
+
+func TestMappingDecodeSpectralRoundTrip(t *testing.T) {
+	// The point of persistence: decode avoids recomputing the eigensolve
+	// yet reproduces identical ranks.
+	g := graph.MustGrid(6, 6)
+	m, err := New("spectral", g, SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < m.N(); id++ {
+		if back.Rank(id) != m.Rank(id) {
+			t.Fatal("spectral ranks changed across persistence")
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package order
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the mapping decoder: it must either
+// return a valid mapping (whose ranks form a permutation) or an error —
+// never panic or accept garbage.
+func FuzzDecode(f *testing.F) {
+	f.Add(`{"name":"hilbert","dims":[2,2],"rank":[0,1,2,3]}`)
+	f.Add(`{"name":"","dims":[],"rank":[]}`)
+	f.Add(`{"name":"x","dims":[3],"rank":[2,0,1]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"name":"x","dims":[1000000,1000000,1000000,1000000],"rank":[]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := Decode(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		n := m.N()
+		seen := make([]bool, n)
+		for id := 0; id < n; id++ {
+			r := m.Rank(id)
+			if r < 0 || r >= n || seen[r] {
+				t.Fatalf("decoder accepted non-permutation: %q", in)
+			}
+			seen[r] = true
+			if m.Vertex(r) != id {
+				t.Fatalf("decoder produced inconsistent inverse: %q", in)
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+// Package partition implements recursive spectral partitioning — the
+// application through which the paper argues optimality (its reference [1],
+// Chan, Ciarlet, and Szeto: the median cut of the Fiedler vector is the
+// optimal bisection in the relaxed sense). KWay recursively applies the
+// spectral median cut to split a graph into k balanced parts, and the
+// package provides the edge-cut and balance metrics used to evaluate the
+// result (e.g. for declustering spatial data across disks or sites).
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/spectral-lpm/spectrallpm/internal/core"
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+)
+
+// KWay splits the graph into k parts of near-equal size by recursive
+// spectral bisection: each level orders the (sub)graph spectrally and cuts
+// it proportionally to the target part counts, so k need not be a power of
+// two. Parts are returned as sorted vertex lists, ordered by their
+// smallest vertex.
+func KWay(g *graph.Graph, k int, opt core.Options) ([][]int, error) {
+	n := g.N()
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k = %d < 1", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("partition: k = %d exceeds %d vertices", k, n)
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	var parts [][]int
+	var rec func(vertices []int, k int) error
+	rec = func(vertices []int, k int) error {
+		if k == 1 {
+			p := append([]int(nil), vertices...)
+			sort.Ints(p)
+			parts = append(parts, p)
+			return nil
+		}
+		sub, ids, err := g.Subgraph(vertices)
+		if err != nil {
+			return err
+		}
+		res, err := core.SpectralOrder(sub, opt)
+		if err != nil {
+			return err
+		}
+		kLeft := k / 2
+		kRight := k - kLeft
+		// Cut proportionally to the child part counts.
+		cut := len(vertices) * kLeft / k
+		if cut < kLeft {
+			cut = kLeft // every part needs at least one vertex
+		}
+		if len(vertices)-cut < kRight {
+			cut = len(vertices) - kRight
+		}
+		left := make([]int, 0, cut)
+		right := make([]int, 0, len(vertices)-cut)
+		for pos, v := range res.Order {
+			if pos < cut {
+				left = append(left, ids[v])
+			} else {
+				right = append(right, ids[v])
+			}
+		}
+		if err := rec(left, kLeft); err != nil {
+			return err
+		}
+		return rec(right, kRight)
+	}
+	if err := rec(all, k); err != nil {
+		return nil, err
+	}
+	sort.Slice(parts, func(a, b int) bool { return parts[a][0] < parts[b][0] })
+	return parts, nil
+}
+
+// Labels converts parts into a per-vertex part index. It errors when the
+// parts do not partition 0..n-1.
+func Labels(parts [][]int, n int) ([]int, error) {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for p, part := range parts {
+		for _, v := range part {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("partition: vertex %d outside [0,%d)", v, n)
+			}
+			if labels[v] != -1 {
+				return nil, fmt.Errorf("partition: vertex %d in parts %d and %d", v, labels[v], p)
+			}
+			labels[v] = p
+		}
+	}
+	for v, l := range labels {
+		if l == -1 {
+			return nil, fmt.Errorf("partition: vertex %d unassigned", v)
+		}
+	}
+	return labels, nil
+}
+
+// EdgeCut returns the total weight of edges whose endpoints lie in
+// different parts.
+func EdgeCut(g *graph.Graph, labels []int) (float64, error) {
+	if len(labels) != g.N() {
+		return 0, fmt.Errorf("partition: labels length %d, graph %d", len(labels), g.N())
+	}
+	var cut float64
+	g.Edges(func(u, v int, w float64) {
+		if labels[u] != labels[v] {
+			cut += w
+		}
+	})
+	return cut, nil
+}
+
+// Imbalance returns maxPartSize / ⌈n/k⌉ — 1.0 is perfectly balanced.
+func Imbalance(parts [][]int, n int) float64 {
+	if len(parts) == 0 || n == 0 {
+		return 1
+	}
+	max := 0
+	for _, p := range parts {
+		if len(p) > max {
+			max = len(p)
+		}
+	}
+	ideal := (n + len(parts) - 1) / len(parts)
+	return float64(max) / float64(ideal)
+}

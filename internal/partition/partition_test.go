@@ -1,0 +1,170 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/core"
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+)
+
+func TestKWayValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := KWay(g, 0, core.Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KWay(g, 5, core.Options{}); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestKWayPathCutsEvenly(t *testing.T) {
+	// Partitioning a path into k parts optimally cuts it into contiguous
+	// runs: edge cut = k-1.
+	g := graph.Path(12)
+	for _, k := range []int{1, 2, 3, 4, 6} {
+		parts, err := KWay(g, k, core.Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(parts) != k {
+			t.Fatalf("k=%d: got %d parts", k, len(parts))
+		}
+		labels, err := Labels(parts, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut, err := EdgeCut(g, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut != float64(k-1) {
+			t.Errorf("k=%d: edge cut %v, want %d", k, cut, k-1)
+		}
+		if im := Imbalance(parts, 12); im > 1.0+1e-9 {
+			t.Errorf("k=%d: imbalance %v", k, im)
+		}
+	}
+}
+
+func TestKWayGridBisectionQuality(t *testing.T) {
+	// On a 6x6 grid the optimal bisection cuts one grid line: cut 6. The
+	// spectral median cut must find it (Chan-Ciarlet-Szeto optimality).
+	grid := graph.MustGrid(6, 6)
+	g := graph.GridGraph(grid, graph.Orthogonal)
+	parts, err := KWay(g, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := Labels(parts, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := EdgeCut(g, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The balanced diagonal order cuts along an anti-diagonal: cut can be
+	// slightly above the straight-line 6 but must stay near-optimal.
+	if cut > 10 {
+		t.Errorf("6x6 bisection cut = %v, want near 6", cut)
+	}
+	if len(parts[0]) != 18 || len(parts[1]) != 18 {
+		t.Errorf("bisection sizes %d/%d", len(parts[0]), len(parts[1]))
+	}
+}
+
+func TestKWayBeatsRandomPartitionOnGrid(t *testing.T) {
+	grid := graph.MustGrid(8, 8)
+	g := graph.GridGraph(grid, graph.Orthogonal)
+	parts, err := KWay(g, 4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := Labels(parts, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spectralCut, err := EdgeCut(g, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random balanced partition baseline.
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(64)
+	randLabels := make([]int, 64)
+	for pos, v := range perm {
+		randLabels[v] = pos * 4 / 64
+	}
+	randCut, err := EdgeCut(g, randLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spectralCut >= randCut/2 {
+		t.Errorf("spectral 4-way cut %v not well below random %v", spectralCut, randCut)
+	}
+}
+
+func TestKWayOddKAndSingletons(t *testing.T) {
+	g := graph.Cycle(7)
+	parts, err := KWay(g, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts = %v", parts)
+	}
+	total := 0
+	for _, p := range parts {
+		if len(p) == 0 {
+			t.Error("empty part")
+		}
+		total += len(p)
+	}
+	if total != 7 {
+		t.Errorf("parts cover %d vertices", total)
+	}
+	// k == n: all singletons.
+	parts, err = KWay(g, 7, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parts {
+		if len(p) != 1 {
+			t.Errorf("k=n produced part %v", p)
+		}
+	}
+}
+
+func TestLabelsValidation(t *testing.T) {
+	if _, err := Labels([][]int{{0, 1}, {1}}, 2); err == nil {
+		t.Error("overlapping parts accepted")
+	}
+	if _, err := Labels([][]int{{0}}, 2); err == nil {
+		t.Error("incomplete parts accepted")
+	}
+	if _, err := Labels([][]int{{0, 5}}, 2); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+}
+
+func TestEdgeCutValidation(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := EdgeCut(g, []int{0}); err == nil {
+		t.Error("short labels accepted")
+	}
+	cut, err := EdgeCut(g, []int{0, 0, 0})
+	if err != nil || cut != 0 {
+		t.Errorf("single-part cut %v err %v", cut, err)
+	}
+}
+
+func TestImbalanceEdgeCases(t *testing.T) {
+	if Imbalance(nil, 0) != 1 {
+		t.Error("empty imbalance")
+	}
+	// 3 parts of sizes 1,1,4 over n=6: ideal 2, imbalance 2.
+	if im := Imbalance([][]int{{0}, {1}, {2, 3, 4, 5}}, 6); im != 2 {
+		t.Errorf("imbalance = %v, want 2", im)
+	}
+}

@@ -1,0 +1,207 @@
+// Package rtree implements a static bulk-loaded ("packed") R-tree over
+// multi-dimensional integer points — the R-tree packing application the
+// paper's introduction lists for locality-preserving mappings. Leaves take
+// consecutive runs of a supplied linear order (Hilbert-packed, spectral-
+// packed, sweep-packed, ...); window queries report both the matching
+// points and the number of nodes visited, so different pack orders can be
+// compared by their query I/O.
+package rtree
+
+import (
+	"fmt"
+)
+
+// Rect is a closed axis-aligned box: Min[i] <= x_i <= Max[i].
+type Rect struct {
+	Min, Max []int
+}
+
+// NewRect validates and returns a rectangle.
+func NewRect(min, max []int) (Rect, error) {
+	if len(min) != len(max) {
+		return Rect{}, fmt.Errorf("rtree: rect arity mismatch %d vs %d", len(min), len(max))
+	}
+	for i := range min {
+		if min[i] > max[i] {
+			return Rect{}, fmt.Errorf("rtree: rect min %d > max %d in dim %d", min[i], max[i], i)
+		}
+	}
+	return Rect{Min: append([]int(nil), min...), Max: append([]int(nil), max...)}, nil
+}
+
+// Intersects reports whether two rectangles overlap (closed bounds).
+func (r Rect) Intersects(o Rect) bool {
+	for i := range r.Min {
+		if r.Max[i] < o.Min[i] || o.Max[i] < r.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsPoint reports whether the rectangle contains the point.
+func (r Rect) ContainsPoint(p []int) bool {
+	for i := range r.Min {
+		if p[i] < r.Min[i] || p[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Area returns the d-dimensional volume of the rectangle (cells, counting
+// inclusive bounds).
+func (r Rect) Area() int64 {
+	v := int64(1)
+	for i := range r.Min {
+		v *= int64(r.Max[i] - r.Min[i] + 1)
+	}
+	return v
+}
+
+// expand grows r to cover o in place.
+func (r *Rect) expand(o Rect) {
+	for i := range r.Min {
+		if o.Min[i] < r.Min[i] {
+			r.Min[i] = o.Min[i]
+		}
+		if o.Max[i] > r.Max[i] {
+			r.Max[i] = o.Max[i]
+		}
+	}
+}
+
+type node struct {
+	rect     Rect
+	children []*node // nil for leaves
+	points   []int   // point indices for leaves
+}
+
+// Tree is a static packed R-tree. Build one with Pack.
+type Tree struct {
+	root     *node
+	points   [][]int
+	fanout   int
+	numNodes int
+	height   int
+}
+
+// Pack bulk-loads an R-tree: points are grouped into leaves of `fanout`
+// consecutive entries following the permutation ord (ord[k] is the index of
+// the k-th point in the linear order), then levels of MBRs are built
+// bottom-up, fanout-at-a-time. This is exactly how Hilbert-packed R-trees
+// are built; passing a spectral order yields the spectral-packed variant.
+func Pack(points [][]int, ord []int, fanout int) (*Tree, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("rtree: no points")
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("rtree: fanout %d < 2", fanout)
+	}
+	if len(ord) != n {
+		return nil, fmt.Errorf("rtree: order length %d, points %d", len(ord), n)
+	}
+	d := len(points[0])
+	seen := make([]bool, n)
+	for _, idx := range ord {
+		if idx < 0 || idx >= n || seen[idx] {
+			return nil, fmt.Errorf("rtree: order is not a permutation")
+		}
+		seen[idx] = true
+	}
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("rtree: point %d arity %d, want %d", i, len(p), d)
+		}
+	}
+
+	t := &Tree{points: points, fanout: fanout}
+	// Build leaves over consecutive runs of the order.
+	var level []*node
+	for start := 0; start < n; start += fanout {
+		end := start + fanout
+		if end > n {
+			end = n
+		}
+		leaf := &node{points: append([]int(nil), ord[start:end]...)}
+		leaf.rect = pointRect(points[leaf.points[0]])
+		for _, idx := range leaf.points[1:] {
+			leaf.rect.expand(pointRect(points[idx]))
+		}
+		level = append(level, leaf)
+		t.numNodes++
+	}
+	t.height = 1
+	// Build internal levels.
+	for len(level) > 1 {
+		var next []*node
+		for start := 0; start < len(level); start += fanout {
+			end := start + fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			in := &node{children: append([]*node(nil), level[start:end]...)}
+			in.rect = cloneRect(in.children[0].rect)
+			for _, c := range in.children[1:] {
+				in.rect.expand(c.rect)
+			}
+			next = append(next, in)
+			t.numNodes++
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+// Height returns the number of levels (leaves = 1).
+func (t *Tree) Height() int { return t.height }
+
+// NumNodes returns the total node count.
+func (t *Tree) NumNodes() int { return t.numNodes }
+
+// Fanout returns the maximum entries per node.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Bounds returns the root MBR.
+func (t *Tree) Bounds() Rect { return cloneRect(t.root.rect) }
+
+// Search returns the indices of points inside the query window plus the
+// number of tree nodes visited — the I/O cost proxy used to compare pack
+// orders.
+func (t *Tree) Search(q Rect) (results []int, nodesVisited int) {
+	if len(q.Min) != len(t.points[0]) {
+		panic(fmt.Sprintf("rtree: query arity %d, want %d", len(q.Min), len(t.points[0])))
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		nodesVisited++
+		if n.points != nil {
+			for _, idx := range n.points {
+				if q.ContainsPoint(t.points[idx]) {
+					results = append(results, idx)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			if q.Intersects(c.rect) {
+				walk(c)
+			}
+		}
+	}
+	if q.Intersects(t.root.rect) {
+		walk(t.root)
+	}
+	return results, nodesVisited
+}
+
+func pointRect(p []int) Rect {
+	return Rect{Min: append([]int(nil), p...), Max: append([]int(nil), p...)}
+}
+
+func cloneRect(r Rect) Rect {
+	return Rect{Min: append([]int(nil), r.Min...), Max: append([]int(nil), r.Max...)}
+}

@@ -1,0 +1,197 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+	"github.com/spectral-lpm/spectrallpm/internal/workload"
+)
+
+func identity(n int) []int {
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	return ord
+}
+
+func TestNewRectValidation(t *testing.T) {
+	if _, err := NewRect([]int{0}, []int{1, 2}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := NewRect([]int{2}, []int{1}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	r, err := NewRect([]int{0, 1}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Area() != 9 {
+		t.Errorf("Area = %d, want 9", r.Area())
+	}
+}
+
+func TestRectPredicates(t *testing.T) {
+	a, _ := NewRect([]int{0, 0}, []int{2, 2})
+	b, _ := NewRect([]int{2, 2}, []int{4, 4})
+	c, _ := NewRect([]int{3, 0}, []int{4, 1})
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("touching rects should intersect (closed bounds)")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint rects intersect")
+	}
+	if !a.ContainsPoint([]int{1, 2}) || a.ContainsPoint([]int{3, 0}) {
+		t.Error("ContainsPoint wrong")
+	}
+}
+
+func TestPackValidation(t *testing.T) {
+	pts := [][]int{{0, 0}, {1, 1}}
+	if _, err := Pack(nil, nil, 4); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := Pack(pts, []int{0, 1}, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	if _, err := Pack(pts, []int{0}, 2); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := Pack(pts, []int{0, 0}, 2); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	if _, err := Pack([][]int{{0, 0}, {1}}, []int{0, 1}, 2); err == nil {
+		t.Error("ragged points accepted")
+	}
+}
+
+func TestPackStructure(t *testing.T) {
+	// 16 points, fanout 4: 4 leaves + 1 root = 5 nodes, height 2.
+	g := graph.MustGrid(4, 4)
+	pts := workload.FullGridPoints(g)
+	tr, err := Pack(pts, identity(16), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 5 || tr.Height() != 2 || tr.Fanout() != 4 {
+		t.Errorf("nodes=%d height=%d", tr.NumNodes(), tr.Height())
+	}
+	b := tr.Bounds()
+	if b.Min[0] != 0 || b.Max[0] != 3 || b.Min[1] != 0 || b.Max[1] != 3 {
+		t.Errorf("bounds %+v", b)
+	}
+	// Single leaf tree.
+	small, err := Pack(pts[:3], identity(3), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Height() != 1 || small.NumNodes() != 1 {
+		t.Errorf("small tree nodes=%d height=%d", small.NumNodes(), small.Height())
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.MustGrid(12, 12)
+	pts, err := workload.UniformPoints(g, 90, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Pack(pts, identity(len(pts)), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		x0, y0 := rng.Intn(12), rng.Intn(12)
+		x1, y1 := x0+rng.Intn(12-x0), y0+rng.Intn(12-y0)
+		q, err := NewRect([]int{x0, y0}, []int{x1, y1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, visited := tr.Search(q)
+		if visited < 1 {
+			t.Fatal("no nodes visited")
+		}
+		var want []int
+		for i, p := range pts {
+			if q.ContainsPoint(p) {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSearchDisjointQueryVisitsNothing(t *testing.T) {
+	pts := [][]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	tr, err := Pack(pts, identity(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := NewRect([]int{5, 5}, []int{6, 6})
+	res, visited := tr.Search(q)
+	if len(res) != 0 || visited != 0 {
+		t.Errorf("disjoint query: res=%v visited=%d", res, visited)
+	}
+}
+
+func TestSearchPanicsOnBadArity(t *testing.T) {
+	pts := [][]int{{0, 0}, {1, 1}}
+	tr, _ := Pack(pts, identity(2), 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tr.Search(Rect{Min: []int{0}, Max: []int{1}})
+}
+
+func TestHilbertPackingBeatsRandomPacking(t *testing.T) {
+	// The point of packing by a locality-preserving order: small window
+	// queries visit fewer nodes than under a random insertion order.
+	g := graph.MustGrid(16, 16)
+	pts := workload.FullGridPoints(g)
+	hilbertOrder, err := order.New("hilbert", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordH := make([]int, len(pts))
+	for id := range pts {
+		ordH[hilbertOrder.Rank(id)] = id
+	}
+	rng := rand.New(rand.NewSource(9))
+	ordR := rng.Perm(len(pts))
+
+	treeH, err := Pack(pts, ordH, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeR, err := Pack(pts, ordR, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var visH, visR int
+	for x := 0; x <= 12; x += 2 {
+		for y := 0; y <= 12; y += 2 {
+			q, _ := NewRect([]int{x, y}, []int{x + 3, y + 3})
+			_, v1 := treeH.Search(q)
+			_, v2 := treeR.Search(q)
+			visH += v1
+			visR += v2
+		}
+	}
+	if visH >= visR {
+		t.Errorf("hilbert-packed visits %d, random-packed %d", visH, visR)
+	}
+}

@@ -1,0 +1,161 @@
+// Package sfc implements the space-filling curves the paper compares
+// Spectral LPM against: the Hilbert, Peano, and Gray-coded fractal curves,
+// plus the non-fractal row-major Sweep — and, as extra reference points, the
+// Z-order (Morton) curve and the boustrophedon Snake. Every curve maps
+// d-dimensional grid coordinates to a 1-D index (Index) and back (Coords),
+// in arbitrary dimension, entirely with integer bit/digit manipulation.
+package sfc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Curve is a bijective mapping between the points of a finite d-dimensional
+// grid and the 1-D index range [0, Size()). Implementations are stateless
+// and safe for concurrent use.
+type Curve interface {
+	// Name identifies the curve family ("hilbert", "peano", ...).
+	Name() string
+	// Dims returns the per-dimension side lengths. The slice must not be
+	// modified.
+	Dims() []int
+	// Size returns the number of grid points (the product of Dims).
+	Size() uint64
+	// Index maps grid coordinates to the curve index. It panics when
+	// coords has the wrong arity or an out-of-range component: those are
+	// programming errors, matching the contract of graph.Grid.
+	Index(coords []int) uint64
+	// Coords maps a curve index back to grid coordinates, filling dst when
+	// it has the right length and allocating otherwise. It panics when
+	// index >= Size().
+	Coords(index uint64, dst []int) []int
+}
+
+// New constructs a curve by family name over a d-dimensional cube of the
+// given side. Supported names: "hilbert", "peano", "gray", "morton",
+// "sweep", "snake". Hilbert, Gray, and Morton require side to be a power of
+// two; Peano a power of three; Sweep and Snake accept any side.
+func New(name string, d, side int) (Curve, error) {
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = side
+	}
+	switch strings.ToLower(name) {
+	case "hilbert":
+		bits, err := log2Exact(side)
+		if err != nil {
+			return nil, fmt.Errorf("sfc: hilbert: %w", err)
+		}
+		return NewHilbert(d, bits)
+	case "peano":
+		m, err := log3Exact(side)
+		if err != nil {
+			return nil, fmt.Errorf("sfc: peano: %w", err)
+		}
+		return NewPeano(d, m)
+	case "gray":
+		bits, err := log2Exact(side)
+		if err != nil {
+			return nil, fmt.Errorf("sfc: gray: %w", err)
+		}
+		return NewGray(d, bits)
+	case "morton", "z", "zorder":
+		bits, err := log2Exact(side)
+		if err != nil {
+			return nil, fmt.Errorf("sfc: morton: %w", err)
+		}
+		return NewMorton(d, bits)
+	case "sweep", "rowmajor":
+		return NewSweep(dims...)
+	case "snake", "boustrophedon":
+		return NewSnake(dims...)
+	case "spiral":
+		if d != 2 {
+			return nil, fmt.Errorf("sfc: spiral is two-dimensional, got d=%d", d)
+		}
+		return NewSpiral(side)
+	default:
+		return nil, fmt.Errorf("sfc: unknown curve %q", name)
+	}
+}
+
+// Names lists the curve families New accepts, in the order the paper
+// presents them.
+func Names() []string {
+	return []string{"sweep", "peano", "gray", "hilbert", "morton", "snake"}
+}
+
+func log2Exact(side int) (int, error) {
+	if side < 2 || side&(side-1) != 0 {
+		return 0, fmt.Errorf("side %d is not a power of two >= 2", side)
+	}
+	b := 0
+	for s := side; s > 1; s >>= 1 {
+		b++
+	}
+	return b, nil
+}
+
+func log3Exact(side int) (int, error) {
+	if side < 3 {
+		return 0, fmt.Errorf("side %d is not a power of three >= 3", side)
+	}
+	m := 0
+	for s := side; s > 1; s /= 3 {
+		if s%3 != 0 {
+			return 0, fmt.Errorf("side %d is not a power of three", side)
+		}
+		m++
+	}
+	return m, nil
+}
+
+// checkCoords panics unless coords matches dims, mirroring graph.Grid.
+func checkCoords(name string, dims, coords []int) {
+	if len(coords) != len(dims) {
+		panic(fmt.Sprintf("sfc: %s: coordinate arity %d, want %d", name, len(coords), len(dims)))
+	}
+	for i, c := range coords {
+		if c < 0 || c >= dims[i] {
+			panic(fmt.Sprintf("sfc: %s: coordinate %d of dim %d outside [0,%d)", name, c, i, dims[i]))
+		}
+	}
+}
+
+// checkIndex panics when index is outside [0, size).
+func checkIndex(name string, index, size uint64) {
+	if index >= size {
+		panic(fmt.Sprintf("sfc: %s: index %d outside [0,%d)", name, index, size))
+	}
+}
+
+// ensureDst returns dst when it has length d, otherwise a fresh slice.
+func ensureDst(dst []int, d int) []int {
+	if len(dst) != d {
+		return make([]int, d)
+	}
+	return dst
+}
+
+// cubeDims returns a d-long slice filled with side.
+func cubeDims(d, side int) []int {
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = side
+	}
+	return dims
+}
+
+// pow returns base^exp for small arguments, erroring on uint64 overflow.
+func pow(base, exp int) (uint64, error) {
+	v := uint64(1)
+	for i := 0; i < exp; i++ {
+		next := v * uint64(base)
+		if next/uint64(base) != v {
+			return 0, fmt.Errorf("sfc: %d^%d overflows uint64", base, exp)
+		}
+		v = next
+	}
+	return v, nil
+}

@@ -1,0 +1,250 @@
+package sfc
+
+import (
+	"testing"
+)
+
+// allCurves returns every curve family instantiated on a small cube, for
+// the shared property tests: (curve, side) pairs across dimensions.
+func allCurves(t *testing.T) []Curve {
+	t.Helper()
+	var cs []Curve
+	add := func(c Curve, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	// 2-D
+	add(NewHilbert(2, 3)) // 8x8
+	add(NewPeano(2, 2))   // 9x9
+	add(NewGray(2, 3))
+	add(NewMorton(2, 3))
+	add(NewSweep(8, 8))
+	add(NewSnake(8, 8))
+	// 3-D
+	add(NewHilbert(3, 2)) // 4^3
+	add(NewPeano(3, 1))   // 3^3
+	add(NewGray(3, 2))
+	add(NewMorton(3, 2))
+	add(NewSnake(4, 3, 5)) // ragged
+	add(NewSweep(4, 3, 5))
+	// 4-D and 5-D
+	add(NewHilbert(4, 2)) // 16 per side? 2 bits -> 4 per side, 256 cells
+	add(NewPeano(4, 1))
+	add(NewGray(5, 1))
+	add(NewMorton(5, 1))
+	add(NewHilbert(5, 1))
+	add(NewSnake(3, 3, 3, 3))
+	// 1-D
+	add(NewHilbert(1, 4))
+	add(NewPeano(1, 3))
+	add(NewSweep(17))
+	add(NewSnake(17))
+	return cs
+}
+
+// TestBijectionProperty exhaustively checks that Coords(Index(p)) == p for
+// every grid point and that every index is hit exactly once.
+func TestBijectionProperty(t *testing.T) {
+	for _, c := range allCurves(t) {
+		c := c
+		t.Run(label(c), func(t *testing.T) {
+			size := c.Size()
+			seen := make([]bool, size)
+			coords := make([]int, len(c.Dims()))
+			// Enumerate all points via an odometer.
+			for i := range coords {
+				coords[i] = 0
+			}
+			for {
+				idx := c.Index(coords)
+				if idx >= size {
+					t.Fatalf("index %d out of range for %v", idx, coords)
+				}
+				if seen[idx] {
+					t.Fatalf("index %d hit twice (at %v)", idx, coords)
+				}
+				seen[idx] = true
+				back := c.Coords(idx, nil)
+				for k := range coords {
+					if back[k] != coords[k] {
+						t.Fatalf("round trip %v -> %d -> %v", coords, idx, back)
+					}
+				}
+				if !odometer(coords, c.Dims()) {
+					break
+				}
+			}
+			for i, s := range seen {
+				if !s {
+					t.Fatalf("index %d never produced", i)
+				}
+			}
+		})
+	}
+}
+
+// TestContinuityProperty checks the step size between consecutive indices:
+// Hilbert, Peano, and Snake are unit-continuous (Manhattan distance exactly
+// 1); Gray changes exactly one coordinate (by a power of two).
+func TestContinuityProperty(t *testing.T) {
+	for _, c := range allCurves(t) {
+		c := c
+		unitContinuous := c.Name() == "hilbert" || c.Name() == "peano" || c.Name() == "snake"
+		oneAxis := c.Name() == "gray"
+		if !unitContinuous && !oneAxis {
+			continue
+		}
+		t.Run(label(c), func(t *testing.T) {
+			prev := c.Coords(0, nil)
+			cur := make([]int, len(c.Dims()))
+			for idx := uint64(1); idx < c.Size(); idx++ {
+				c.Coords(idx, cur)
+				changed, dist := 0, 0
+				for k := range cur {
+					d := cur[k] - prev[k]
+					if d < 0 {
+						d = -d
+					}
+					if d != 0 {
+						changed++
+						dist += d
+					}
+				}
+				if unitContinuous && (changed != 1 || dist != 1) {
+					t.Fatalf("step %d->%d: %v -> %v not a unit step", idx-1, idx, prev, cur)
+				}
+				if oneAxis && changed != 1 {
+					t.Fatalf("step %d->%d: %v -> %v changes %d axes", idx-1, idx, prev, cur, changed)
+				}
+				copy(prev, cur)
+			}
+		})
+	}
+}
+
+// odometer advances coords through the grid; returns false after the last
+// point.
+func odometer(coords, dims []int) bool {
+	for i := len(coords) - 1; i >= 0; i-- {
+		coords[i]++
+		if coords[i] < dims[i] {
+			return true
+		}
+		coords[i] = 0
+	}
+	return false
+}
+
+func label(c Curve) string {
+	s := c.Name()
+	for _, d := range c.Dims() {
+		s += "_" + itoa(d)
+	}
+	return s
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestFactory(t *testing.T) {
+	tests := []struct {
+		name    string
+		d, side int
+		wantErr bool
+	}{
+		{"hilbert", 2, 8, false},
+		{"peano", 2, 9, false},
+		{"gray", 3, 4, false},
+		{"morton", 2, 16, false},
+		{"sweep", 2, 10, false},
+		{"snake", 2, 7, false},
+		{"hilbert", 2, 9, true},  // not a power of two
+		{"peano", 2, 8, true},    // not a power of three
+		{"gray", 2, 3, true},     // not a power of two
+		{"nosuch", 2, 8, true},   // unknown family
+		{"hilbert", 40, 4, true}, // too many bits
+	}
+	for _, tc := range tests {
+		c, err := New(tc.name, tc.d, tc.side)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("New(%q,%d,%d) err = %v, wantErr %v", tc.name, tc.d, tc.side, err, tc.wantErr)
+			continue
+		}
+		if err == nil {
+			if c.Name() == "" || len(c.Dims()) != tc.d {
+				t.Errorf("New(%q) returned malformed curve", tc.name)
+			}
+		}
+	}
+	if len(Names()) == 0 {
+		t.Error("Names empty")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewHilbert(0, 2); err == nil {
+		t.Error("hilbert d=0 accepted")
+	}
+	if _, err := NewHilbert(2, 0); err == nil {
+		t.Error("hilbert bits=0 accepted")
+	}
+	if _, err := NewHilbert(2, 32); err == nil {
+		t.Error("hilbert bits=32 accepted")
+	}
+	if _, err := NewPeano(0, 1); err == nil {
+		t.Error("peano d=0 accepted")
+	}
+	if _, err := NewPeano(2, 0); err == nil {
+		t.Error("peano levels=0 accepted")
+	}
+	if _, err := NewPeano(8, 5); err == nil {
+		t.Error("peano overflow accepted")
+	}
+	if _, err := NewGray(0, 1); err == nil {
+		t.Error("gray d=0 accepted")
+	}
+	if _, err := NewMorton(0, 1); err == nil {
+		t.Error("morton d=0 accepted")
+	}
+	if _, err := NewSweep(); err == nil {
+		t.Error("sweep no dims accepted")
+	}
+	if _, err := NewSweep(0); err == nil {
+		t.Error("sweep zero side accepted")
+	}
+	if _, err := NewSnake(2, -1); err == nil {
+		t.Error("snake negative side accepted")
+	}
+}
+
+func TestIndexPanicsOnBadInput(t *testing.T) {
+	h, _ := NewHilbert(2, 2)
+	for name, fn := range map[string]func(){
+		"arity":       func() { h.Index([]int{1}) },
+		"range":       func() { h.Index([]int{4, 0}) },
+		"negative":    func() { h.Index([]int{-1, 0}) },
+		"index range": func() { h.Coords(16, nil) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package sfc
+
+import "testing"
+
+// FuzzCurveRoundTrip drives every curve family with fuzzer-chosen geometry
+// and index, asserting the Coords→Index round trip. Run with
+// `go test -fuzz FuzzCurveRoundTrip ./internal/sfc` for exploration; the
+// seed corpus runs under plain `go test`.
+func FuzzCurveRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint64(17))
+	f.Add(uint8(1), uint8(1), uint64(0))
+	f.Add(uint8(5), uint8(2), uint64(999))
+	f.Add(uint8(3), uint8(4), uint64(4095))
+	f.Fuzz(func(t *testing.T, dRaw, bitsRaw uint8, idxRaw uint64) {
+		d := int(dRaw%6) + 1
+		bits := int(bitsRaw%4) + 1
+		if d*bits > 24 {
+			bits = 24 / d
+			if bits < 1 {
+				bits = 1
+			}
+		}
+		side2 := 1 << uint(bits)
+		levels := bits
+		if d*levels > 15 {
+			levels = 15 / d
+			if levels < 1 {
+				levels = 1
+			}
+		}
+		curves := []Curve{}
+		if h, err := NewHilbert(d, bits); err == nil {
+			curves = append(curves, h)
+		}
+		if p, err := NewPeano(d, levels); err == nil {
+			curves = append(curves, p)
+		}
+		if g, err := NewGray(d, bits); err == nil {
+			curves = append(curves, g)
+		}
+		if m, err := NewMorton(d, bits); err == nil {
+			curves = append(curves, m)
+		}
+		if s, err := NewSweep(cubeDims(d, side2)...); err == nil {
+			curves = append(curves, s)
+		}
+		if s, err := NewSnake(cubeDims(d, side2)...); err == nil {
+			curves = append(curves, s)
+		}
+		for _, c := range curves {
+			idx := idxRaw % c.Size()
+			coords := c.Coords(idx, nil)
+			for i, v := range coords {
+				if v < 0 || v >= c.Dims()[i] {
+					t.Fatalf("%s: Coords(%d) out of range: %v", c.Name(), idx, coords)
+				}
+			}
+			if back := c.Index(coords); back != idx {
+				t.Fatalf("%s: round trip %d -> %v -> %d", c.Name(), idx, coords, back)
+			}
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package sfc
+
+import "fmt"
+
+// Gray is the Gray-coded space-filling curve (Faloutsos, 1988): the curve
+// index is the binary-reflected-Gray-code rank of the bit-interleaved
+// coordinates. Consecutive indices differ in exactly one interleaved bit, so
+// exactly one coordinate changes — by a power of two (not necessarily 1;
+// the Gray curve is not unit-continuous, which is part of why the paper
+// groups it with the fractals that suffer boundary effects).
+type Gray struct {
+	d, bits int
+	dims    []int
+	size    uint64
+}
+
+// NewGray returns the Gray-coded curve in d dimensions with 2^bits cells per
+// side. d*bits must stay within 63 bits.
+func NewGray(d, bits int) (*Gray, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("sfc: gray needs d >= 1, got %d", d)
+	}
+	if bits < 1 || bits > 31 {
+		return nil, fmt.Errorf("sfc: gray bits %d outside [1,31]", bits)
+	}
+	if d*bits > 63 {
+		return nil, fmt.Errorf("sfc: gray d*bits = %d exceeds 63", d*bits)
+	}
+	size, err := pow(2, d*bits)
+	if err != nil {
+		return nil, err
+	}
+	return &Gray{d: d, bits: bits, dims: cubeDims(d, 1<<bits), size: size}, nil
+}
+
+// Name returns "gray".
+func (g *Gray) Name() string { return "gray" }
+
+// Dims returns the side lengths (all 2^bits).
+func (g *Gray) Dims() []int { return g.dims }
+
+// Size returns 2^(d*bits).
+func (g *Gray) Size() uint64 { return g.size }
+
+// Index maps coordinates to the Gray-curve index.
+func (g *Gray) Index(coords []int) uint64 {
+	checkCoords("gray", g.dims, coords)
+	return grayDecode(interleave(coords, g.bits))
+}
+
+// Coords maps a Gray-curve index back to coordinates.
+func (g *Gray) Coords(index uint64, dst []int) []int {
+	checkIndex("gray", index, g.size)
+	dst = ensureDst(dst, g.d)
+	deinterleave(grayEncode(index), g.bits, dst)
+	return dst
+}
+
+// grayEncode returns the binary-reflected Gray code of i.
+func grayEncode(i uint64) uint64 { return i ^ (i >> 1) }
+
+// grayDecode returns the rank of the Gray codeword gc.
+func grayDecode(gc uint64) uint64 {
+	i := gc
+	for shift := uint(1); shift < 64; shift <<= 1 {
+		i ^= i >> shift
+	}
+	return i
+}
+
+// interleave packs the bits of the coordinates MSB-first: bit (bits-1) of
+// coords[0] becomes the most significant output bit, then bit (bits-1) of
+// coords[1], and so on — the Z-order (Morton) interleave.
+func interleave(coords []int, bits int) uint64 {
+	var out uint64
+	for bit := bits - 1; bit >= 0; bit-- {
+		for _, c := range coords {
+			out = out<<1 | uint64(c>>uint(bit)&1)
+		}
+	}
+	return out
+}
+
+// deinterleave inverts interleave into dst.
+func deinterleave(v uint64, bits int, dst []int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	n := len(dst)
+	pos := uint(n*bits - 1)
+	for bit := bits - 1; bit >= 0; bit-- {
+		for i := 0; i < n; i++ {
+			dst[i] |= int(v>>pos&1) << uint(bit)
+			pos--
+		}
+	}
+}

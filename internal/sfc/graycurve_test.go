@@ -1,0 +1,52 @@
+package sfc
+
+import "testing"
+
+func TestGrayEncodeDecodeRoundTrip(t *testing.T) {
+	for i := uint64(0); i < 4096; i++ {
+		if got := grayDecode(grayEncode(i)); got != i {
+			t.Fatalf("gray round trip %d -> %d", i, got)
+		}
+	}
+	// Consecutive Gray codewords differ in exactly one bit.
+	for i := uint64(1); i < 4096; i++ {
+		diff := grayEncode(i) ^ grayEncode(i-1)
+		if diff&(diff-1) != 0 {
+			t.Fatalf("gray codes %d and %d differ in more than one bit", i-1, i)
+		}
+	}
+}
+
+func TestInterleaveKnownValues(t *testing.T) {
+	// 2-D, 2 bits: x=0b10, y=0b01 -> interleaved 0b1001 = 9.
+	if got := interleave([]int{2, 1}, 2); got != 9 {
+		t.Errorf("interleave([2,1],2) = %d, want 9", got)
+	}
+	dst := make([]int, 2)
+	deinterleave(9, 2, dst)
+	if dst[0] != 2 || dst[1] != 1 {
+		t.Errorf("deinterleave(9) = %v", dst)
+	}
+}
+
+func TestMortonEqualsInterleave(t *testing.T) {
+	m, _ := NewMorton(3, 2)
+	coords := []int{3, 1, 2}
+	if got, want := m.Index(coords), interleave(coords, 2); got != want {
+		t.Errorf("morton index %d != interleave %d", got, want)
+	}
+}
+
+func TestGrayCurve2x2Order(t *testing.T) {
+	// 2-D, 1 bit: interleaved values 0..3 correspond to (x,y) =
+	// (0,0),(0,1),(1,0),(1,1). Gray rank order: 00, 01, 11, 10 ->
+	// (0,0),(0,1),(1,1),(1,0).
+	g, _ := NewGray(2, 1)
+	want := [][2]int{{0, 0}, {0, 1}, {1, 1}, {1, 0}}
+	for i, w := range want {
+		got := g.Coords(uint64(i), nil)
+		if got[0] != w[0] || got[1] != w[1] {
+			t.Errorf("gray index %d -> %v, want %v", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package sfc
+
+import "fmt"
+
+// Morton is the Z-order (Morton) curve: the index is the plain bit
+// interleave of the coordinates. It is the cheapest multi-dimensional
+// mapping and a common industrial baseline, included beyond the paper's four
+// comparison curves.
+type Morton struct {
+	d, bits int
+	dims    []int
+	size    uint64
+}
+
+// NewMorton returns the Z-order curve in d dimensions with 2^bits cells per
+// side. d*bits must stay within 63 bits.
+func NewMorton(d, bits int) (*Morton, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("sfc: morton needs d >= 1, got %d", d)
+	}
+	if bits < 1 || bits > 31 {
+		return nil, fmt.Errorf("sfc: morton bits %d outside [1,31]", bits)
+	}
+	if d*bits > 63 {
+		return nil, fmt.Errorf("sfc: morton d*bits = %d exceeds 63", d*bits)
+	}
+	size, err := pow(2, d*bits)
+	if err != nil {
+		return nil, err
+	}
+	return &Morton{d: d, bits: bits, dims: cubeDims(d, 1<<bits), size: size}, nil
+}
+
+// Name returns "morton".
+func (m *Morton) Name() string { return "morton" }
+
+// Dims returns the side lengths (all 2^bits).
+func (m *Morton) Dims() []int { return m.dims }
+
+// Size returns 2^(d*bits).
+func (m *Morton) Size() uint64 { return m.size }
+
+// Index maps coordinates to the Z-order index.
+func (m *Morton) Index(coords []int) uint64 {
+	checkCoords("morton", m.dims, coords)
+	return interleave(coords, m.bits)
+}
+
+// Coords maps a Z-order index back to coordinates.
+func (m *Morton) Coords(index uint64, dst []int) []int {
+	checkIndex("morton", index, m.size)
+	dst = ensureDst(dst, m.d)
+	deinterleave(index, m.bits, dst)
+	return dst
+}

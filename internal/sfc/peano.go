@@ -1,0 +1,121 @@
+package sfc
+
+import "fmt"
+
+// Peano is the d-dimensional Peano space-filling curve on a cube of side
+// 3^levels. Its base pattern is the 3^d serpentine; at deeper levels a
+// coordinate digit is reflected (c -> 2-c) whenever the digits of the
+// *other* dimensions at earlier interleave positions sum to an odd value.
+// Because reflection preserves digit parity, the same rule drives both the
+// forward and the inverse transform. Like the Hilbert curve, consecutive
+// Peano indices map to cells at Manhattan distance exactly 1.
+type Peano struct {
+	d, levels int
+	dims      []int
+	size      uint64
+}
+
+// NewPeano returns the Peano curve in d dimensions with 3^levels cells per
+// side. d*levels must keep 3^(d*levels) within uint64.
+func NewPeano(d, levels int) (*Peano, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("sfc: peano needs d >= 1, got %d", d)
+	}
+	if levels < 1 {
+		return nil, fmt.Errorf("sfc: peano needs levels >= 1, got %d", levels)
+	}
+	if d*levels > 39 { // 3^40 > 2^63
+		return nil, fmt.Errorf("sfc: peano d*levels = %d exceeds 39", d*levels)
+	}
+	size, err := pow(3, d*levels)
+	if err != nil {
+		return nil, err
+	}
+	side, err := pow(3, levels)
+	if err != nil {
+		return nil, err
+	}
+	return &Peano{d: d, levels: levels, dims: cubeDims(d, int(side)), size: size}, nil
+}
+
+// Name returns "peano".
+func (p *Peano) Name() string { return "peano" }
+
+// Dims returns the side lengths (all 3^levels).
+func (p *Peano) Dims() []int { return p.dims }
+
+// Size returns 3^(d*levels).
+func (p *Peano) Size() uint64 { return p.size }
+
+// Index maps coordinates to the Peano index.
+func (p *Peano) Index(coords []int) uint64 {
+	checkCoords("peano", p.dims, coords)
+	// Coordinate digits, most significant level first.
+	digits := make([][]int, p.d)
+	for i, c := range coords {
+		digits[i] = base3Digits(c, p.levels)
+	}
+	sumPar := make([]int, p.d) // parity of digits of each dim seen so far
+	totalPar := 0
+	var index uint64
+	for level := 0; level < p.levels; level++ {
+		for i := 0; i < p.d; i++ {
+			cd := digits[i][level]
+			// Reflect when the other dimensions' earlier digits sum odd.
+			if (totalPar^sumPar[i])&1 == 1 {
+				cd = 2 - cd
+			}
+			index = index*3 + uint64(cd)
+			// Parity is reflection-invariant; update from the coordinate
+			// digit directly.
+			par := digits[i][level] & 1
+			sumPar[i] ^= par
+			totalPar ^= par
+		}
+	}
+	return index
+}
+
+// Coords maps a Peano index back to coordinates.
+func (p *Peano) Coords(index uint64, dst []int) []int {
+	checkIndex("peano", index, p.size)
+	nDigits := p.d * p.levels
+	tdigits := make([]int, nDigits) // interleaved index digits, MSB first
+	for k := nDigits - 1; k >= 0; k-- {
+		tdigits[k] = int(index % 3)
+		index /= 3
+	}
+	dst = ensureDst(dst, p.d)
+	for i := range dst {
+		dst[i] = 0
+	}
+	sumPar := make([]int, p.d)
+	totalPar := 0
+	k := 0
+	for level := 0; level < p.levels; level++ {
+		for i := 0; i < p.d; i++ {
+			t := tdigits[k]
+			k++
+			cd := t
+			if (totalPar^sumPar[i])&1 == 1 {
+				cd = 2 - t
+			}
+			dst[i] = dst[i]*3 + cd
+			par := t & 1
+			sumPar[i] ^= par
+			totalPar ^= par
+		}
+	}
+	return dst
+}
+
+// base3Digits returns the base-3 digits of v, most significant first, padded
+// to n digits.
+func base3Digits(v, n int) []int {
+	d := make([]int, n)
+	for k := n - 1; k >= 0; k-- {
+		d[k] = v % 3
+		v /= 3
+	}
+	return d
+}

@@ -1,0 +1,72 @@
+package sfc
+
+import "testing"
+
+func TestPeano3x3IsSerpentine(t *testing.T) {
+	// The base pattern of the 2-D Peano curve is the 3x3 serpentine:
+	// (0,0)(0,1)(0,2)(1,2)(1,1)(1,0)(2,0)(2,1)(2,2).
+	p, err := NewPeano(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{
+		{0, 0}, {0, 1}, {0, 2},
+		{1, 2}, {1, 1}, {1, 0},
+		{2, 0}, {2, 1}, {2, 2},
+	}
+	for i, w := range want {
+		got := p.Coords(uint64(i), nil)
+		if got[0] != w[0] || got[1] != w[1] {
+			t.Errorf("index %d -> %v, want %v", i, got, w)
+		}
+		if idx := p.Index(w[:]); idx != uint64(i) {
+			t.Errorf("Index(%v) = %d, want %d", w, idx, i)
+		}
+	}
+}
+
+func TestPeano9x9EndsAtOppositeCorner(t *testing.T) {
+	// The Peano curve runs from (0,0) to (side-1, side-1).
+	p, _ := NewPeano(2, 2)
+	first := p.Coords(0, nil)
+	last := p.Coords(p.Size()-1, nil)
+	if first[0] != 0 || first[1] != 0 {
+		t.Errorf("first cell %v, want origin", first)
+	}
+	if last[0] != 8 || last[1] != 8 {
+		t.Errorf("last cell %v, want (8,8)", last)
+	}
+}
+
+func TestPeano1DIsIdentity(t *testing.T) {
+	p, _ := NewPeano(1, 3) // 27 cells
+	for i := 0; i < 27; i++ {
+		if got := p.Index([]int{i}); got != uint64(i) {
+			t.Errorf("1-D Peano Index(%d) = %d", i, got)
+		}
+	}
+}
+
+func TestPeanoSelfSimilarity(t *testing.T) {
+	// The first 9 cells of the 9x9 curve must be the 3x3 base pattern
+	// embedded in the top-left 3x3 block (scaled level-0 digits 0).
+	p2, _ := NewPeano(2, 2)
+	p1, _ := NewPeano(2, 1)
+	for i := uint64(0); i < 9; i++ {
+		big := p2.Coords(i, nil)
+		small := p1.Coords(i, nil)
+		if big[0] != small[0] || big[1] != small[1] {
+			t.Errorf("index %d: 9x9 cell %v vs 3x3 cell %v", i, big, small)
+		}
+	}
+}
+
+func TestBase3Digits(t *testing.T) {
+	got := base3Digits(17, 4) // 17 = 0122_3
+	want := []int{0, 1, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("base3Digits(17,4) = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package sfc
+
+import "fmt"
+
+// Spiral is the two-dimensional spiral scan: the order starts at the grid
+// center and winds outward ring by ring. It is the last member of the
+// classic curve taxonomy (Sweep, Scan/Snake, Peano/Z, Gray, Hilbert,
+// Spiral) and is unit-continuous like the Snake. Unlike the arithmetic
+// curves, the transform is realized with tables built at construction
+// (O(N) memory), which is how spiral orders are used in practice.
+type Spiral struct {
+	side   int
+	dims   []int
+	index  []int // index[y*side+x] = spiral position
+	coords []int // coords[2*i], coords[2*i+1] = (row, col) of position i
+}
+
+// NewSpiral returns the spiral curve on a side x side grid (side >= 1).
+func NewSpiral(side int) (*Spiral, error) {
+	if side < 1 {
+		return nil, fmt.Errorf("sfc: spiral side %d < 1", side)
+	}
+	if side > 1<<15 {
+		return nil, fmt.Errorf("sfc: spiral side %d too large", side)
+	}
+	n := side * side
+	s := &Spiral{
+		side:   side,
+		dims:   []int{side, side},
+		index:  make([]int, n),
+		coords: make([]int, 2*n),
+	}
+	// Walk outward from the center: right, down, left, up with step runs
+	// of length 1,1,2,2,3,3,... clipping to the grid.
+	r, c := (side-1)/2, (side-1)/2
+	dirs := [4][2]int{{0, 1}, {1, 0}, {0, -1}, {-1, 0}}
+	pos := 0
+	place := func(rr, cc int) {
+		if rr < 0 || rr >= side || cc < 0 || cc >= side {
+			return
+		}
+		s.index[rr*side+cc] = pos
+		s.coords[2*pos] = rr
+		s.coords[2*pos+1] = cc
+		pos++
+	}
+	place(r, c)
+	run := 1
+	dir := 0
+	for pos < n {
+		for leg := 0; leg < 2 && pos < n; leg++ {
+			d := dirs[dir%4]
+			for step := 0; step < run && pos < n; step++ {
+				r += d[0]
+				c += d[1]
+				place(r, c)
+			}
+			dir++
+		}
+		run++
+	}
+	return s, nil
+}
+
+// Name returns "spiral".
+func (s *Spiral) Name() string { return "spiral" }
+
+// Dims returns the side lengths.
+func (s *Spiral) Dims() []int { return s.dims }
+
+// Size returns side².
+func (s *Spiral) Size() uint64 { return uint64(s.side) * uint64(s.side) }
+
+// Index maps (row, col) to the spiral position.
+func (s *Spiral) Index(coords []int) uint64 {
+	checkCoords("spiral", s.dims, coords)
+	return uint64(s.index[coords[0]*s.side+coords[1]])
+}
+
+// Coords maps a spiral position back to (row, col).
+func (s *Spiral) Coords(index uint64, dst []int) []int {
+	checkIndex("spiral", index, s.Size())
+	dst = ensureDst(dst, 2)
+	dst[0] = s.coords[2*index]
+	dst[1] = s.coords[2*index+1]
+	return dst
+}

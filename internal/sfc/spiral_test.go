@@ -1,0 +1,103 @@
+package sfc
+
+import "testing"
+
+func TestSpiralValidation(t *testing.T) {
+	if _, err := NewSpiral(0); err == nil {
+		t.Error("side 0 accepted")
+	}
+	if _, err := NewSpiral(1 << 16); err == nil {
+		t.Error("huge side accepted")
+	}
+	if _, err := New("spiral", 3, 4); err == nil {
+		t.Error("3-D spiral accepted")
+	}
+	if _, err := New("spiral", 2, 7); err != nil {
+		t.Error("2-D spiral via factory failed")
+	}
+}
+
+func TestSpiralBijection(t *testing.T) {
+	for _, side := range []int{1, 2, 3, 4, 5, 8, 9, 16} {
+		s, err := NewSpiral(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, s.Size())
+		coords := make([]int, 2)
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				coords[0], coords[1] = r, c
+				idx := s.Index(coords)
+				if idx >= s.Size() || seen[idx] {
+					t.Fatalf("side %d: index %d invalid/duplicate at (%d,%d)", side, idx, r, c)
+				}
+				seen[idx] = true
+				back := s.Coords(idx, nil)
+				if back[0] != r || back[1] != c {
+					t.Fatalf("side %d: round trip (%d,%d) -> %d -> %v", side, r, c, idx, back)
+				}
+			}
+		}
+	}
+}
+
+func TestSpiralStartsAtCenterOddSides(t *testing.T) {
+	s, err := NewSpiral(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.Coords(0, nil)
+	if first[0] != 2 || first[1] != 2 {
+		t.Errorf("spiral start = %v, want center (2,2)", first)
+	}
+}
+
+func TestSpiralUnitContinuousForOddSides(t *testing.T) {
+	// With an odd side the spiral never leaves the grid, so consecutive
+	// positions are always unit neighbors.
+	for _, side := range []int{3, 5, 7, 9} {
+		s, err := NewSpiral(side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := s.Coords(0, nil)
+		cur := make([]int, 2)
+		for idx := uint64(1); idx < s.Size(); idx++ {
+			s.Coords(idx, cur)
+			dr, dc := cur[0]-prev[0], cur[1]-prev[1]
+			if dr < 0 {
+				dr = -dr
+			}
+			if dc < 0 {
+				dc = -dc
+			}
+			if dr+dc != 1 {
+				t.Fatalf("side %d: step %d -> %d not unit: %v -> %v", side, idx-1, idx, prev, cur)
+			}
+			copy(prev, cur)
+		}
+	}
+}
+
+func TestSpiralRingStructure(t *testing.T) {
+	// On a 3x3 spiral the first cell is the center and the remaining 8
+	// form the surrounding ring in walk order.
+	s, _ := NewSpiral(3)
+	if s.Index([]int{1, 1}) != 0 {
+		t.Error("center not first")
+	}
+	// All ring cells have indices 1..8.
+	ringSum := uint64(0)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if r == 1 && c == 1 {
+				continue
+			}
+			ringSum += s.Index([]int{r, c})
+		}
+	}
+	if ringSum != 36 { // 1+2+...+8
+		t.Errorf("ring indices sum %d, want 36", ringSum)
+	}
+}

@@ -1,0 +1,136 @@
+package sfc
+
+import "fmt"
+
+// Sweep is the row-major scan — the paper's "simple and straightforward
+// non-fractal mapping". The last dimension varies fastest. It works on
+// arbitrary (non-square, non-power) grids.
+type Sweep struct {
+	dims   []int
+	stride []uint64
+	size   uint64
+}
+
+// NewSweep returns the row-major curve over the given per-dimension sides.
+func NewSweep(dims ...int) (*Sweep, error) {
+	stride, size, err := strides(dims)
+	if err != nil {
+		return nil, fmt.Errorf("sfc: sweep: %w", err)
+	}
+	return &Sweep{dims: append([]int(nil), dims...), stride: stride, size: size}, nil
+}
+
+// Name returns "sweep".
+func (s *Sweep) Name() string { return "sweep" }
+
+// Dims returns the side lengths.
+func (s *Sweep) Dims() []int { return s.dims }
+
+// Size returns the number of grid points.
+func (s *Sweep) Size() uint64 { return s.size }
+
+// Index maps coordinates to the row-major index.
+func (s *Sweep) Index(coords []int) uint64 {
+	checkCoords("sweep", s.dims, coords)
+	var idx uint64
+	for i, c := range coords {
+		idx += uint64(c) * s.stride[i]
+	}
+	return idx
+}
+
+// Coords maps a row-major index back to coordinates.
+func (s *Sweep) Coords(index uint64, dst []int) []int {
+	checkIndex("sweep", index, s.size)
+	dst = ensureDst(dst, len(s.dims))
+	for i := range s.dims {
+		dst[i] = int(index / s.stride[i])
+		index -= uint64(dst[i]) * s.stride[i]
+	}
+	return dst
+}
+
+// Snake is the boustrophedon scan: row-major, but every row (recursively,
+// every slab) reverses direction so that consecutive indices are always at
+// Manhattan distance 1. A useful non-fractal, continuous baseline.
+type Snake struct {
+	dims   []int
+	stride []uint64
+	size   uint64
+}
+
+// NewSnake returns the boustrophedon curve over the given per-dimension
+// sides.
+func NewSnake(dims ...int) (*Snake, error) {
+	stride, size, err := strides(dims)
+	if err != nil {
+		return nil, fmt.Errorf("sfc: snake: %w", err)
+	}
+	return &Snake{dims: append([]int(nil), dims...), stride: stride, size: size}, nil
+}
+
+// Name returns "snake".
+func (s *Snake) Name() string { return "snake" }
+
+// Dims returns the side lengths.
+func (s *Snake) Dims() []int { return s.dims }
+
+// Size returns the number of grid points.
+func (s *Snake) Size() uint64 { return s.size }
+
+// Index maps coordinates to the snake index. Dimension i's traversal
+// position is reversed whenever the positions of the preceding dimensions
+// sum to an odd value, which makes consecutive indices unit neighbors.
+func (s *Snake) Index(coords []int) uint64 {
+	checkCoords("snake", s.dims, coords)
+	var idx uint64
+	flip := 0
+	for i, c := range coords {
+		pos := c
+		if flip == 1 {
+			pos = s.dims[i] - 1 - c
+		}
+		idx += uint64(pos) * s.stride[i]
+		flip ^= pos & 1
+	}
+	return idx
+}
+
+// Coords maps a snake index back to coordinates.
+func (s *Snake) Coords(index uint64, dst []int) []int {
+	checkIndex("snake", index, s.size)
+	dst = ensureDst(dst, len(s.dims))
+	flip := 0
+	for i := range s.dims {
+		pos := int(index / s.stride[i])
+		index -= uint64(pos) * s.stride[i]
+		c := pos
+		if flip == 1 {
+			c = s.dims[i] - 1 - pos
+		}
+		dst[i] = c
+		flip ^= pos & 1
+	}
+	return dst
+}
+
+// strides computes row-major strides and the total size, validating sides.
+func strides(dims []int) ([]uint64, uint64, error) {
+	if len(dims) == 0 {
+		return nil, 0, fmt.Errorf("at least one dimension required")
+	}
+	stride := make([]uint64, len(dims))
+	size := uint64(1)
+	for i := len(dims) - 1; i >= 0; i-- {
+		if dims[i] < 1 {
+			return nil, 0, fmt.Errorf("side %d < 1", dims[i])
+		}
+		stride[i] = size
+		next := size * uint64(dims[i])
+		if next/uint64(dims[i]) != size {
+			return nil, 0, fmt.Errorf("grid size overflows uint64")
+		}
+		size = next
+	}
+	return stride, size, nil
+}

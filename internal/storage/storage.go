@@ -1,0 +1,225 @@
+// Package storage simulates the one-dimensional storage medium the paper's
+// introduction motivates: records placed on fixed-size disk pages in the
+// order a locality-preserving mapping assigns, an LRU buffer pool, and I/O
+// accounting (pages touched, seeks, scan spans) for range queries. It turns
+// the abstract "rank distance" the metrics package measures into concrete
+// page-I/O differences between mappings.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+	"github.com/spectral-lpm/spectrallpm/internal/workload"
+)
+
+// Pager maps record ranks to fixed-size pages: the record at rank r lives
+// on page r / RecordsPerPage.
+type Pager struct {
+	numRecords     int
+	recordsPerPage int
+	numPages       int
+}
+
+// NewPager returns a pager for numRecords records at recordsPerPage records
+// per page.
+func NewPager(numRecords, recordsPerPage int) (*Pager, error) {
+	if numRecords < 0 {
+		return nil, fmt.Errorf("storage: negative record count %d", numRecords)
+	}
+	if recordsPerPage < 1 {
+		return nil, fmt.Errorf("storage: records per page %d < 1", recordsPerPage)
+	}
+	return &Pager{
+		numRecords:     numRecords,
+		recordsPerPage: recordsPerPage,
+		numPages:       (numRecords + recordsPerPage - 1) / recordsPerPage,
+	}, nil
+}
+
+// Page returns the page holding the record at the given rank.
+func (p *Pager) Page(rank int) int {
+	if rank < 0 || rank >= p.numRecords {
+		panic(fmt.Sprintf("storage: rank %d outside [0,%d)", rank, p.numRecords))
+	}
+	return rank / p.recordsPerPage
+}
+
+// NumPages returns the number of pages.
+func (p *Pager) NumPages() int { return p.numPages }
+
+// RecordsPerPage returns the page capacity.
+func (p *Pager) RecordsPerPage() int { return p.recordsPerPage }
+
+// IOStats is the disk cost of answering one query.
+type IOStats struct {
+	// Pages is the number of distinct pages holding query results — the
+	// selective (index-driven) read cost.
+	Pages int
+	// Seeks is the number of contiguous page runs; each run beyond the
+	// first costs a random seek (Moon et al.'s cluster count at page
+	// granularity).
+	Seeks int
+	// SpanPages is maxPage − minPage + 1 — the sequential-scan cost of
+	// reading from the first to the last result page, the access pattern
+	// the paper's Figure 6 measures (smaller span, shorter scan).
+	SpanPages int
+}
+
+// QueryIO computes the I/O statistics for a query whose results live at the
+// given ranks. An empty rank set costs nothing.
+func (p *Pager) QueryIO(ranks []int) IOStats {
+	if len(ranks) == 0 {
+		return IOStats{}
+	}
+	pages := make([]int, len(ranks))
+	for i, r := range ranks {
+		pages[i] = p.Page(r)
+	}
+	sort.Ints(pages)
+	distinct := pages[:1]
+	for _, pg := range pages[1:] {
+		if pg != distinct[len(distinct)-1] {
+			distinct = append(distinct, pg)
+		}
+	}
+	st := IOStats{Pages: len(distinct), Seeks: 1}
+	for i := 1; i < len(distinct); i++ {
+		if distinct[i] != distinct[i-1]+1 {
+			st.Seeks++
+		}
+	}
+	st.SpanPages = distinct[len(distinct)-1] - distinct[0] + 1
+	return st
+}
+
+// Store couples a mapping with a pager so grid range queries can be costed
+// directly.
+type Store struct {
+	mapping *order.Mapping
+	pager   *Pager
+}
+
+// NewStore lays the mapping's grid points on pages in rank order.
+func NewStore(m *order.Mapping, recordsPerPage int) (*Store, error) {
+	p, err := NewPager(m.N(), recordsPerPage)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{mapping: m, pager: p}, nil
+}
+
+// Mapping returns the underlying mapping.
+func (s *Store) Mapping() *order.Mapping { return s.mapping }
+
+// Pager returns the underlying pager.
+func (s *Store) Pager() *Pager { return s.pager }
+
+// BoxQueryIO returns the I/O cost of an axis-aligned box query.
+func (s *Store) BoxQueryIO(b workload.Box) (IOStats, error) {
+	g := s.mapping.Grid()
+	for i, st := range b.Start {
+		if st < 0 || st+b.Dims[i] > g.Dims()[i] {
+			return IOStats{}, fmt.Errorf("storage: box %v exceeds grid", b)
+		}
+	}
+	ids := workload.IDsInBox(g, b)
+	ranks := make([]int, len(ids))
+	for i, id := range ids {
+		ranks[i] = s.mapping.Rank(id)
+	}
+	return s.pager.QueryIO(ranks), nil
+}
+
+// BufferPool is an LRU page cache with hit/miss accounting, used to measure
+// how well a mapping's locality translates into cache hits under correlated
+// access traces.
+type BufferPool struct {
+	capacity int
+	entries  map[int]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+	hits     int64
+	misses   int64
+}
+
+type lruNode struct {
+	page       int
+	prev, next *lruNode
+}
+
+// NewBufferPool returns an LRU pool holding up to capacity pages.
+func NewBufferPool(capacity int) (*BufferPool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("storage: buffer pool capacity %d < 1", capacity)
+	}
+	return &BufferPool{capacity: capacity, entries: make(map[int]*lruNode, capacity)}, nil
+}
+
+// Access touches a page, returning true on a cache hit. Misses load the
+// page, evicting the least recently used page when full.
+func (b *BufferPool) Access(page int) bool {
+	if n, ok := b.entries[page]; ok {
+		b.hits++
+		b.moveToFront(n)
+		return true
+	}
+	b.misses++
+	n := &lruNode{page: page}
+	b.entries[page] = n
+	b.pushFront(n)
+	if len(b.entries) > b.capacity {
+		evict := b.tail
+		b.unlink(evict)
+		delete(b.entries, evict.page)
+	}
+	return false
+}
+
+// Stats returns the accumulated hit and miss counts.
+func (b *BufferPool) Stats() (hits, misses int64) { return b.hits, b.misses }
+
+// Len returns the number of cached pages.
+func (b *BufferPool) Len() int { return len(b.entries) }
+
+// Reset clears the cache and counters.
+func (b *BufferPool) Reset() {
+	b.entries = make(map[int]*lruNode, b.capacity)
+	b.head, b.tail = nil, nil
+	b.hits, b.misses = 0, 0
+}
+
+func (b *BufferPool) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = b.head
+	if b.head != nil {
+		b.head.prev = n
+	}
+	b.head = n
+	if b.tail == nil {
+		b.tail = n
+	}
+}
+
+func (b *BufferPool) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (b *BufferPool) moveToFront(n *lruNode) {
+	if b.head == n {
+		return
+	}
+	b.unlink(n)
+	b.pushFront(n)
+}

@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+	"github.com/spectral-lpm/spectrallpm/internal/workload"
+)
+
+func TestNewPagerValidation(t *testing.T) {
+	if _, err := NewPager(-1, 4); err == nil {
+		t.Error("negative records accepted")
+	}
+	if _, err := NewPager(10, 0); err == nil {
+		t.Error("zero page size accepted")
+	}
+	p, err := NewPager(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPages() != 3 || p.RecordsPerPage() != 4 {
+		t.Errorf("pages = %d", p.NumPages())
+	}
+	if p.Page(0) != 0 || p.Page(3) != 0 || p.Page(4) != 1 || p.Page(9) != 2 {
+		t.Error("Page mapping wrong")
+	}
+}
+
+func TestPagerPagePanics(t *testing.T) {
+	p, _ := NewPager(10, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.Page(10)
+}
+
+func TestQueryIO(t *testing.T) {
+	p, _ := NewPager(100, 10)
+	tests := []struct {
+		name  string
+		ranks []int
+		want  IOStats
+	}{
+		{"empty", nil, IOStats{}},
+		{"single", []int{5}, IOStats{Pages: 1, Seeks: 1, SpanPages: 1}},
+		{"same page", []int{5, 6, 7}, IOStats{Pages: 1, Seeks: 1, SpanPages: 1}},
+		{"adjacent pages", []int{9, 10}, IOStats{Pages: 2, Seeks: 1, SpanPages: 2}},
+		{"gap", []int{5, 95}, IOStats{Pages: 2, Seeks: 2, SpanPages: 10}},
+		{"three runs", []int{0, 30, 31, 60}, IOStats{Pages: 3, Seeks: 3, SpanPages: 7}},
+		{"duplicates collapse", []int{5, 5, 5}, IOStats{Pages: 1, Seeks: 1, SpanPages: 1}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := p.QueryIO(tc.ranks)
+			if got != tc.want {
+				t.Errorf("QueryIO(%v) = %+v, want %+v", tc.ranks, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestStoreBoxQueryIO(t *testing.T) {
+	g := graph.MustGrid(4, 4)
+	m, err := order.New("sweep", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStore(m, 4) // one page per grid row
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full row sits on one page.
+	row, err := s.BoxQueryIO(workload.Box{Start: []int{1, 0}, Dims: []int{1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Pages != 1 || row.Seeks != 1 {
+		t.Errorf("row IO %+v", row)
+	}
+	// A full column touches every page with a seek for each.
+	col, err := s.BoxQueryIO(workload.Box{Start: []int{0, 2}, Dims: []int{4, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Pages != 4 || col.Seeks != 1 || col.SpanPages != 4 {
+		// Pages are 0,1,2,3 — contiguous, so one seek but 4 pages.
+		t.Errorf("column IO %+v", col)
+	}
+	if _, err := s.BoxQueryIO(workload.Box{Start: []int{3, 3}, Dims: []int{2, 2}}); err == nil {
+		t.Error("out-of-grid box accepted")
+	}
+	if s.Mapping() != m || s.Pager() == nil {
+		t.Error("accessors broken")
+	}
+}
+
+func TestStoreSpectralVsSweepColumnQueries(t *testing.T) {
+	// On column queries the sweep order has maximal span; the spectral
+	// order must give a strictly smaller worst-case page span on a square
+	// grid (the whole point of the paper).
+	g := graph.MustGrid(8, 8)
+	sweep, err := order.New("sweep", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spectral, err := order.New("spectral", g, order.SpectralConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := func(m *order.Mapping) int {
+		s, err := NewStore(m, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max := 0
+		for x := 0; x < 8; x++ {
+			io, err := s.BoxQueryIO(workload.Box{Start: []int{0, x}, Dims: []int{8, 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if io.SpanPages > max {
+				max = io.SpanPages
+			}
+		}
+		return max
+	}
+	if ws, wsp := worst(sweep), worst(spectral); wsp >= ws {
+		t.Errorf("spectral worst column span %d not below sweep %d", wsp, ws)
+	}
+}
+
+func TestBufferPoolLRU(t *testing.T) {
+	if _, err := NewBufferPool(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	b, err := NewBufferPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Access(1) {
+		t.Error("cold access hit")
+	}
+	if b.Access(2) {
+		t.Error("cold access hit")
+	}
+	if !b.Access(1) {
+		t.Error("warm access missed")
+	}
+	// Access 3 evicts 2 (LRU), not 1 (recently touched).
+	if b.Access(3) {
+		t.Error("cold access hit")
+	}
+	if b.Access(2) {
+		t.Error("evicted page hit")
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	hits, misses := b.Stats()
+	if hits != 1 || misses != 4 {
+		t.Errorf("stats %d/%d, want 1/4", hits, misses)
+	}
+	b.Reset()
+	if h, m := b.Stats(); h != 0 || m != 0 || b.Len() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestBufferPoolEvictionOrderRandomized(t *testing.T) {
+	// Invariant check under random access: Len never exceeds capacity and
+	// re-accessing the most recent page always hits.
+	b, _ := NewBufferPool(8)
+	rng := rand.New(rand.NewSource(2))
+	last := -1
+	for i := 0; i < 10000; i++ {
+		p := rng.Intn(64)
+		b.Access(p)
+		if b.Len() > 8 {
+			t.Fatal("capacity exceeded")
+		}
+		if last >= 0 && p == last && i > 0 {
+			// Same page twice in a row must hit.
+		}
+		last = p
+		if !b.Access(p) {
+			t.Fatal("immediate re-access missed")
+		}
+	}
+}
+
+func TestBufferPoolCapacityOne(t *testing.T) {
+	b, _ := NewBufferPool(1)
+	b.Access(1)
+	if !b.Access(1) {
+		t.Error("single-slot warm access missed")
+	}
+	b.Access(2)
+	if b.Access(1) {
+		t.Error("evicted page hit in single-slot pool")
+	}
+}

@@ -1,0 +1,222 @@
+// Package workload generates the point sets, range queries, and access
+// traces the experiments and examples run against: full grids (the paper's
+// setting), uniform and clustered random subsets, hypercube query shapes
+// derived from the paper's "query size percent" axes, and correlated access
+// traces for the §4 affinity extension.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+)
+
+// FullGridPoints returns the coordinates of every point of the grid in id
+// order — the dense point set the paper evaluates on.
+func FullGridPoints(g *graph.Grid) [][]int {
+	pts := make([][]int, g.Size())
+	for id := range pts {
+		pts[id] = g.Coords(id, nil)
+	}
+	return pts
+}
+
+// UniformPoints samples n distinct grid points uniformly at random,
+// deterministic in seed. It errors when n exceeds the grid size.
+func UniformPoints(g *graph.Grid, n int, seed int64) ([][]int, error) {
+	size := g.Size()
+	if n < 0 || n > size {
+		return nil, fmt.Errorf("workload: cannot sample %d of %d points", n, size)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ids := rng.Perm(size)[:n]
+	sort.Ints(ids)
+	pts := make([][]int, n)
+	for i, id := range ids {
+		pts[i] = g.Coords(id, nil)
+	}
+	return pts, nil
+}
+
+// ClusteredPoints samples distinct points grouped around `clusters` random
+// centers with the given radius (Chebyshev), modeling the skewed spatial
+// data GIS applications see. Points are deterministic in seed. The result
+// may have fewer than clusters*perCluster points when clusters overlap.
+func ClusteredPoints(g *graph.Grid, clusters, perCluster, radius int, seed int64) ([][]int, error) {
+	if clusters < 1 || perCluster < 1 || radius < 0 {
+		return nil, fmt.Errorf("workload: invalid cluster parameters %d/%d/%d", clusters, perCluster, radius)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dims := g.Dims()
+	seen := make(map[int]bool)
+	var pts [][]int
+	coord := make([]int, len(dims))
+	for c := 0; c < clusters; c++ {
+		center := make([]int, len(dims))
+		for i := range center {
+			center[i] = rng.Intn(dims[i])
+		}
+		for p := 0; p < perCluster; p++ {
+			for i := range coord {
+				off := rng.Intn(2*radius+1) - radius
+				v := center[i] + off
+				if v < 0 {
+					v = 0
+				}
+				if v >= dims[i] {
+					v = dims[i] - 1
+				}
+				coord[i] = v
+			}
+			id := g.ID(coord)
+			if !seen[id] {
+				seen[id] = true
+				pts = append(pts, append([]int(nil), coord...))
+			}
+		}
+	}
+	return pts, nil
+}
+
+// HypercubeQueryDims derives the query box shape for a "range query size"
+// given as a fraction of the grid volume (the paper's Figure 6 x-axis):
+// a hypercube whose volume is as close as possible to fraction*Size,
+// clamped to the grid. The returned slice has one side per dimension.
+func HypercubeQueryDims(g *graph.Grid, fraction float64) ([]int, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("workload: fraction %v outside (0,1]", fraction)
+	}
+	d := g.D()
+	target := fraction * float64(g.Size())
+	side := int(math.Round(math.Pow(target, 1/float64(d))))
+	if side < 1 {
+		side = 1
+	}
+	dims := make([]int, d)
+	for i, s := range g.Dims() {
+		dims[i] = side
+		if dims[i] > s {
+			dims[i] = s
+		}
+	}
+	return dims, nil
+}
+
+// Box is an axis-aligned query rectangle: the half-open product of
+// [Start[i], Start[i]+Dims[i]).
+type Box struct {
+	Start, Dims []int
+}
+
+// Contains reports whether the box contains the coordinates.
+func (b Box) Contains(coords []int) bool {
+	for i := range coords {
+		if coords[i] < b.Start[i] || coords[i] >= b.Start[i]+b.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the number of cells in the box.
+func (b Box) Volume() int {
+	v := 1
+	for _, d := range b.Dims {
+		v *= d
+	}
+	return v
+}
+
+// RandomBoxes samples count random positions of a qdims-shaped box inside
+// the grid, deterministic in seed — for grids too large to enumerate every
+// position.
+func RandomBoxes(g *graph.Grid, qdims []int, count int, seed int64) ([]Box, error) {
+	dims := g.Dims()
+	if len(qdims) != len(dims) {
+		return nil, fmt.Errorf("workload: query arity %d, grid %d", len(qdims), len(dims))
+	}
+	for i, q := range qdims {
+		if q < 1 || q > dims[i] {
+			return nil, fmt.Errorf("workload: query side %d outside [1,%d]", q, dims[i])
+		}
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("workload: negative count")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	boxes := make([]Box, count)
+	for k := range boxes {
+		start := make([]int, len(dims))
+		for i := range start {
+			start[i] = rng.Intn(dims[i] - qdims[i] + 1)
+		}
+		boxes[k] = Box{Start: start, Dims: append([]int(nil), qdims...)}
+	}
+	return boxes, nil
+}
+
+// IDsInBox returns the grid vertex ids inside the box, in id order.
+func IDsInBox(g *graph.Grid, b Box) []int {
+	var ids []int
+	cell := append([]int(nil), b.Start...)
+	for {
+		ids = append(ids, g.ID(cell))
+		i := len(cell) - 1
+		for ; i >= 0; i-- {
+			cell[i]++
+			if cell[i] < b.Start[i]+b.Dims[i] {
+				break
+			}
+			cell[i] = b.Start[i]
+		}
+		if i < 0 {
+			break
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// HotPair is a pair of grid points accessed together with a relative
+// frequency, the access-pattern knowledge the paper's §4 extensibility
+// example feeds into the graph as affinity edges.
+type HotPair struct {
+	A, B int
+	Freq float64
+}
+
+// CorrelatedTrace samples nPairs distinct hot pairs of distinct points with
+// Zipf-like frequencies (rank r gets weight 1/r, normalized), deterministic
+// in seed.
+func CorrelatedTrace(g *graph.Grid, nPairs int, seed int64) ([]HotPair, error) {
+	size := g.Size()
+	if nPairs < 1 || size < 2 {
+		return nil, fmt.Errorf("workload: cannot draw %d pairs from %d points", nPairs, size)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[[2]int]bool)
+	pairs := make([]HotPair, 0, nPairs)
+	var norm float64
+	for r := 1; r <= nPairs; r++ {
+		norm += 1 / float64(r)
+	}
+	for len(pairs) < nPairs {
+		a, b := rng.Intn(size), rng.Intn(size)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		r := len(pairs) + 1
+		pairs = append(pairs, HotPair{A: a, B: b, Freq: 1 / float64(r) / norm})
+	}
+	return pairs, nil
+}

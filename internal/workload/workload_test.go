@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+)
+
+func TestFullGridPoints(t *testing.T) {
+	g := graph.MustGrid(3, 2)
+	pts := FullGridPoints(g)
+	if len(pts) != 6 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for id, p := range pts {
+		if g.ID(p) != id {
+			t.Errorf("point %d = %v", id, p)
+		}
+	}
+}
+
+func TestUniformPointsDistinctAndDeterministic(t *testing.T) {
+	g := graph.MustGrid(10, 10)
+	a, err := UniformPoints(g, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UniformPoints(g, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i, p := range a {
+		id := g.ID(p)
+		if seen[id] {
+			t.Fatal("duplicate point")
+		}
+		seen[id] = true
+		if g.ID(b[i]) != id {
+			t.Fatal("not deterministic")
+		}
+	}
+	if _, err := UniformPoints(g, 101, 1); err == nil {
+		t.Error("oversample accepted")
+	}
+	if _, err := UniformPoints(g, -1, 1); err == nil {
+		t.Error("negative count accepted")
+	}
+	empty, err := UniformPoints(g, 0, 1)
+	if err != nil || len(empty) != 0 {
+		t.Error("zero sample failed")
+	}
+}
+
+func TestClusteredPoints(t *testing.T) {
+	g := graph.MustGrid(32, 32)
+	pts, err := ClusteredPoints(g, 3, 20, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 || len(pts) > 60 {
+		t.Fatalf("clustered points count %d", len(pts))
+	}
+	seen := map[int]bool{}
+	for _, p := range pts {
+		id := g.ID(p) // panics if out of bounds
+		if seen[id] {
+			t.Fatal("duplicate point")
+		}
+		seen[id] = true
+	}
+	if _, err := ClusteredPoints(g, 0, 1, 1, 1); err == nil {
+		t.Error("zero clusters accepted")
+	}
+	if _, err := ClusteredPoints(g, 1, 0, 1, 1); err == nil {
+		t.Error("zero per-cluster accepted")
+	}
+	if _, err := ClusteredPoints(g, 1, 1, -1, 1); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestHypercubeQueryDims(t *testing.T) {
+	g := graph.MustGrid(8, 8, 8, 8) // N = 4096
+	tests := []struct {
+		fraction float64
+		wantSide int
+	}{
+		{0.02, 3},   // 81.92 -> side ~3.0
+		{0.04, 4},   // 163.8^(1/4) ~ 3.58 -> 4
+		{0.16, 5},   // 655^(1/4) ~ 5.06
+		{0.64, 7},   // 2621^(1/4) ~ 7.15
+		{1.0, 8},    // whole grid
+		{0.0001, 1}, // clamps to 1
+	}
+	for _, tc := range tests {
+		dims, err := HypercubeQueryDims(g, tc.fraction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range dims {
+			if s != tc.wantSide {
+				t.Errorf("fraction %v: dims %v, want side %d", tc.fraction, dims, tc.wantSide)
+				break
+			}
+		}
+	}
+	if _, err := HypercubeQueryDims(g, 0); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := HypercubeQueryDims(g, 1.5); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestBoxHelpers(t *testing.T) {
+	b := Box{Start: []int{1, 2}, Dims: []int{2, 3}}
+	if !b.Contains([]int{1, 2}) || !b.Contains([]int{2, 4}) {
+		t.Error("Contains false negative")
+	}
+	if b.Contains([]int{0, 2}) || b.Contains([]int{1, 5}) || b.Contains([]int{3, 2}) {
+		t.Error("Contains false positive")
+	}
+	if b.Volume() != 6 {
+		t.Errorf("Volume = %d", b.Volume())
+	}
+}
+
+func TestRandomBoxes(t *testing.T) {
+	g := graph.MustGrid(10, 10)
+	boxes, err := RandomBoxes(g, []int{3, 4}, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boxes) != 50 {
+		t.Fatalf("count = %d", len(boxes))
+	}
+	for _, b := range boxes {
+		if b.Start[0] < 0 || b.Start[0]+3 > 10 || b.Start[1] < 0 || b.Start[1]+4 > 10 {
+			t.Fatalf("box out of grid: %+v", b)
+		}
+	}
+	if _, err := RandomBoxes(g, []int{11, 1}, 1, 1); err == nil {
+		t.Error("oversized box accepted")
+	}
+	if _, err := RandomBoxes(g, []int{1}, 1, 1); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := RandomBoxes(g, []int{1, 1}, -1, 1); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestIDsInBox(t *testing.T) {
+	g := graph.MustGrid(4, 4)
+	ids := IDsInBox(g, Box{Start: []int{1, 1}, Dims: []int{2, 2}})
+	want := []int{5, 6, 9, 10}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestCorrelatedTrace(t *testing.T) {
+	g := graph.MustGrid(8, 8)
+	pairs, err := CorrelatedTrace(g, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 10 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	var total float64
+	seen := map[[2]int]bool{}
+	for _, p := range pairs {
+		if p.A == p.B || p.A > p.B {
+			t.Errorf("malformed pair %+v", p)
+		}
+		if seen[[2]int{p.A, p.B}] {
+			t.Error("duplicate pair")
+		}
+		seen[[2]int{p.A, p.B}] = true
+		total += p.Freq
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("frequencies sum to %v", total)
+	}
+	// Zipf: first frequency is the largest.
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Freq > pairs[0].Freq {
+			t.Error("frequencies not decreasing")
+		}
+	}
+	if _, err := CorrelatedTrace(g, 0, 1); err == nil {
+		t.Error("zero pairs accepted")
+	}
+	one, _ := graph.NewGrid(1)
+	if _, err := CorrelatedTrace(one, 1, 1); err == nil {
+		t.Error("single-point grid accepted")
+	}
+}
