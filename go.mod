@@ -1,0 +1,3 @@
+module github.com/spectral-lpm/spectrallpm
+
+go 1.24
