@@ -8,6 +8,7 @@ package spectrallpm_test
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	spectrallpm "github.com/spectral-lpm/spectrallpm"
@@ -200,6 +201,44 @@ func BenchmarkFiedlerSolvers(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkMultilevelVsExact compares the multilevel Fiedler solver
+// (heavy-edge-matching coarsening + warm-started refinement) against the
+// exact deflated inverse-power path on large grid Laplacians — the
+// scalability claim of the multilevel work. Both solve to the same residual
+// tolerance; the reported metric is λ₂ relative to the closed form
+// 2(1 − cos(π/side)), so a value of ~1.0 confirms the answer while the
+// ns/op column shows the wall-clock gap. The exact solver at 512x512 runs
+// minutes per solve; use -bench 'MultilevelVsExact/multilevel' to skip it.
+func BenchmarkMultilevelVsExact(b *testing.B) {
+	for _, side := range []int{128, 256, 512} {
+		g := graph.GridGraph(graph.MustGrid(side, side), graph.Orthogonal)
+		closed := 2 * (1 - math.Cos(math.Pi/float64(side)))
+		b.Run(fmt.Sprintf("multilevel/%dx%d", side, side), func(b *testing.B) {
+			var lambda float64
+			for i := 0; i < b.N; i++ {
+				res, err := eigen.MultilevelFiedler(g, eigen.Options{Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lambda = res.Value
+			}
+			b.ReportMetric(lambda/closed, "lambda2/closed-form")
+		})
+		b.Run(fmt.Sprintf("exact/%dx%d", side, side), func(b *testing.B) {
+			op := eigen.CSROperator{M: g.Laplacian()}
+			var lambda float64
+			for i := 0; i < b.N; i++ {
+				res, err := eigen.Fiedler(op, eigen.Options{Method: eigen.MethodExact, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lambda = res.Value
+			}
+			b.ReportMetric(lambda/closed, "lambda2/closed-form")
+		})
 	}
 }
 

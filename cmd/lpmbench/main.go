@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/spectral-lpm/spectrallpm/internal/eigen"
 	"github.com/spectral-lpm/spectrallpm/internal/experiments"
 )
 
@@ -30,8 +31,16 @@ func main() {
 		fig6side = flag.Int("fig6-side", 0, "override Figure 6 grid side (default 6)")
 		fig6dims = flag.Int("fig6-dims", 0, "override Figure 6 dimensionality (default 4)")
 		seed     = flag.Int64("seed", 0, "eigensolver seed")
+		solver   = flag.String("solver", "auto", "eigensolver: auto|exact|multilevel|inverse-power|lanczos|dense")
+		parallel = flag.Int("parallel", 0, "sparse-kernel goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+
+	method, err := eigen.ParseMethod(*solver)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lpmbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := experiments.Config{
 		Fig5aSide:     *fig5side,
@@ -42,6 +51,8 @@ func main() {
 		IncludeExtras: *extras,
 	}
 	cfg.Solver.Seed = *seed
+	cfg.Solver.Method = method
+	cfg.Solver.Parallelism = *parallel
 
 	if err := run(os.Stdout, strings.ToLower(*exp), cfg, *plot); err != nil {
 		fmt.Fprintf(os.Stderr, "lpmbench: %v\n", err)

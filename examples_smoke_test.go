@@ -1,0 +1,45 @@
+package spectrallpm_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesBuildAndRun smoke-tests every program under examples/: each
+// must build and run to completion with a zero exit status and produce some
+// output. The examples are the library's documented entry points; without
+// this test they can rot silently since `go build ./...` compiles them but
+// nothing executes them.
+func TestExamplesBuildAndRun(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not on PATH")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		ran++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command(goBin, "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("examples/%s produced no output", name)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no example programs found")
+	}
+}

@@ -29,10 +29,12 @@ func (c CSROperator) Diagonal() []float64 { return c.M.Diagonal() }
 // vectors must be orthonormal and must span (a superset of) the null space
 // of A; b is projected onto the complement before solving, and iterates are
 // re-projected each step to suppress numerical drift. When the operator
-// provides its diagonal, Jacobi (diagonal) preconditioning is applied. It
-// returns the solution, the iteration count, and an error when the residual
-// does not reach tol*||b|| within maxIter iterations.
-func ProjectedCG(op Operator, b []float64, deflate [][]float64, tol float64, maxIter int) ([]float64, int, error) {
+// provides its diagonal, Jacobi (diagonal) preconditioning is applied. The
+// O(n) vector work (dots, axpys, projections) runs on `workers` goroutines
+// (0 = GOMAXPROCS, 1 = serial; see la.Workers). It returns the solution, the
+// iteration count, and an error when the residual does not reach tol*||b||
+// within maxIter iterations.
+func ProjectedCG(op Operator, b []float64, deflate [][]float64, tol float64, maxIter, workers int) ([]float64, int, error) {
 	n := op.Dim()
 	if len(b) != n {
 		return nil, 0, errors.New("eigen: ProjectedCG dimension mismatch")
@@ -45,7 +47,7 @@ func ProjectedCG(op Operator, b []float64, deflate [][]float64, tol float64, max
 	}
 
 	project := func(x []float64) {
-		la.OrthogonalizeAgainst(x, deflate...)
+		la.OrthogonalizeAgainstP(x, workers, deflate...)
 	}
 
 	// Jacobi preconditioner from the operator diagonal, when available and
@@ -80,9 +82,9 @@ func ProjectedCG(op Operator, b []float64, deflate [][]float64, tol float64, max
 
 	x := make([]float64, n)
 	r := append([]float64(nil), b...)
-	borig := la.Norm2(r)
+	borig := la.Norm2P(r, workers)
 	project(r)
-	bnorm := la.Norm2(r)
+	bnorm := la.Norm2P(r, workers)
 	// A RHS that projects (numerically) to zero lies in the deflated space;
 	// the restricted system's solution is zero.
 	if bnorm <= 1e-14*borig {
@@ -92,7 +94,7 @@ func ProjectedCG(op Operator, b []float64, deflate [][]float64, tol float64, max
 	applyPrec(z, r)
 	p := append([]float64(nil), z...)
 	ap := make([]float64, n)
-	rz := la.Dot(r, z)
+	rz := la.DotP(r, z, workers)
 	if rz <= 0 {
 		return nil, 0, ErrCGBreakdown
 	}
@@ -101,13 +103,13 @@ func ProjectedCG(op Operator, b []float64, deflate [][]float64, tol float64, max
 	for it := 1; it <= maxIter; it++ {
 		op.Apply(ap, p)
 		project(ap)
-		pap := la.Dot(p, ap)
+		pap := la.DotP(p, ap, workers)
 		if pap <= 0 {
 			return nil, it, ErrCGBreakdown
 		}
 		alpha := rz / pap
-		la.Axpy(alpha, p, x)
-		la.Axpy(-alpha, ap, r)
+		la.AxpyP(alpha, p, x, workers)
+		la.AxpyP(-alpha, ap, r, workers)
 		if it%50 == 0 {
 			// Periodically recompute the true residual to avoid drift.
 			op.Apply(ap, x)
@@ -117,12 +119,12 @@ func ProjectedCG(op Operator, b []float64, deflate [][]float64, tol float64, max
 			}
 			project(r)
 		}
-		if la.Norm2(r) <= target {
+		if la.Norm2P(r, workers) <= target {
 			project(x)
 			return x, it, nil
 		}
 		applyPrec(z, r)
-		rzNew := la.Dot(r, z)
+		rzNew := la.DotP(r, z, workers)
 		if rzNew <= 0 {
 			return nil, it, ErrCGBreakdown
 		}

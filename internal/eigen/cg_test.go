@@ -19,7 +19,7 @@ func TestProjectedCGSolvesLaplacianSystem(t *testing.T) {
 	}
 	la.CenterMean(b)
 	deflate := [][]float64{la.UnitOnes(n)}
-	y, iters, err := ProjectedCG(op, b, deflate, 1e-12, 0)
+	y, iters, err := ProjectedCG(op, b, deflate, 1e-12, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestProjectedCGSolvesLaplacianSystem(t *testing.T) {
 func TestProjectedCGZeroRHS(t *testing.T) {
 	l := laplacianCSR(t, 5, pathEdges(5))
 	b := make([]float64, 5) // zero
-	y, iters, err := ProjectedCG(CSROperator{M: l}, b, [][]float64{la.UnitOnes(5)}, 1e-10, 0)
+	y, iters, err := ProjectedCG(CSROperator{M: l}, b, [][]float64{la.UnitOnes(5)}, 1e-10, 0, 1)
 	if err != nil || iters != 0 {
 		t.Fatalf("zero RHS: err=%v iters=%d", err, iters)
 	}
@@ -58,7 +58,7 @@ func TestProjectedCGConstantRHSProjectsToZero(t *testing.T) {
 	// zero so the solution must be zero.
 	l := laplacianCSR(t, 6, cycleEdges(6))
 	b := la.Ones(6)
-	y, _, err := ProjectedCG(CSROperator{M: l}, b, [][]float64{la.UnitOnes(6)}, 1e-10, 0)
+	y, _, err := ProjectedCG(CSROperator{M: l}, b, [][]float64{la.UnitOnes(6)}, 1e-10, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestProjectedCGConstantRHSProjectsToZero(t *testing.T) {
 
 func TestProjectedCGDimensionMismatch(t *testing.T) {
 	l := laplacianCSR(t, 4, pathEdges(4))
-	if _, _, err := ProjectedCG(CSROperator{M: l}, make([]float64, 3), nil, 1e-10, 0); err == nil {
+	if _, _, err := ProjectedCG(CSROperator{M: l}, make([]float64, 3), nil, 1e-10, 0, 1); err == nil {
 		t.Error("dimension mismatch accepted")
 	}
 }
@@ -82,7 +82,7 @@ func TestProjectedCGBreakdownOnIndefiniteOperator(t *testing.T) {
 		}
 	}}
 	b := []float64{1, 2, 3, 4}
-	_, _, err := ProjectedCG(op, b, nil, 1e-10, 100)
+	_, _, err := ProjectedCG(op, b, nil, 1e-10, 100, 1)
 	if !errors.Is(err, ErrCGBreakdown) {
 		t.Errorf("want ErrCGBreakdown, got %v", err)
 	}
@@ -95,7 +95,7 @@ func TestProjectedCGIterationBudget(t *testing.T) {
 	b := make([]float64, 50)
 	b[0] = 1
 	b[49] = -1
-	_, _, err := ProjectedCG(CSROperator{M: l}, b, [][]float64{la.UnitOnes(50)}, 1e-14, 1)
+	_, _, err := ProjectedCG(CSROperator{M: l}, b, [][]float64{la.UnitOnes(50)}, 1e-14, 1, 1)
 	if !errors.Is(err, ErrNoConvergence) {
 		t.Errorf("want ErrNoConvergence, got %v", err)
 	}
@@ -105,7 +105,7 @@ func TestProjectedCGIdentityOneStep(t *testing.T) {
 	// On the identity operator CG converges in one iteration.
 	op := FuncOperator{N: 7, Fn: func(dst, x []float64) { copy(dst, x) }}
 	b := []float64{1, -2, 3, -4, 5, -6, 7}
-	y, iters, err := ProjectedCG(op, b, nil, 1e-12, 10)
+	y, iters, err := ProjectedCG(op, b, nil, 1e-12, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestProjectedCGPreconditionedWeightedLaplacian(t *testing.T) {
 		rhs[i] = float64(i%5) - 2
 	}
 	la.CenterMean(rhs)
-	y, iters, err := ProjectedCG(op, rhs, [][]float64{la.UnitOnes(n)}, 1e-10, 0)
+	y, iters, err := ProjectedCG(op, rhs, [][]float64{la.UnitOnes(n)}, 1e-10, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestProjectedCGPreconditionerSkippedOnZeroDiagonal(t *testing.T) {
 	// zero-diagonal report.
 	op := zeroDiagOperator{n: 5}
 	b := []float64{1, 2, 3, 4, 5}
-	y, _, err := ProjectedCG(op, b, nil, 1e-12, 50)
+	y, _, err := ProjectedCG(op, b, nil, 1e-12, 50, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,19 @@ const (
 	// MethodDense densifies the operator and runs the Jacobi solver;
 	// intended for n up to a few hundred and for cross-validation.
 	MethodDense
+	// MethodMultilevel coarsens the graph by heavy-edge matching, solves the
+	// Fiedler problem exactly on the coarsest level, and refines the
+	// prolonged vector up the hierarchy with warm-started inverse power
+	// iteration — the scalable path for large graphs. It needs the graph
+	// itself (to coarsen), so it is driven by MultilevelFiedler; the
+	// operator-only entry points (Fiedler, SmallestK) fall back to
+	// MethodInversePower when it is requested.
+	MethodMultilevel
+	// MethodExact is the single-level automatic choice: dense Jacobi at or
+	// below DenseCutoff, inverse power above — MethodAuto without the
+	// multilevel dispatch. Use it to force the reference path on graphs
+	// large enough that MethodAuto would coarsen.
+	MethodExact
 )
 
 // String names the method for logs and errors.
@@ -38,8 +51,34 @@ func (m Method) String() string {
 		return "lanczos"
 	case MethodDense:
 		return "dense-jacobi"
+	case MethodMultilevel:
+		return "multilevel"
+	case MethodExact:
+		return "exact"
 	default:
 		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// ParseMethod resolves a solver name from flags and configs: "auto",
+// "exact", "multilevel", "inverse-power", "lanczos", "dense" (aliases
+// "dense-jacobi", "jacobi").
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "auto", "":
+		return MethodAuto, nil
+	case "exact":
+		return MethodExact, nil
+	case "multilevel", "ml":
+		return MethodMultilevel, nil
+	case "inverse-power", "inversepower", "ip":
+		return MethodInversePower, nil
+	case "lanczos":
+		return MethodLanczos, nil
+	case "dense", "dense-jacobi", "jacobi":
+		return MethodDense, nil
+	default:
+		return MethodAuto, fmt.Errorf("eigen: unknown solver method %q (want auto|exact|multilevel|inverse-power|lanczos|dense)", s)
 	}
 }
 
@@ -59,6 +98,16 @@ type Options struct {
 	// DenseCutoff is the dimension at or below which MethodAuto uses the
 	// dense solver. Defaults to 96.
 	DenseCutoff int
+	// MultilevelCutoff is the vertex count at or above which MethodAuto
+	// picks the multilevel solver, when the caller can supply the graph
+	// (MultilevelFiedler / internal/core). Defaults to 8192.
+	MultilevelCutoff int
+	// Parallelism sets the goroutine count of the sparse kernels (matrix-
+	// vector products, dots, axpys) inside CG, Lanczos, and inverse power:
+	// 0 uses all of GOMAXPROCS, 1 forces the serial path (bit-identical to
+	// the historical kernels), k uses k workers. Small problems run
+	// serially regardless.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -68,7 +117,41 @@ func (o Options) withDefaults() Options {
 	if o.DenseCutoff <= 0 {
 		o.DenseCutoff = 96
 	}
+	if o.MultilevelCutoff <= 0 {
+		o.MultilevelCutoff = 8192
+	}
 	return o
+}
+
+// Resolve returns the concrete method these options select for an n-vertex
+// problem. haveGraph reports whether the caller can hand the solver the
+// graph itself rather than an abstract operator; multilevel needs it to
+// coarsen, so without it MethodAuto never picks multilevel and an explicit
+// MethodMultilevel degrades to inverse power.
+func (o Options) Resolve(n int, haveGraph bool) Method {
+	o = o.withDefaults()
+	switch o.Method {
+	case MethodAuto:
+		if n <= o.DenseCutoff {
+			return MethodDense
+		}
+		if haveGraph && n >= o.MultilevelCutoff {
+			return MethodMultilevel
+		}
+		return MethodInversePower
+	case MethodExact:
+		if n <= o.DenseCutoff {
+			return MethodDense
+		}
+		return MethodInversePower
+	case MethodMultilevel:
+		if !haveGraph {
+			return MethodInversePower
+		}
+		return MethodMultilevel
+	default:
+		return o.Method
+	}
 }
 
 // Result is the outcome of a Fiedler computation.
@@ -101,15 +184,7 @@ func Fiedler(op Operator, opt Options) (Result, error) {
 	if n == 1 {
 		return Result{}, errors.New("eigen: Fiedler undefined for a single vertex")
 	}
-	method := opt.Method
-	if method == MethodAuto {
-		if n <= opt.DenseCutoff {
-			method = MethodDense
-		} else {
-			method = MethodInversePower
-		}
-	}
-	switch method {
+	switch method := opt.Resolve(n, false); method {
 	case MethodDense:
 		return fiedlerDense(op, opt)
 	case MethodLanczos:
@@ -146,6 +221,7 @@ func fiedlerLanczos(op Operator, opt Options) (Result, error) {
 		Tol:     opt.Tol,
 		Seed:    opt.Seed,
 		Deflate: [][]float64{la.UnitOnes(n)},
+		Workers: opt.Parallelism,
 	})
 	if err != nil {
 		return Result{}, err
@@ -155,42 +231,74 @@ func fiedlerLanczos(op Operator, opt Options) (Result, error) {
 }
 
 func fiedlerInversePower(op Operator, opt Options) (Result, error) {
+	return inversePowerFrom(op, opt, nil, 0)
+}
+
+// inversePowerFrom runs deflated inverse power iteration starting from x0
+// (nil means a seeded random start). It is the refinement engine of both the
+// exact path (random start) and the multilevel path (prolonged coarse
+// Fiedler vectors as warm starts). x0 is not modified. cgTol overrides the
+// inner CG relative tolerance (0 keeps the production default of 1e-10; the
+// multilevel driver loosens it at intermediate levels where the iterate is
+// only a warm start). On ErrNoConvergence the returned Result still carries
+// the last iterate, so warm-start callers can use it.
+func inversePowerFrom(op Operator, opt Options, x0 []float64, cgTol float64) (Result, error) {
+	opt = opt.withDefaults()
 	n := op.Dim()
+	w := opt.Parallelism
 	maxIter := opt.MaxIter
 	if maxIter <= 0 {
 		maxIter = 200
 	}
 	scale := normEst(op, opt.Seed+7)
 	deflate := [][]float64{la.UnitOnes(n)}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	x := randomUnit(rng, n)
-	la.OrthogonalizeAgainst(x, deflate...)
+	var x []float64
+	if x0 != nil {
+		x = append([]float64(nil), x0...)
+	} else {
+		x = randomUnit(rand.New(rand.NewSource(opt.Seed)), n)
+	}
+	la.OrthogonalizeAgainstP(x, w, deflate...)
 	if la.Normalize(x) == 0 {
-		return Result{}, errors.New("eigen: degenerate start vector")
+		if x0 == nil {
+			return Result{}, errors.New("eigen: degenerate start vector")
+		}
+		// A warm start that lies in the deflated space carries no
+		// information; fall back to the seeded random start.
+		x = randomUnit(rand.New(rand.NewSource(opt.Seed)), n)
+		la.OrthogonalizeAgainstP(x, w, deflate...)
+		if la.Normalize(x) == 0 {
+			return Result{}, errors.New("eigen: degenerate start vector")
+		}
+	}
+	if cgTol <= 0 {
+		cgTol = 1e-10
 	}
 	lx := make([]float64, n)
 	var lambda, res float64
 	for it := 1; it <= maxIter; it++ {
-		y, _, err := ProjectedCG(op, x, deflate, 1e-10, 40*n)
+		y, _, err := ProjectedCG(op, x, deflate, cgTol, 40*n, w)
 		if err != nil {
 			return Result{}, fmt.Errorf("inverse power inner solve failed: %w", err)
 		}
-		la.OrthogonalizeAgainst(y, deflate...)
+		la.OrthogonalizeAgainstP(y, w, deflate...)
 		if la.Normalize(y) == 0 {
 			return Result{}, errors.New("eigen: inverse power iterate vanished")
 		}
 		x = y
 		op.Apply(lx, x)
-		lambda = la.Dot(x, lx)
-		la.Axpy(-lambda, x, lx)
-		res = la.Norm2(lx)
+		lambda = la.DotP(x, lx, w)
+		la.AxpyP(-lambda, x, lx, w)
+		res = la.Norm2P(lx, w)
 		if res <= opt.Tol*scale {
 			canonicalizeSign([][]float64{x})
 			return Result{Value: lambda, Vector: x, Iterations: it, Method: MethodInversePower, Residual: res}, nil
 		}
 	}
-	return Result{}, fmt.Errorf("%w: inverse power residual %.3g after %d iterations (target %.3g)",
-		ErrNoConvergence, res, maxIter, opt.Tol*scale)
+	canonicalizeSign([][]float64{x})
+	return Result{Value: lambda, Vector: x, Iterations: maxIter, Method: MethodInversePower, Residual: res},
+		fmt.Errorf("%w: inverse power residual %.3g after %d iterations (target %.3g)",
+			ErrNoConvergence, res, maxIter, opt.Tol*scale)
 }
 
 // residual returns ||op(x) - lambda x||.
@@ -213,16 +321,8 @@ func SmallestK(op Operator, k int, opt Options) (vals []float64, vecs [][]float6
 	if k <= 0 || k > n-1 {
 		return nil, nil, fmt.Errorf("eigen: SmallestK k=%d out of range for n=%d", k, n)
 	}
-	method := opt.Method
-	if method == MethodAuto {
-		if n <= opt.DenseCutoff {
-			method = MethodDense
-		} else {
-			method = MethodInversePower
-		}
-	}
 	deflate := [][]float64{la.UnitOnes(n)}
-	switch method {
+	switch method := opt.Resolve(n, false); method {
 	case MethodDense:
 		s := denseFromOperator(op)
 		allVals, allVecs, err := Jacobi(s, 0)
@@ -242,6 +342,7 @@ func SmallestK(op Operator, k int, opt Options) (vals []float64, vecs [][]float6
 	case MethodLanczos:
 		return LanczosSmallest(op, k, LanczosOptions{
 			MaxIter: opt.MaxIter, Tol: opt.Tol, Seed: opt.Seed, Deflate: deflate,
+			Workers: opt.Parallelism,
 		})
 	case MethodInversePower:
 		return smallestKBlock(op, k, opt, deflate)
@@ -280,20 +381,20 @@ func smallestKBlock(op Operator, k int, opt Options, deflate [][]float64) ([]flo
 	for j := range X {
 		X[j] = randomUnit(rng, n)
 	}
-	orthonormalize(X, deflate)
+	orthonormalize(X, deflate, opt.Seed)
 
 	tmp := make([]float64, n)
 	vals := make([]float64, k)
 	for it := 1; it <= maxIter; it++ {
 		// Inverse iteration: solve L Y_j = X_j.
 		for j := range X {
-			y, _, err := ProjectedCG(op, X[j], deflate, 1e-10, 40*n)
+			y, _, err := ProjectedCG(op, X[j], deflate, 1e-10, 40*n, opt.Parallelism)
 			if err != nil {
 				return nil, nil, fmt.Errorf("block inverse power inner solve failed: %w", err)
 			}
 			X[j] = y
 		}
-		orthonormalize(X, deflate)
+		orthonormalize(X, deflate, opt.Seed)
 		// Rayleigh-Ritz on span(X): H = Xᵀ L X (k x k), rotate X by its
 		// eigenvectors.
 		h := la.NewSym(k)
@@ -341,15 +442,17 @@ func smallestKBlock(op Operator, k int, opt Options, deflate [][]float64) ([]flo
 
 // orthonormalize applies modified Gram-Schmidt to the block, first removing
 // deflated directions. Vectors that vanish are replaced by fresh random
-// directions (deterministic via position-derived seeds).
-func orthonormalize(X [][]float64, deflate [][]float64) {
+// directions, deterministically: the rescue seed mixes the caller's seed
+// with the block position, so different Options.Seed values explore
+// different rescue directions while the same seed stays reproducible.
+func orthonormalize(X [][]float64, deflate [][]float64, seed int64) {
 	for j := range X {
 		for pass := 0; pass < 2; pass++ {
 			la.OrthogonalizeAgainst(X[j], deflate...)
 			la.OrthogonalizeAgainst(X[j], X[:j]...)
 		}
 		if la.Normalize(X[j]) < 1e-12 {
-			rng := rand.New(rand.NewSource(int64(1000 + j)))
+			rng := rand.New(rand.NewSource(seed*0x9E3779B9 + int64(1000+j)))
 			X[j] = randomUnit(rng, len(X[j]))
 			la.OrthogonalizeAgainst(X[j], deflate...)
 			la.OrthogonalizeAgainst(X[j], X[:j]...)

@@ -23,6 +23,10 @@ type LanczosOptions struct {
 	// orthogonal to (e.g. known null vectors such as the normalized ones
 	// vector of a connected Laplacian).
 	Deflate [][]float64
+	// Workers sets the goroutine count of the O(n) vector kernels (dots,
+	// axpys, reorthogonalization): 0 = GOMAXPROCS, 1 = serial. See
+	// la.Workers.
+	Workers int
 }
 
 // LanczosSmallest computes the k smallest eigenpairs of the symmetric
@@ -78,6 +82,7 @@ func lanczosOne(op Operator, opt LanczosOptions) (float64, []float64, error) {
 	}
 	scale := normEst(op, opt.Seed+1)
 	rng := rand.New(rand.NewSource(opt.Seed))
+	wk := opt.Workers
 
 	Q := make([][]float64, 0, maxIter)
 	alpha := make([]float64, 0, maxIter)
@@ -87,8 +92,8 @@ func lanczosOne(op Operator, opt LanczosOptions) (float64, []float64, error) {
 		for attempt := 0; attempt < 8; attempt++ {
 			v := randomUnit(rng, n)
 			for pass := 0; pass < 2; pass++ {
-				la.OrthogonalizeAgainst(v, opt.Deflate...)
-				la.OrthogonalizeAgainst(v, Q...)
+				la.OrthogonalizeAgainstP(v, wk, opt.Deflate...)
+				la.OrthogonalizeAgainstP(v, wk, Q...)
 			}
 			if la.Normalize(v) > 1e-8 {
 				return v, true
@@ -107,17 +112,17 @@ func lanczosOne(op Operator, opt LanczosOptions) (float64, []float64, error) {
 	for j := 0; j < maxIter; j++ {
 		Q = append(Q, q)
 		op.Apply(w, q)
-		a := la.Dot(w, q)
+		a := la.DotP(w, q, wk)
 		alpha = append(alpha, a)
-		la.Axpy(-a, q, w)
+		la.AxpyP(-a, q, w, wk)
 		if j > 0 {
-			la.Axpy(-beta[j-1], Q[j-1], w)
+			la.AxpyP(-beta[j-1], Q[j-1], w, wk)
 		}
 		for pass := 0; pass < 2; pass++ {
-			la.OrthogonalizeAgainst(w, opt.Deflate...)
-			la.OrthogonalizeAgainst(w, Q...)
+			la.OrthogonalizeAgainstP(w, wk, opt.Deflate...)
+			la.OrthogonalizeAgainstP(w, wk, Q...)
 		}
-		b := la.Norm2(w)
+		b := la.Norm2P(w, wk)
 
 		done := j+1 == maxIter
 		if !done && (j+1)%checkEvery == 0 {
@@ -150,16 +155,16 @@ func lanczosOne(op Operator, opt LanczosOptions) (float64, []float64, error) {
 	}
 	y := make([]float64, n)
 	for j := 0; j < m; j++ {
-		la.Axpy(tvecs[0][j], Q[j], y)
+		la.AxpyP(tvecs[0][j], Q[j], y, wk)
 	}
-	la.OrthogonalizeAgainst(y, opt.Deflate...)
+	la.OrthogonalizeAgainstP(y, wk, opt.Deflate...)
 	if la.Normalize(y) == 0 {
 		return 0, nil, ErrNoConvergence
 	}
 	op.Apply(w, y)
-	lambda := la.Dot(y, w)
-	la.Axpy(-lambda, y, w)
-	if la.Norm2(w) > 100*tol*scale {
+	lambda := la.DotP(y, w, wk)
+	la.AxpyP(-lambda, y, w, wk)
+	if la.Norm2P(w, wk) > 100*tol*scale {
 		return 0, nil, ErrNoConvergence
 	}
 	return lambda, y, nil

@@ -1,0 +1,185 @@
+package eigen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/la"
+)
+
+// Multilevel refinement schedule. Intermediate levels only produce warm
+// starts for the next finer level, so they run a handful of loosely-solved
+// inverse power steps; full accuracy is enforced only at the finest level.
+const (
+	// mlIntermediateIters caps inverse power steps per intermediate level.
+	mlIntermediateIters = 4
+	// mlIntermediateTol is the (relative) residual target at intermediate
+	// levels; not reaching it is fine — the iterate is still a warm start.
+	mlIntermediateTol = 1e-5
+	// mlIntermediateCGTol loosens the inner CG solves at intermediate
+	// levels (the finest level uses the production 1e-10).
+	mlIntermediateCGTol = 1e-8
+)
+
+// MultilevelFiedler computes the Fiedler pair of a connected graph's
+// Laplacian with a multilevel method: coarsen the graph by repeated
+// heavy-edge matching (internal/graph), solve the coarsest level exactly
+// with the dense path, then walk back up the hierarchy — prolong the coarse
+// Fiedler vector piecewise-constantly and refine it with warm-started
+// deflated inverse power iteration against each level's Laplacian. Full
+// accuracy (opt.Tol) is enforced only at the finest level, where the warm
+// start typically leaves just a few CG-backed iterations of work. This is
+// the scalable path for large graphs (the paper's pointer to multilevel
+// methods); opt.Parallelism additionally spreads the sparse kernels over
+// goroutines.
+//
+// The graph must be connected (callers split components first, as
+// internal/core does). Result.Iterations counts inverse power steps summed
+// over all levels; Result.Method is MethodMultilevel.
+func MultilevelFiedler(g *graph.Graph, opt Options) (Result, error) {
+	return multilevelFiedler(g, nil, opt)
+}
+
+// MultilevelFiedlerWithLaplacian is MultilevelFiedler reusing a finest-level
+// Laplacian the caller already assembled (it must be g.Laplacian(); CSR
+// assembly sorts every nonzero, which is a measurable fraction of the solve
+// on million-node graphs, so callers that also need the matrix — e.g. the
+// degeneracy probe in internal/core — should build it once and share it).
+func MultilevelFiedlerWithLaplacian(g *graph.Graph, lap *la.CSR, opt Options) (Result, error) {
+	return multilevelFiedler(g, lap, opt)
+}
+
+func multilevelFiedler(g *graph.Graph, lap *la.CSR, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	n := g.N()
+	if n == 0 {
+		return Result{}, errors.New("eigen: empty graph")
+	}
+	if n == 1 {
+		return Result{}, errors.New("eigen: Fiedler undefined for a single vertex")
+	}
+	exact := opt
+	exact.Method = MethodExact
+
+	h := graph.BuildHierarchy(g, graph.CoarsenOptions{
+		MinSize: opt.DenseCutoff,
+		Seed:    opt.Seed,
+	})
+	// Coarsest level: the existing exact path (dense Jacobi once coarsening
+	// reached DenseCutoff, inverse power if matching stalled early).
+	coarsest := h.Coarsest()
+	cm := lap
+	if h.Levels() > 1 || cm == nil {
+		cm = coarsest.Laplacian()
+	}
+	res, err := Fiedler(CSROperator{M: cm, Workers: opt.Parallelism}, exact)
+	if err != nil {
+		return Result{}, fmt.Errorf("eigen: multilevel coarsest solve (%d vertices): %w", coarsest.N(), err)
+	}
+	if h.Levels() == 1 {
+		return res, nil
+	}
+
+	iterations := res.Iterations
+	x := res.Vector
+	for level := h.Levels() - 2; level >= 0; level-- {
+		x, err = h.Prolong(level, x)
+		if err != nil {
+			return Result{}, fmt.Errorf("eigen: multilevel prolongation: %w", err)
+		}
+		m := lap
+		if level > 0 || m == nil {
+			m = h.Graphs[level].Laplacian()
+		}
+		op := CSROperator{M: m, Workers: opt.Parallelism}
+		ropt := opt
+		var cgTol float64
+		if level > 0 {
+			ropt.Tol = mlIntermediateTol
+			ropt.MaxIter = mlIntermediateIters
+			cgTol = mlIntermediateCGTol
+		} else {
+			// Let the inner solves track the requested accuracy: a caller
+			// content with a loose Fiedler vector (ordering needs far less
+			// than 1e-9) should not pay for 1e-10 CG solves. Clamped so the
+			// default Tol keeps the production 1e-10 inner tolerance.
+			cgTol = math.Min(math.Max(opt.Tol*0.1, 1e-10), 1e-6)
+		}
+		lres, rerr := inversePowerFrom(op, ropt, x, cgTol)
+		if rerr != nil {
+			if level > 0 && errors.Is(rerr, ErrNoConvergence) && lres.Vector != nil {
+				// Intermediate levels only feed the next warm start; the
+				// best available iterate is good enough.
+				x = lres.Vector
+				iterations += lres.Iterations
+				continue
+			}
+			return Result{}, fmt.Errorf("eigen: multilevel refinement at level %d (%d vertices): %w",
+				level, h.Graphs[level].N(), rerr)
+		}
+		x = lres.Vector
+		iterations += lres.Iterations
+		res = lres
+	}
+	res.Iterations = iterations
+	res.Method = MethodMultilevel
+	// The refinement already normalized and sign-canonicalized the vector;
+	// re-orthogonalize against ones defensively (prolongation does not
+	// preserve zero mean exactly, refinement restores it numerically).
+	la.OrthogonalizeAgainstP(res.Vector, opt.Parallelism, la.UnitOnes(n))
+	la.Normalize(res.Vector)
+	return res, nil
+}
+
+// EigenspaceProbe runs a few deflated inverse-power iterations from a
+// seeded random start orthogonal to the given unit vectors, returning the
+// final iterate and its Rayleigh quotient. With deflate = {ones, v₂, ...}
+// it approximates the smallest eigenpair of the remaining spectrum, which
+// is how callers probe a (near-)degenerate λ₂ eigenspace for additional
+// members without paying for a full extra eigensolve: each iteration is one
+// CG solve, and `iters` (default 12 — a random start needs that many
+// halvings to shed its components along the rest of the spectrum) bounds
+// the cost. When stopAbove > 0 the probe returns early once the Rayleigh
+// quotient has *settled* above it — merely exceeding the threshold is not
+// enough, since the quotient converges from above and passes through every
+// value on its way down; "settled" means successive iterations agree to a
+// factor far tighter than the threshold's slack. The returned vector is
+// unit norm and orthogonal to the deflated set; the Rayleigh quotient is an
+// estimate, not a converged eigenvalue.
+func EigenspaceProbe(op Operator, opt Options, deflate [][]float64, iters int, stopAbove float64) ([]float64, float64, error) {
+	opt = opt.withDefaults()
+	w := opt.Parallelism
+	n := op.Dim()
+	if iters <= 0 {
+		iters = 12
+	}
+	x := randomUnit(rand.New(rand.NewSource(opt.Seed+101)), n)
+	for pass := 0; pass < 2; pass++ {
+		la.OrthogonalizeAgainstP(x, w, deflate...)
+	}
+	if la.Normalize(x) == 0 {
+		return nil, 0, errors.New("eigen: probe start vector vanished (deflated space exhausted)")
+	}
+	lx := make([]float64, n)
+	var rq, prev float64
+	for it := 1; it <= iters; it++ {
+		y, _, err := ProjectedCG(op, x, deflate, mlIntermediateCGTol, 40*n, w)
+		if err != nil {
+			return nil, 0, fmt.Errorf("eigen: probe inner solve: %w", err)
+		}
+		la.OrthogonalizeAgainstP(y, w, deflate...)
+		if la.Normalize(y) == 0 {
+			return nil, 0, errors.New("eigen: probe iterate vanished")
+		}
+		x = y
+		op.Apply(lx, x)
+		prev, rq = rq, la.DotP(x, lx, w)
+		if stopAbove > 0 && it >= 2 && rq > stopAbove && math.Abs(prev-rq) <= 1e-4*rq {
+			break
+		}
+	}
+	return x, rq, nil
+}

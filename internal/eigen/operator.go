@@ -33,13 +33,19 @@ type NormEstimator interface {
 // CSROperator adapts a square sparse matrix to the Operator interface.
 type CSROperator struct {
 	M *la.CSR
+	// Workers is the parallelism of the matrix-vector product: 0 uses all
+	// of GOMAXPROCS, 1 is serial, k uses k goroutines. The row-parallel
+	// product is bit-identical to the serial one at every worker count
+	// (each row is accumulated in the same order), so this is purely a
+	// speed knob. Small matrices run serially regardless.
+	Workers int
 }
 
 // Dim returns the matrix dimension.
 func (c CSROperator) Dim() int { return c.M.Rows() }
 
 // Apply computes dst = M x.
-func (c CSROperator) Apply(dst, x []float64) { c.M.MulVec(dst, x) }
+func (c CSROperator) Apply(dst, x []float64) { c.M.MulVecP(dst, x, c.Workers) }
 
 // NormEst returns the infinity norm (max absolute row sum), a valid upper
 // bound on the spectral norm for symmetric matrices.

@@ -304,14 +304,14 @@ type SolverRow struct {
 // ExtSolvers cross-checks the eigensolver implementations (the DESIGN.md
 // EXT3 ablation): each method solves the same grid Laplacians; the λ₂
 // values must agree and the timings show why inverse power is the
-// production path.
+// production path for mid-size graphs and multilevel for large ones.
 func ExtSolvers(cfg Config) ([]SolverRow, error) {
 	cfg = cfg.withDefaults()
 	var rows []SolverRow
 	for _, side := range []int{12, 24, 48} {
 		g := graph.GridGraph(graph.MustGrid(side, side), graph.Orthogonal)
-		op := eigen.CSROperator{M: g.Laplacian()}
-		methods := []eigen.Method{eigen.MethodInversePower, eigen.MethodLanczos}
+		op := eigen.CSROperator{M: g.Laplacian(), Workers: cfg.Solver.Parallelism}
+		methods := []eigen.Method{eigen.MethodInversePower, eigen.MethodLanczos, eigen.MethodMultilevel}
 		if side <= 12 {
 			methods = append(methods, eigen.MethodDense)
 		}
@@ -319,12 +319,20 @@ func ExtSolvers(cfg Config) ([]SolverRow, error) {
 			opt := cfg.Solver
 			opt.Method = meth
 			start := time.Now()
-			r, err := eigen.Fiedler(op, opt)
+			var r eigen.Result
+			var err error
+			if meth == eigen.MethodMultilevel {
+				// The multilevel driver needs the graph, not just the
+				// operator, to coarsen.
+				r, err = eigen.MultilevelFiedler(g, opt)
+			} else {
+				r, err = eigen.Fiedler(op, opt)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %v on %dx%d: %w", meth, side, side, err)
 			}
 			rows = append(rows, SolverRow{
-				Method:   meth.String(),
+				Method:   r.Method.String(),
 				N:        side * side,
 				Lambda2:  r.Value,
 				Residual: r.Residual,

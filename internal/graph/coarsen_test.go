@@ -1,0 +1,200 @@
+package graph
+
+import (
+	"testing"
+)
+
+// totalWeight sums all undirected edge weights of a graph.
+func totalWeight(g *Graph) float64 {
+	var w float64
+	g.Edges(func(_, _ int, ew float64) { w += ew })
+	return w
+}
+
+func TestCoarsenHEMShrinksAndConservesWeight(t *testing.T) {
+	g := GridGraph(MustGrid(16, 16), Orthogonal)
+	coarse, cmap := CoarsenHEM(g, 1)
+
+	if coarse.N() >= g.N() {
+		t.Fatalf("coarse size %d >= fine size %d", coarse.N(), g.N())
+	}
+	// Perfect matching halves a grid; allow some slack for stranded
+	// vertices, but a pathological matching would show up here.
+	if coarse.N() > g.N()*3/4 {
+		t.Errorf("coarse size %d, want <= 3/4 of %d", coarse.N(), g.N())
+	}
+	if len(cmap) != g.N() {
+		t.Fatalf("cmap length %d, want %d", len(cmap), g.N())
+	}
+	// cmap must be a surjection onto [0, coarse.N()).
+	hit := make([]bool, coarse.N())
+	for v, c := range cmap {
+		if c < 0 || c >= coarse.N() {
+			t.Fatalf("cmap[%d] = %d outside [0,%d)", v, c, coarse.N())
+		}
+		hit[c] = true
+	}
+	for c, ok := range hit {
+		if !ok {
+			t.Fatalf("coarse vertex %d has no fine preimage", c)
+		}
+	}
+	// Each cluster holds one or two fine vertices (matching, not clustering).
+	count := make([]int, coarse.N())
+	for _, c := range cmap {
+		count[c]++
+	}
+	for c, k := range count {
+		if k < 1 || k > 2 {
+			t.Fatalf("cluster %d has %d members", c, k)
+		}
+	}
+	// Weight conservation: coarse weight = fine weight − weight absorbed
+	// inside clusters.
+	var absorbed float64
+	g.Edges(func(u, v int, w float64) {
+		if cmap[u] == cmap[v] {
+			absorbed += w
+		}
+	})
+	if got, want := totalWeight(coarse), totalWeight(g)-absorbed; !approxEq(got, want) {
+		t.Errorf("coarse weight %v, want %v", got, want)
+	}
+	if !coarse.IsConnected() {
+		t.Error("contraction of a connected graph must stay connected")
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+b)
+}
+
+func TestCoarsenHEMDeterministicPerSeed(t *testing.T) {
+	g := GridGraph(MustGrid(9, 9), Orthogonal)
+	c1, m1 := CoarsenHEM(g, 42)
+	c2, m2 := CoarsenHEM(g, 42)
+	if c1.N() != c2.N() {
+		t.Fatalf("same seed, different coarse sizes %d vs %d", c1.N(), c2.N())
+	}
+	for v := range m1 {
+		if m1[v] != m2[v] {
+			t.Fatalf("same seed, different maps at %d", v)
+		}
+	}
+}
+
+func TestCoarsenHEMPrefersHeavyEdges(t *testing.T) {
+	// A 4-path with a heavy middle edge: 0 -1- 1 -9- 2 -1- 3. Vertex 1 (or
+	// 2), when visited first, must match across the weight-9 edge.
+	g := New(4)
+	for _, e := range []struct {
+		u, v int
+		w    float64
+	}{{0, 1, 1}, {1, 2, 9}, {2, 3, 1}} {
+		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	matchedHeavy := 0
+	for seed := int64(0); seed < 16; seed++ {
+		_, cmap := CoarsenHEM(g, seed)
+		if cmap[1] == cmap[2] {
+			matchedHeavy++
+		}
+	}
+	// Whenever 1 or 2 is visited before both 0 and 3 are matched, the heavy
+	// edge is taken; across seeds this dominates.
+	if matchedHeavy == 0 {
+		t.Error("heavy edge never matched across 16 seeds")
+	}
+}
+
+func TestBuildHierarchyReachesMinSize(t *testing.T) {
+	g := GridGraph(MustGrid(32, 32), Orthogonal)
+	h := BuildHierarchy(g, CoarsenOptions{MinSize: 50, Seed: 3})
+	if h.Graphs[0] != g {
+		t.Fatal("level 0 must be the input graph")
+	}
+	if h.Levels() < 2 {
+		t.Fatalf("expected multiple levels for a 1024-vertex grid, got %d", h.Levels())
+	}
+	if got := h.Coarsest().N(); got > 50 {
+		t.Errorf("coarsest level has %d vertices, want <= 50", got)
+	}
+	for l := 1; l < h.Levels(); l++ {
+		if h.Graphs[l].N() >= h.Graphs[l-1].N() {
+			t.Errorf("level %d (%d vertices) did not shrink from %d",
+				l, h.Graphs[l].N(), h.Graphs[l-1].N())
+		}
+		if !h.Graphs[l].IsConnected() {
+			t.Errorf("level %d disconnected", l)
+		}
+	}
+	if len(h.Maps) != h.Levels()-1 {
+		t.Fatalf("%d maps for %d levels", len(h.Maps), h.Levels())
+	}
+}
+
+func TestHierarchySingleLevelWhenSmall(t *testing.T) {
+	g := GridGraph(MustGrid(3, 3), Orthogonal)
+	h := BuildHierarchy(g, CoarsenOptions{MinSize: 96, Seed: 1})
+	if h.Levels() != 1 {
+		t.Fatalf("9-vertex graph should not coarsen below MinSize 96, got %d levels", h.Levels())
+	}
+	if h.Coarsest() != g {
+		t.Fatal("coarsest of a single-level hierarchy must be the input")
+	}
+}
+
+func TestProlongPiecewiseConstant(t *testing.T) {
+	g := GridGraph(MustGrid(8, 8), Orthogonal)
+	h := BuildHierarchy(g, CoarsenOptions{MinSize: 16, Seed: 5})
+	if h.Levels() < 2 {
+		t.Skip("hierarchy did not coarsen")
+	}
+	level := h.Levels() - 2
+	coarse := make([]float64, h.Graphs[level+1].N())
+	for i := range coarse {
+		coarse[i] = float64(i)
+	}
+	fine, err := h.Prolong(level, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fine) != h.Graphs[level].N() {
+		t.Fatalf("prolonged length %d, want %d", len(fine), h.Graphs[level].N())
+	}
+	for v, c := range h.Maps[level] {
+		if fine[v] != coarse[c] {
+			t.Fatalf("fine[%d] = %v, want cluster value %v", v, fine[v], coarse[c])
+		}
+	}
+	// Error paths.
+	if _, err := h.Prolong(-1, coarse); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := h.Prolong(level, coarse[:len(coarse)-1]); err == nil {
+		t.Error("wrong vector length accepted")
+	}
+}
+
+func TestCoarsenHEMStarGraphStalls(t *testing.T) {
+	// A star can only match one pair per level (the center is consumed by
+	// its first match), so coarsening shrinks by exactly one vertex — the
+	// MinShrink guard must stop the hierarchy rather than spin.
+	n := 101
+	g := New(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddUnitEdge(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := BuildHierarchy(g, CoarsenOptions{MinSize: 10, Seed: 7})
+	if h.Levels() > 3 {
+		t.Errorf("star hierarchy should stall quickly, got %d levels", h.Levels())
+	}
+}

@@ -1,0 +1,229 @@
+package la
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// parallelCutoff is the problem size below which the parallel kernels run
+// serially: goroutine fan-out costs on the order of microseconds, which
+// dwarfs the arithmetic of small vectors. The value is a var so tests can
+// lower it to exercise the parallel paths on small inputs.
+var parallelCutoff = 1 << 13
+
+// Workers resolves a requested parallelism degree: values > 0 are taken as
+// given, anything else means "use all of GOMAXPROCS". This is the shared
+// interpretation of the Parallelism knobs across the solver stack (0 = auto,
+// 1 = serial, k = k workers).
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parFor splits [0, n) into at most `workers` contiguous chunks and runs fn
+// on each concurrently, returning when all chunks finish. fn must be safe to
+// run concurrently on disjoint ranges. workers is assumed >= 2 and n >= 1.
+func parFor(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// reduceBlockSize is the fixed block length of the parallel reductions
+// (DotP, Norm2P). Partial results are computed per block and combined in
+// block order, so a reduction depends only on the vector length — not on
+// the worker count or GOMAXPROCS — making parallel results reproducible
+// across machines. 4096 amortizes goroutine scheduling while leaving enough
+// blocks to balance load.
+const reduceBlockSize = 1 << 12
+
+// parBlocks runs fn over the fixed-size blocks of [0, n) on at most
+// `workers` goroutines, block b spanning [b*reduceBlockSize, ...). Blocks
+// are assigned round-robin; fn must only write state owned by its block.
+func parBlocks(n, workers int, fn func(block, lo, hi int)) {
+	nblocks := (n + reduceBlockSize - 1) / reduceBlockSize
+	if workers > nblocks {
+		workers = nblocks
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := g; b < nblocks; b += workers {
+				lo := b * reduceBlockSize
+				hi := lo + reduceBlockSize
+				if hi > n {
+					hi = n
+				}
+				fn(b, lo, hi)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// numBlocks returns the block count parBlocks uses for length n.
+func numBlocks(n int) int { return (n + reduceBlockSize - 1) / reduceBlockSize }
+
+// DotP is Dot with block-parallel partial sums. Partials are combined in
+// block order over fixed-size blocks, so for a given vector length the
+// result is identical at every worker count >= 2 and on every machine; with
+// workers == 1 (or below the serial cutoff) it is the serial Dot, bit for
+// bit.
+func DotP(x, y []float64, workers int) float64 {
+	w := Workers(workers)
+	n := len(x)
+	if w <= 1 || n < parallelCutoff || len(y) != n {
+		// Serial path; a length mismatch delegates for the canonical panic.
+		return Dot(x, y)
+	}
+	partial := make([]float64, numBlocks(n))
+	parBlocks(n, w, func(b, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += x[i] * y[i]
+		}
+		partial[b] = s
+	})
+	var s float64
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}
+
+// AxpyP is Axpy (y += alpha*x) with goroutine-chunked updates. The update is
+// elementwise, so the result is bit-identical to the serial Axpy at every
+// worker count.
+func AxpyP(alpha float64, x, y []float64, workers int) {
+	w := Workers(workers)
+	n := len(x)
+	if w <= 1 || n < parallelCutoff || len(y) != n {
+		Axpy(alpha, x, y)
+		return
+	}
+	if alpha == 0 {
+		return
+	}
+	parFor(n, w, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += alpha * x[i]
+		}
+	})
+}
+
+// Norm2P is Norm2 with block-parallel max and sum reductions. The max pass
+// is order-independent; the scaled squares are combined in fixed block
+// order, so like DotP the result depends only on the vector length, and at
+// workers == 1 it is the serial Norm2, bit for bit.
+func Norm2P(x []float64, workers int) float64 {
+	w := Workers(workers)
+	n := len(x)
+	if w <= 1 || n < parallelCutoff {
+		return Norm2(x)
+	}
+	partial := make([]float64, numBlocks(n))
+	parBlocks(n, w, func(b, lo, hi int) {
+		var m float64
+		for i := lo; i < hi; i++ {
+			v := x[i]
+			if v < 0 {
+				v = -v
+			}
+			if v > m {
+				m = v
+			}
+		}
+		partial[b] = m
+	})
+	var max float64
+	for _, m := range partial {
+		if m > max {
+			max = m
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	parBlocks(n, w, func(b, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			r := x[i] / max
+			s += r * r
+		}
+		partial[b] = s
+	})
+	var s float64
+	for _, p := range partial {
+		s += p
+	}
+	return max * math.Sqrt(s)
+}
+
+// ScaleP is Scale with goroutine-chunked updates; elementwise, hence
+// bit-identical to the serial Scale at every worker count.
+func ScaleP(alpha float64, x []float64, workers int) {
+	w := Workers(workers)
+	n := len(x)
+	if w <= 1 || n < parallelCutoff {
+		Scale(alpha, x)
+		return
+	}
+	parFor(n, w, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] *= alpha
+		}
+	})
+}
+
+// OrthogonalizeAgainstP removes from x its components along each unit basis
+// vector, like OrthogonalizeAgainst, using the parallel dot and axpy
+// kernels. At workers == 1 it is the serial routine, bit for bit.
+func OrthogonalizeAgainstP(x []float64, workers int, basis ...[]float64) {
+	for _, q := range basis {
+		AxpyP(-DotP(x, q, workers), q, x, workers)
+	}
+}
+
+// MulVecP computes dst = C*x with rows split across goroutines. Every row is
+// accumulated exactly as in the serial MulVec, so the result is bit-identical
+// to MulVec at every worker count; parallelism only changes which goroutine
+// writes which rows.
+func (c *CSR) MulVecP(dst, x []float64, workers int) {
+	w := Workers(workers)
+	if w <= 1 || c.NNZ() < parallelCutoff {
+		c.MulVec(dst, x)
+		return
+	}
+	if len(dst) != c.n || len(x) != c.m {
+		c.MulVec(dst, x) // delegate for the canonical panic message
+		return
+	}
+	parFor(c.n, w, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+				s += c.values[k] * x[c.colIdx[k]]
+			}
+			dst[i] = s
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lowerCutoff temporarily drops the serial cutoff so small vectors exercise
+// the parallel code paths.
+func lowerCutoff(t *testing.T, v int) {
+	t.Helper()
+	old := parallelCutoff
+	parallelCutoff = v
+	t.Cleanup(func() { parallelCutoff = old })
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestParallelKernelsBitCompatibleAtOneWorker is the contract the solver
+// stack relies on: workers == 1 must reproduce the serial kernels bit for
+// bit, at any size.
+func TestParallelKernelsBitCompatibleAtOneWorker(t *testing.T) {
+	lowerCutoff(t, 1)
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 17, 1000, 10000} {
+		x, y := randVec(rng, n), randVec(rng, n)
+		if got, want := DotP(x, y, 1), Dot(x, y); got != want {
+			t.Errorf("n=%d DotP(.,.,1) = %v, Dot = %v", n, got, want)
+		}
+		if got, want := Norm2P(x, 1), Norm2(x); got != want {
+			t.Errorf("n=%d Norm2P(.,1) = %v, Norm2 = %v", n, got, want)
+		}
+		ya := append([]float64(nil), y...)
+		yb := append([]float64(nil), y...)
+		Axpy(0.37, x, ya)
+		AxpyP(0.37, x, yb, 1)
+		for i := range ya {
+			if ya[i] != yb[i] {
+				t.Fatalf("n=%d AxpyP(...,1) differs from Axpy at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestMulVecPBitIdenticalAtAnyWorkerCount: row-parallel SpMV accumulates
+// every row exactly as the serial loop does, so the result must be
+// bit-identical at every worker count — this is why CSROperator can default
+// to parallel products without perturbing any solver.
+func TestMulVecPBitIdenticalAtAnyWorkerCount(t *testing.T) {
+	lowerCutoff(t, 1)
+	rng := rand.New(rand.NewSource(11))
+	const n = 300
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 5; k++ {
+			b.Add(i, rng.Intn(n), rng.NormFloat64())
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(rng, n)
+	want := make([]float64, n)
+	m.MulVec(want, x)
+	for _, w := range []int{1, 2, 3, 7, 16, 64} {
+		got := make([]float64, n)
+		m.MulVecP(got, x, w)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d row %d: %v != %v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAxpyScaleElementwiseBitIdentical(t *testing.T) {
+	lowerCutoff(t, 1)
+	rng := rand.New(rand.NewSource(13))
+	const n = 500
+	x, y := randVec(rng, n), randVec(rng, n)
+	for _, w := range []int{2, 5, 32} {
+		ya := append([]float64(nil), y...)
+		yb := append([]float64(nil), y...)
+		Axpy(-1.25, x, ya)
+		AxpyP(-1.25, x, yb, w)
+		for i := range ya {
+			if ya[i] != yb[i] {
+				t.Fatalf("AxpyP workers=%d differs at %d", w, i)
+			}
+		}
+		sa := append([]float64(nil), x...)
+		sb := append([]float64(nil), x...)
+		Scale(0.75, sa)
+		ScaleP(0.75, sb, w)
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("ScaleP workers=%d differs at %d", w, i)
+			}
+		}
+	}
+}
+
+// Parallel reductions compute per-block partials over fixed-size blocks and
+// combine them in block order, so the result depends only on the vector
+// length: every worker count >= 2 must produce the exact same bits (the
+// cross-machine reproducibility guarantee), and all of them agree with the
+// serial kernels up to roundoff.
+func TestReductionsAccurateAndDeterministicAcrossWorkers(t *testing.T) {
+	lowerCutoff(t, 1)
+	rng := rand.New(rand.NewSource(17))
+	const n = 12345
+	x, y := randVec(rng, n), randVec(rng, n)
+	dWant, nWant := Dot(x, y), Norm2(x)
+	dPar, nPar := DotP(x, y, 2), Norm2P(x, 2)
+	if math.Abs(dPar-dWant) > 1e-9*(1+math.Abs(dWant)) {
+		t.Errorf("DotP = %v, serial %v", dPar, dWant)
+	}
+	if math.Abs(nPar-nWant) > 1e-9*(1+nWant) {
+		t.Errorf("Norm2P = %v, serial %v", nPar, nWant)
+	}
+	for _, w := range []int{3, 8, 33, 1000} {
+		if d := DotP(x, y, w); d != dPar {
+			t.Errorf("DotP workers=%d = %v, differs from workers=2 value %v", w, d, dPar)
+		}
+		if nn := Norm2P(x, w); nn != nPar {
+			t.Errorf("Norm2P workers=%d = %v, differs from workers=2 value %v", w, nn, nPar)
+		}
+	}
+	if Norm2P(make([]float64, n), 4) != 0 {
+		t.Error("Norm2P of zero vector != 0")
+	}
+}
+
+func TestOrthogonalizeAgainstPMatchesSerial(t *testing.T) {
+	lowerCutoff(t, 1)
+	rng := rand.New(rand.NewSource(19))
+	const n = 2000
+	q2 := UnitOnes(n)
+	q1 := randVec(rng, n)
+	// The basis must be orthonormal (the documented contract).
+	OrthogonalizeAgainst(q1, q2)
+	Normalize(q1)
+	x := randVec(rng, n)
+	serial := append([]float64(nil), x...)
+	OrthogonalizeAgainst(serial, q1, q2)
+	for _, w := range []int{1, 4} {
+		par := append([]float64(nil), x...)
+		OrthogonalizeAgainstP(par, w, q1, q2)
+		for i := range par {
+			if math.Abs(par[i]-serial[i]) > 1e-10 {
+				t.Fatalf("workers=%d differs at %d: %v vs %v", w, i, par[i], serial[i])
+			}
+		}
+		if d := Dot(par, q1); math.Abs(d) > 1e-9 {
+			t.Errorf("workers=%d not orthogonal to q1: %v", w, d)
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Errorf("Workers(3) = %d", Workers(3))
+	}
+	if Workers(1) != 1 {
+		t.Errorf("Workers(1) = %d", Workers(1))
+	}
+	if Workers(0) < 1 || Workers(-2) < 1 {
+		t.Error("Workers(<=0) must resolve to at least one worker")
+	}
+}

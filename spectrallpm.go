@@ -31,6 +31,20 @@
 // The §4 extensions — edge weights, affinity edges from access patterns,
 // 8-connectivity — are exposed through SpectralConfig and Graph.AddEdge.
 //
+// # Scaling
+//
+// Options.Solver tunes the eigensolver. The default (MethodAuto) runs the
+// dense reference solver on small graphs, deflated inverse power iteration
+// in the mid range, and switches to a multilevel solver (heavy-edge-matching
+// coarsening, exact coarsest solve, warm-started refinement back up the
+// hierarchy) at or above SolverOptions.MultilevelCutoff vertices — the path
+// that scales spectral ordering to million-node graphs. Set
+// SolverOptions.Parallelism to spread the sparse matrix-vector and vector
+// kernels over goroutines (0 = all of GOMAXPROCS, 1 = serial), and
+// SolverOptions.Method to MethodExact or MethodMultilevel to force a path;
+// ParseSolverMethod maps the flag spellings "auto" | "exact" | "multilevel"
+// (as in cmd/lpmbench -solver) to methods.
+//
 // Locality metrics (the paper's evaluation quantities), the paged-storage
 // simulator, packed R-trees, and declustering live in the same module and
 // are exercised by the examples/ programs and cmd/lpmbench.
@@ -117,7 +131,21 @@ const (
 	MethodLanczos = eigen.MethodLanczos
 	// MethodDense densifies and runs the Jacobi reference solver.
 	MethodDense = eigen.MethodDense
+	// MethodMultilevel coarsens the graph by heavy-edge matching, solves
+	// the coarsest level exactly, and refines the prolonged Fiedler vector
+	// up the hierarchy — the scalable path for large graphs. MethodAuto
+	// selects it automatically at or above SolverOptions.MultilevelCutoff
+	// vertices (default 8192).
+	MethodMultilevel = eigen.MethodMultilevel
+	// MethodExact is the single-level automatic choice (dense below the
+	// cutoff, inverse power above) — MethodAuto without multilevel
+	// dispatch.
+	MethodExact = eigen.MethodExact
 )
+
+// ParseSolverMethod resolves a solver name ("auto", "exact", "multilevel",
+// "inverse-power", "lanczos", "dense") for flags and configs.
+func ParseSolverMethod(s string) (SolverMethod, error) { return eigen.ParseMethod(s) }
 
 // Curve is a space-filling curve with forward (Index) and inverse (Coords)
 // transforms.
