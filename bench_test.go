@@ -7,6 +7,7 @@
 package spectrallpm_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -213,6 +214,9 @@ func BenchmarkFiedlerSolvers(b *testing.B) {
 // ns/op column shows the wall-clock gap. The exact solver at 512x512 runs
 // minutes per solve; use -bench 'MultilevelVsExact/multilevel' to skip it.
 func BenchmarkMultilevelVsExact(b *testing.B) {
+	if testing.Short() {
+		b.Skip("multilevel-vs-exact runs minutes per solve; skipped under -short")
+	}
 	for _, side := range []int{128, 256, 512} {
 		g := graph.GridGraph(graph.MustGrid(side, side), graph.Orthogonal)
 		closed := 2 * (1 - math.Cos(math.Pi/float64(side)))
@@ -432,4 +436,63 @@ func BenchmarkExactMinLA(b *testing.B) {
 		ratio = r
 	}
 	b.ReportMetric(ratio, "spectral/optimal")
+}
+
+// BenchmarkIndexServing measures the hot serving paths of the Index API on
+// a prebuilt spectral index: point lookups, amortized batches, streaming
+// box scans, and page planning. These are the per-query costs of the
+// build-once/query-many split; none of them may allocate surprisingly or
+// regress, since a server pays them millions of times per solve.
+func BenchmarkIndexServing(b *testing.B) {
+	const side = 64
+	ix, err := spectrallpm.Build(context.Background(),
+		spectrallpm.WithGrid(side, side), spectrallpm.WithSeed(1), spectrallpm.WithPageSize(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	box := spectrallpm.Box{Start: []int{10, 10}, Dims: []int{8, 8}}
+	b.Run("rank", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Rank(i%side, (i*7)%side); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rank-batch-64", func(b *testing.B) {
+		coords := make([][]int, 64)
+		for i := range coords {
+			coords[i] = []int{i % side, (i * 13) % side}
+		}
+		dst := make([]int, 0, len(coords))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			dst, err = ix.RankBatch(coords, dst[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan-8x8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seq, err := ix.Scan(box)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for range seq {
+				n++
+			}
+			if n != 64 {
+				b.Fatal("short scan")
+			}
+		}
+	})
+	b.Run("pages-8x8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Pages(box); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,6 +1,8 @@
-// Command lpm computes a locality-preserving mapping and prints the linear
+// Command lpm builds a locality-preserving index and prints the linear
 // order, either for a full grid or for an arbitrary point set read from a
-// file.
+// file. The expensive spectral solve runs once; -save persists the built
+// index in the versioned format and -load serves a previously saved index
+// without re-solving.
 //
 // Usage:
 //
@@ -8,12 +10,15 @@
 //	lpm -mapping hilbert -dims 8,8,8 -format csv
 //	lpm -mapping spectral -points pts.txt        # one "x y z" point per line
 //	lpm -mapping spectral -dims 16,16 -conn 8    # §4 eight-connectivity
+//	lpm -dims 64,64 -save order.lpmx             # build once...
+//	lpm -load order.lpmx                         # ...serve many times
 //
 // Output columns: rank, vertex id, coordinates.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -28,18 +33,37 @@ import (
 
 func main() {
 	var (
-		mapping = flag.String("mapping", "spectral", "mapping: spectral|hilbert|gray|morton|peano|sweep|snake")
-		dims    = flag.String("dims", "", "grid sides, comma separated (e.g. 16,16)")
-		points  = flag.String("points", "", "file of points (one per line, space-separated integers); spectral mapping only")
-		conn    = flag.Int("conn", 4, "grid connectivity for spectral: 4 (orthogonal) or 8 (diagonal)")
-		format  = flag.String("format", "text", "output format: text|csv|json")
-		seed    = flag.Int64("seed", 0, "eigensolver seed")
+		mapping  = flag.String("mapping", "spectral", "mapping: spectral|hilbert|gray|morton|peano|sweep|snake")
+		dims     = flag.String("dims", "", "grid sides, comma separated (e.g. 16,16)")
+		points   = flag.String("points", "", "file of points (one per line, space-separated integers); spectral mapping only")
+		conn     = flag.Int("conn", 4, "grid connectivity for spectral: 4 (orthogonal) or 8 (diagonal)")
+		format   = flag.String("format", "text", "output format: text|csv|json")
+		seed     = flag.Int64("seed", 0, "eigensolver seed")
+		solver   = flag.String("solver", "auto", "eigensolver: auto|exact|multilevel|inverse-power|lanczos|dense")
+		pageSize = flag.Int("pagesize", spectrallpm.DefaultRecordsPerPage, "records per storage page")
+		save     = flag.String("save", "", "write the built index to this file")
+		load     = flag.String("load", "", "load a saved index instead of building (build flags like -mapping/-seed/-pagesize are ignored: the file's saved configuration wins)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *mapping, *dims, *points, *conn, *format, *seed); err != nil {
+	cfg := config{
+		mapping: *mapping, dims: *dims, points: *points, conn: *conn,
+		format: *format, seed: *seed, solver: *solver, pageSize: *pageSize,
+		save: *save, load: *load,
+	}
+	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "lpm: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+type config struct {
+	mapping, dims, points string
+	conn                  int
+	format                string
+	seed                  int64
+	solver                string
+	pageSize              int
+	save, load            string
 }
 
 type row struct {
@@ -48,61 +72,112 @@ type row struct {
 	Coords []int `json:"coords"`
 }
 
-func run(w io.Writer, mapping, dims, pointsFile string, conn int, format string, seed int64) error {
-	var rows []row
+func run(w io.Writer, cfg config) error {
+	ix, err := buildIndex(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.save != "" {
+		if err := saveIndex(ix, cfg.save); err != nil {
+			return err
+		}
+	}
+	rows, err := orderRows(ix)
+	if err != nil {
+		return err
+	}
+	return emit(w, rows, cfg.format)
+}
+
+// orderRows lists the index's points in rank order, with the id column
+// carrying the row-major vertex id (grids) or the input point index
+// (point sets).
+func orderRows(ix *spectrallpm.Index) ([]row, error) {
+	rows := make([]row, ix.N())
+	if pts := ix.Points(); pts != nil {
+		for i, p := range pts {
+			r, err := ix.Rank(p...)
+			if err != nil {
+				return nil, err
+			}
+			rows[r] = row{Rank: r, ID: i, Coords: p}
+		}
+		return rows, nil
+	}
+	m := ix.Mapping()
+	for r := range rows {
+		coords, err := ix.Point(r)
+		if err != nil {
+			return nil, err
+		}
+		rows[r] = row{Rank: r, ID: m.Vertex(r), Coords: coords}
+	}
+	return rows, nil
+}
+
+// buildIndex resolves the three sources — a saved index file, a point
+// file, or grid dimensions — into a served Index.
+func buildIndex(ctx context.Context, cfg config) (*spectrallpm.Index, error) {
+	if cfg.load != "" {
+		if cfg.dims != "" || cfg.points != "" {
+			return nil, fmt.Errorf("-load serves a saved index as-is; it cannot be combined with -dims or -points (rebuild and -save instead)")
+		}
+		f, err := os.Open(cfg.load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return spectrallpm.ReadIndex(f)
+	}
+	method, err := spectrallpm.ParseSolverMethod(cfg.solver)
+	if err != nil {
+		return nil, err
+	}
+	opts := []spectrallpm.BuildOption{
+		spectrallpm.WithSeed(cfg.seed),
+		spectrallpm.WithSolverMethod(method),
+		spectrallpm.WithPageSize(cfg.pageSize),
+	}
 	switch {
-	case pointsFile != "":
-		if mapping != "spectral" {
-			return fmt.Errorf("point files require -mapping spectral (curves need a grid)")
+	case cfg.points != "":
+		if cfg.mapping != "spectral" {
+			return nil, fmt.Errorf("point files require -mapping spectral (curves need a grid)")
 		}
-		pts, err := readPoints(pointsFile)
+		pts, err := readPoints(cfg.points)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		g, err := spectrallpm.PointGraph(pts)
+		opts = append(opts, spectrallpm.WithPoints(pts))
+	case cfg.dims != "":
+		sides, err := parseDims(cfg.dims)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		opt := spectrallpm.Options{}
-		opt.Solver.Seed = seed
-		res, err := spectrallpm.SpectralOrder(g, opt)
-		if err != nil {
-			return err
-		}
-		for r, id := range res.Order {
-			rows = append(rows, row{Rank: r, ID: id, Coords: pts[id]})
-		}
-	case dims != "":
-		sides, err := parseDims(dims)
-		if err != nil {
-			return err
-		}
-		grid, err := spectrallpm.NewGrid(sides...)
-		if err != nil {
-			return err
-		}
-		cfg := spectrallpm.SpectralConfig{}
-		cfg.Solver.Seed = seed
-		switch conn {
+		opts = append(opts, spectrallpm.WithGrid(sides...), spectrallpm.WithMapping(cfg.mapping))
+		switch cfg.conn {
 		case 4:
-			cfg.Connectivity = spectrallpm.Orthogonal
+			opts = append(opts, spectrallpm.WithConnectivity(spectrallpm.Orthogonal))
 		case 8:
-			cfg.Connectivity = spectrallpm.Diagonal
+			opts = append(opts, spectrallpm.WithConnectivity(spectrallpm.Diagonal))
 		default:
-			return fmt.Errorf("connectivity must be 4 or 8, got %d", conn)
-		}
-		m, err := spectrallpm.NewMapping(mapping, grid, cfg)
-		if err != nil {
-			return err
-		}
-		for r := 0; r < m.N(); r++ {
-			id := m.Vertex(r)
-			rows = append(rows, row{Rank: r, ID: id, Coords: grid.Coords(id, nil)})
+			return nil, fmt.Errorf("connectivity must be 4 or 8, got %d", cfg.conn)
 		}
 	default:
-		return fmt.Errorf("provide -dims or -points (see -h)")
+		return nil, fmt.Errorf("provide -dims, -points, or -load (see -h)")
 	}
-	return emit(w, rows, format)
+	return spectrallpm.Build(ctx, opts...)
+}
+
+func saveIndex(ix *spectrallpm.Index, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func emit(w io.Writer, rows []row, format string) error {

@@ -45,7 +45,7 @@ func TestParseDims(t *testing.T) {
 func TestRunGridFormats(t *testing.T) {
 	for _, format := range []string{"text", "csv", "json"} {
 		var buf bytes.Buffer
-		if err := run(&buf, "hilbert", "4,4", "", 4, format, 0); err != nil {
+		if err := run(&buf, config{mapping: "hilbert", dims: "4,4", conn: 4, format: format, solver: "auto", pageSize: 64}); err != nil {
 			t.Fatalf("%s: %v", format, err)
 		}
 		out := buf.String()
@@ -80,7 +80,7 @@ func TestRunPointsFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "spectral", "", path, 4, "text", 0); err != nil {
+	if err := run(&buf, config{mapping: "spectral", dims: "", points: path, conn: 4, format: "text", seed: 0, solver: "auto", pageSize: 64}); err != nil {
 		t.Fatal(err)
 	}
 	if lines := strings.Count(buf.String(), "\n"); lines != 4 {
@@ -90,22 +90,22 @@ func TestRunPointsFile(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "spectral", "", "", 4, "text", 0); err == nil {
+	if err := run(&buf, config{mapping: "spectral", dims: "", points: "", conn: 4, format: "text", seed: 0, solver: "auto", pageSize: 64}); err == nil {
 		t.Error("no input accepted")
 	}
-	if err := run(&buf, "hilbert", "4,4", "", 5, "text", 0); err == nil {
+	if err := run(&buf, config{mapping: "hilbert", dims: "4,4", conn: 5, format: "text", solver: "auto", pageSize: 64}); err == nil {
 		t.Error("bad connectivity accepted")
 	}
-	if err := run(&buf, "hilbert", "4,4", "", 4, "yaml", 0); err == nil {
+	if err := run(&buf, config{mapping: "hilbert", dims: "4,4", conn: 4, format: "yaml", solver: "auto", pageSize: 64}); err == nil {
 		t.Error("bad format accepted")
 	}
-	if err := run(&buf, "nosuch", "4,4", "", 4, "text", 0); err == nil {
+	if err := run(&buf, config{mapping: "nosuch", dims: "4,4", conn: 4, format: "text", solver: "auto", pageSize: 64}); err == nil {
 		t.Error("bad mapping accepted")
 	}
-	if err := run(&buf, "hilbert", "", "/nonexistent/file", 4, "text", 0); err == nil {
+	if err := run(&buf, config{mapping: "hilbert", dims: "", points: "/nonexistent/file", conn: 4, format: "text", seed: 0, solver: "auto", pageSize: 64}); err == nil {
 		t.Error("points file with curve mapping accepted")
 	}
-	if err := run(&buf, "spectral", "", "/nonexistent/file", 4, "text", 0); err == nil {
+	if err := run(&buf, config{mapping: "spectral", dims: "", points: "/nonexistent/file", conn: 4, format: "text", seed: 0, solver: "auto", pageSize: 64}); err == nil {
 		t.Error("missing points file accepted")
 	}
 }
@@ -125,5 +125,56 @@ func TestReadPointsErrors(t *testing.T) {
 	}
 	if _, err := readPoints(bad); err == nil {
 		t.Error("bad coordinate accepted")
+	}
+}
+
+func TestRunSaveAndLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "order.lpmx")
+	var built bytes.Buffer
+	cfg := config{mapping: "spectral", dims: "6,6", conn: 4, format: "csv", solver: "auto", pageSize: 8, save: path}
+	if err := run(&built, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("index not saved: %v", err)
+	}
+	// Serving from the saved file reproduces the build output exactly.
+	var served bytes.Buffer
+	if err := run(&served, config{format: "csv", load: path, solver: "auto", pageSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if built.String() != served.String() {
+		t.Errorf("served order differs from built order:\n built: %s\nserved: %s", built.String(), served.String())
+	}
+}
+
+func TestRunPointsSaveAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	pts := filepath.Join(dir, "pts.txt")
+	if err := os.WriteFile(pts, []byte("0 0\n0 1\n1 0\n5 5\n5 6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx := filepath.Join(dir, "pts.lpmx")
+	var built bytes.Buffer
+	if err := run(&built, config{mapping: "spectral", points: pts, conn: 4, format: "text", solver: "auto", pageSize: 2, save: idx}); err != nil {
+		t.Fatal(err)
+	}
+	var served bytes.Buffer
+	if err := run(&served, config{format: "text", load: idx, solver: "auto", pageSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if built.String() != served.String() {
+		t.Errorf("served point order differs:\n built: %s\nserved: %s", built.String(), served.String())
+	}
+}
+
+func TestRunLoadRejectsConflictingSources(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, config{format: "text", load: "/tmp/x.lpmx", dims: "4,4", solver: "auto", pageSize: 64}); err == nil {
+		t.Error("-load with -dims accepted")
+	}
+	if err := run(&buf, config{format: "text", load: "/tmp/x.lpmx", points: "pts.txt", solver: "auto", pageSize: 64}); err == nil {
+		t.Error("-load with -points accepted")
 	}
 }

@@ -1,42 +1,50 @@
 // Command lpmbench regenerates the paper's tables and figures as text
 // tables (and optional ASCII plots). Run with -exp all to reproduce the
-// full evaluation; see DESIGN.md for the experiment index.
+// full evaluation; see DESIGN.md for the experiment index. The serve
+// experiment benchmarks the build-once/query-many Index API instead of a
+// paper figure.
 //
 // Usage:
 //
 //	lpmbench -exp fig5a              # one experiment
 //	lpmbench -exp all -plot          # everything, with ASCII plots
 //	lpmbench -exp fig6a -fig6-side 8 # resize an experiment
+//	lpmbench -exp serve -serve-side 64
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
-	"github.com/spectral-lpm/spectrallpm/internal/eigen"
+	spectrallpm "github.com/spectral-lpm/spectrallpm"
 	"github.com/spectral-lpm/spectrallpm/internal/experiments"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: fig1|fig3|fig4|fig5a|fig5b|fig6a|fig6a-mean|fig6b|fig6a-hypercube|ext-affinity|ext-knn|ext-io|ext-solvers|all")
-		plot     = flag.Bool("plot", false, "render ASCII plots in addition to tables")
-		extras   = flag.Bool("extras", false, "include beyond-paper series (base-3 Peano, Snake)")
-		fig5side = flag.Int("fig5a-side", 0, "override Figure 5a grid side (default 4)")
-		fig5dims = flag.Int("fig5a-dims", 0, "override Figure 5a dimensionality (default 5)")
-		fig5b    = flag.Int("fig5b-side", 0, "override Figure 5b grid side (default 16)")
-		fig6side = flag.Int("fig6-side", 0, "override Figure 6 grid side (default 6)")
-		fig6dims = flag.Int("fig6-dims", 0, "override Figure 6 dimensionality (default 4)")
-		seed     = flag.Int64("seed", 0, "eigensolver seed")
-		solver   = flag.String("solver", "auto", "eigensolver: auto|exact|multilevel|inverse-power|lanczos|dense")
-		parallel = flag.Int("parallel", 0, "sparse-kernel goroutines (0 = GOMAXPROCS, 1 = serial)")
+		exp       = flag.String("exp", "all", "experiment id: fig1|fig3|fig4|fig5a|fig5b|fig6a|fig6a-mean|fig6b|fig6a-hypercube|ext-affinity|ext-knn|ext-io|ext-solvers|serve|all")
+		plot      = flag.Bool("plot", false, "render ASCII plots in addition to tables")
+		extras    = flag.Bool("extras", false, "include beyond-paper series (base-3 Peano, Snake)")
+		fig5side  = flag.Int("fig5a-side", 0, "override Figure 5a grid side (default 4)")
+		fig5dims  = flag.Int("fig5a-dims", 0, "override Figure 5a dimensionality (default 5)")
+		fig5b     = flag.Int("fig5b-side", 0, "override Figure 5b grid side (default 16)")
+		fig6side  = flag.Int("fig6-side", 0, "override Figure 6 grid side (default 6)")
+		fig6dims  = flag.Int("fig6-dims", 0, "override Figure 6 dimensionality (default 4)")
+		seed      = flag.Int64("seed", 0, "eigensolver seed")
+		solver    = flag.String("solver", "auto", "eigensolver: auto|exact|multilevel|inverse-power|lanczos|dense")
+		parallel  = flag.Int("parallel", 0, "sparse-kernel goroutines (0 = GOMAXPROCS, 1 = serial)")
+		serveSide = flag.Int("serve-side", 32, "serve experiment grid side")
+		serveQ    = flag.Int("serve-q", 4, "serve experiment query side")
 	)
 	flag.Parse()
 
-	method, err := eigen.ParseMethod(*solver)
+	method, err := spectrallpm.ParseSolverMethod(*solver)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lpmbench: %v\n", err)
 		os.Exit(2)
@@ -54,13 +62,13 @@ func main() {
 	cfg.Solver.Method = method
 	cfg.Solver.Parallelism = *parallel
 
-	if err := run(os.Stdout, strings.ToLower(*exp), cfg, *plot); err != nil {
+	if err := run(os.Stdout, strings.ToLower(*exp), cfg, *plot, serveConfig{side: *serveSide, qside: *serveQ}); err != nil {
 		fmt.Fprintf(os.Stderr, "lpmbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, cfg experiments.Config, plot bool) error {
+func run(w io.Writer, exp string, cfg experiments.Config, plot bool, serve serveConfig) error {
 	type figureFn func(experiments.Config) (*experiments.Figure, error)
 	figures := []struct {
 		id string
@@ -118,9 +126,97 @@ func run(w io.Writer, exp string, cfg experiments.Config, plot bool) error {
 			return err
 		}
 	}
+	if exp == "all" || exp == "serve" {
+		ran = true
+		if err := printServe(w, cfg, serve); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	return nil
+}
+
+// serveConfig shapes the serve experiment: an NxN grid served under all
+// positions of a qside x qside range query.
+type serveConfig struct {
+	side  int
+	qside int
+}
+
+// printServe benchmarks the build-once/query-many split on the public
+// Index API: one spectral solve (wall-clocked), a WriteTo/ReadIndex cycle
+// (proving a server can reload without re-solving), then every position of
+// the query box answered through Scan and Pages, reporting query
+// throughput and the average I/O plan per mapping.
+func printServe(w io.Writer, cfg experiments.Config, serve serveConfig) error {
+	side, qside := serve.side, serve.qside
+	if side < 2 {
+		side = 32
+	}
+	if qside < 1 || qside > side {
+		qside = 4
+		if qside > side {
+			qside = side
+		}
+	}
+	fmt.Fprintf(w, "SERVE — Index API on a %dx%d grid, all %dx%d range queries\n", side, side, qside, qside)
+	fmt.Fprintf(w, "%-10s %12s %12s %10s %10s %12s\n",
+		"mapping", "build ms", "reload ms", "queries", "qps", "avg runs")
+	for _, name := range spectrallpm.StandardMappings() {
+		buildStart := time.Now()
+		built, err := spectrallpm.Build(context.Background(),
+			spectrallpm.WithGrid(side, side),
+			spectrallpm.WithMapping(name),
+			spectrallpm.WithSolver(cfg.Solver),
+			spectrallpm.WithPageSize(8))
+		if err != nil {
+			return err
+		}
+		buildMS := float64(time.Since(buildStart).Microseconds()) / 1e3
+
+		// Persist and reload: the served index never re-solves.
+		var file bytes.Buffer
+		if _, err := built.WriteTo(&file); err != nil {
+			return err
+		}
+		reloadStart := time.Now()
+		ix, err := spectrallpm.ReadIndex(&file)
+		if err != nil {
+			return err
+		}
+		reloadMS := float64(time.Since(reloadStart).Microseconds()) / 1e3
+
+		var queries, runsSum, scanned int
+		queryStart := time.Now()
+		for x := 0; x+qside <= side; x++ {
+			for y := 0; y+qside <= side; y++ {
+				box := spectrallpm.Box{Start: []int{x, y}, Dims: []int{qside, qside}}
+				runs, err := ix.Pages(box)
+				if err != nil {
+					return err
+				}
+				runsSum += len(runs)
+				seq, err := ix.Scan(box)
+				if err != nil {
+					return err
+				}
+				for range seq {
+					scanned++
+				}
+				queries++
+			}
+		}
+		elapsed := time.Since(queryStart).Seconds()
+		if want := queries * qside * qside; scanned != want {
+			return fmt.Errorf("serve: scanned %d records, want %d", scanned, want)
+		}
+		qps := float64(queries) / elapsed
+		fmt.Fprintf(w, "%-10s %12.2f %12.2f %10d %10.0f %12.2f\n",
+			name, buildMS, reloadMS, queries, qps, float64(runsSum)/float64(queries))
+	}
+	fmt.Fprintln(w)
 	return nil
 }
 

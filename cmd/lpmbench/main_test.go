@@ -15,7 +15,7 @@ func TestRunSingleExperiments(t *testing.T) {
 		t.Run(exp, func(t *testing.T) {
 			var buf bytes.Buffer
 			cfg := experiments.Config{Fig1Sides: []int{4, 8}}
-			if err := run(&buf, exp, cfg, false); err != nil {
+			if err := run(&buf, exp, cfg, false, serveConfig{}); err != nil {
 				t.Fatal(err)
 			}
 			if buf.Len() == 0 {
@@ -28,7 +28,7 @@ func TestRunSingleExperiments(t *testing.T) {
 func TestRunWithPlot(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := experiments.Config{Fig1Sides: []int{4}}
-	if err := run(&buf, "fig1", cfg, true); err != nil {
+	if err := run(&buf, "fig1", cfg, true, serveConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "S = Sweep") {
@@ -38,7 +38,7 @@ func TestRunWithPlot(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nosuch", experiments.Config{}, false); err == nil {
+	if err := run(&buf, "nosuch", experiments.Config{}, false, serveConfig{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -46,10 +46,36 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunFig6WithSmallOverride(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := experiments.Config{Fig6Side: 4, Fig6Dims: 3}
-	if err := run(&buf, "fig6b", cfg, false); err != nil {
+	if err := run(&buf, "fig6b", cfg, false, serveConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "FIG6B") {
 		t.Error("fig6b output missing header")
+	}
+}
+
+func TestRunServeExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "serve", experiments.Config{}, false, serveConfig{side: 8, qside: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SERVE") {
+		t.Errorf("serve header missing:\n%s", out)
+	}
+	for _, name := range []string{"sweep", "hilbert", "spectral"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("serve table missing mapping %q", name)
+		}
+	}
+}
+
+func TestRunServeTinyGridClampsQuery(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "serve", experiments.Config{}, false, serveConfig{side: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Errorf("serve printed NaN:\n%s", buf.String())
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -37,21 +38,20 @@ func run(w io.Writer, mapping string, side, conn int, seed int64) error {
 	if side < 2 || side > 64 {
 		return fmt.Errorf("side %d outside [2,64]", side)
 	}
-	grid, err := spectrallpm.NewGrid(side, side)
-	if err != nil {
-		return err
+	opts := []spectrallpm.BuildOption{
+		spectrallpm.WithGrid(side, side),
+		spectrallpm.WithMapping(mapping),
+		spectrallpm.WithSeed(seed),
 	}
-	cfg := spectrallpm.SpectralConfig{}
-	cfg.Solver.Seed = seed
 	switch conn {
 	case 4:
-		cfg.Connectivity = spectrallpm.Orthogonal
+		opts = append(opts, spectrallpm.WithConnectivity(spectrallpm.Orthogonal))
 	case 8:
-		cfg.Connectivity = spectrallpm.Diagonal
+		opts = append(opts, spectrallpm.WithConnectivity(spectrallpm.Diagonal))
 	default:
 		return fmt.Errorf("connectivity must be 4 or 8")
 	}
-	m, err := spectrallpm.NewMapping(mapping, grid, cfg)
+	ix, err := spectrallpm.Build(context.Background(), opts...)
 	if err != nil {
 		return err
 	}
@@ -60,18 +60,26 @@ func run(w io.Writer, mapping string, side, conn int, seed int64) error {
 	for r := 0; r < side; r++ {
 		var sb strings.Builder
 		for c := 0; c < side; c++ {
-			fmt.Fprintf(&sb, " %*d", width, m.RankAt([]int{r, c}))
+			rank, err := ix.Rank(r, c)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(&sb, " %*d", width, rank)
 		}
 		fmt.Fprintln(w, sb.String())
 	}
 	fmt.Fprintf(w, "\nwalk (consecutive ranks joined; * marks a non-adjacent jump):\n\n")
-	fmt.Fprint(w, walk(m, grid, side))
+	walked, err := walk(ix, side)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, walked)
 	return nil
 }
 
 // walk renders the order as a path: each cell shows the direction toward
 // the next rank when the step is a unit move, or '*' for a jump.
-func walk(m *spectrallpm.Mapping, grid *spectrallpm.Grid, side int) string {
+func walk(ix *spectrallpm.Index, side int) (string, error) {
 	glyph := make([][]rune, side)
 	for r := range glyph {
 		glyph[r] = make([]rune, side)
@@ -80,11 +88,17 @@ func walk(m *spectrallpm.Mapping, grid *spectrallpm.Grid, side int) string {
 		}
 	}
 	jumps := 0
-	for rank := 0; rank < m.N(); rank++ {
-		cur := grid.Coords(m.Vertex(rank), nil)
+	for rank := 0; rank < ix.N(); rank++ {
+		cur, err := ix.Point(rank)
+		if err != nil {
+			return "", err
+		}
 		var g rune = '•' // last cell
-		if rank+1 < m.N() {
-			next := grid.Coords(m.Vertex(rank+1), nil)
+		if rank+1 < ix.N() {
+			next, err := ix.Point(rank + 1)
+			if err != nil {
+				return "", err
+			}
 			dr, dc := next[0]-cur[0], next[1]-cur[1]
 			switch {
 			case dr == 0 && dc == 1:
@@ -110,6 +124,6 @@ func walk(m *spectrallpm.Mapping, grid *spectrallpm.Grid, side int) string {
 		}
 		sb.WriteByte('\n')
 	}
-	fmt.Fprintf(&sb, "\n%d non-adjacent jumps out of %d steps\n", jumps, m.N()-1)
-	return sb.String()
+	fmt.Fprintf(&sb, "\n%d non-adjacent jumps out of %d steps\n", jumps, ix.N()-1)
+	return sb.String(), nil
 }

@@ -1,0 +1,151 @@
+package spectrallpm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+	"github.com/spectral-lpm/spectrallpm/internal/storage"
+)
+
+// The serialized index format: a single JSON object, one line, with a
+// format tag and an explicit version so servers can reject files from the
+// future. Version 1 carries the mapping name, the grid dimensions, the
+// connectivity/weights provenance of spectral orders, per-component λ₂,
+// the page size, the point set (point-set indexes only), and the rank
+// permutation. Serialization is deterministic: the same index always
+// produces the same bytes, and WriteTo∘ReadIndex is the identity on those
+// bytes.
+const (
+	indexFormat  = "spectrallpm-index"
+	indexVersion = 1
+)
+
+// indexFileV1 is the version-1 wire form.
+type indexFileV1 struct {
+	Format         string    `json:"format"`
+	Version        int       `json:"version"`
+	Name           string    `json:"name"`
+	Dims           []int     `json:"dims"`
+	Connectivity   string    `json:"connectivity,omitempty"`
+	Weights        string    `json:"weights,omitempty"`
+	Affinity       int       `json:"affinity,omitempty"`
+	Lambda2        []float64 `json:"lambda2,omitempty"`
+	RecordsPerPage int       `json:"records_per_page"`
+	Points         [][]int   `json:"points,omitempty"`
+	Rank           []int     `json:"rank"`
+}
+
+// WriteTo serializes the index in the versioned format, so a server can
+// load a prebuilt order at startup without re-solving. It implements
+// io.WriterTo and writes exactly one newline-terminated JSON object.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	f := indexFileV1{
+		Format:         indexFormat,
+		Version:        indexVersion,
+		Name:           ix.name,
+		Dims:           ix.grid.Dims(),
+		Connectivity:   ix.meta.connectivity,
+		Weights:        ix.meta.weights,
+		Affinity:       ix.meta.affinity,
+		Lambda2:        ix.lambda2,
+		RecordsPerPage: ix.pager.RecordsPerPage(),
+	}
+	if ix.mapping != nil {
+		f.Rank = ix.mapping.Ranks()
+	} else {
+		f.Points = ix.pts
+		f.Rank = ix.rank
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return 0, fmt.Errorf("spectrallpm: encode index: %w", err)
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// ReadIndex loads an index written by WriteTo, validating the format tag,
+// the version, and that the rank slice is a permutation over the declared
+// points (ErrNotPermutation otherwise). The loaded index serializes back
+// to the exact bytes it was read from.
+func ReadIndex(r io.Reader) (*Index, error) {
+	var f indexFileV1
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("spectrallpm: decode index: %w", err)
+	}
+	if f.Format != indexFormat {
+		return nil, fmt.Errorf("spectrallpm: not an index file (format %q, want %q)", f.Format, indexFormat)
+	}
+	if f.Version != indexVersion {
+		return nil, fmt.Errorf("spectrallpm: unsupported index version %d (this build reads version %d)", f.Version, indexVersion)
+	}
+	if f.Name == "" {
+		return nil, fmt.Errorf("spectrallpm: index file has no mapping name")
+	}
+	grid, err := graph.NewGrid(f.Dims...)
+	if err != nil {
+		return nil, fmt.Errorf("spectrallpm: index dims: %w", err)
+	}
+	ix := &Index{
+		name:    f.Name,
+		grid:    grid,
+		lambda2: f.Lambda2,
+		meta:    provenance{connectivity: f.Connectivity, weights: f.Weights, affinity: f.Affinity},
+	}
+	if f.Points != nil {
+		if err := loadPointSet(ix, grid, &f); err != nil {
+			return nil, err
+		}
+		pager, err := storage.NewPager(len(f.Points), f.RecordsPerPage)
+		if err != nil {
+			return nil, err
+		}
+		ix.pager = pager
+	} else {
+		m, err := order.FromRanks(f.Name, grid, f.Rank)
+		if err != nil {
+			return nil, err
+		}
+		st, err := storage.NewStore(m, f.RecordsPerPage)
+		if err != nil {
+			return nil, err
+		}
+		ix.mapping = m
+		ix.store = st
+		ix.pager = st.Pager()
+	}
+	return ix, nil
+}
+
+// loadPointSet reconstructs the point-set half of an Index from the wire
+// form: the grid-id lookup table and the rank/vert permutations, with the
+// same validation Build applies.
+func loadPointSet(ix *Index, grid *graph.Grid, f *indexFileV1) error {
+	n := len(f.Points)
+	if len(f.Rank) != n {
+		return fmt.Errorf("spectrallpm: index has %d points but %d ranks: %w", n, len(f.Rank), ErrDimensionMismatch)
+	}
+	idOf, err := indexPoints(grid, f.Points)
+	if err != nil {
+		return err
+	}
+	vert := make([]int, n)
+	seen := make([]bool, n)
+	for pid, r := range f.Rank {
+		if r < 0 || r >= n || seen[r] {
+			return fmt.Errorf("spectrallpm: point %d, rank %d: %w", pid, r, ErrNotPermutation)
+		}
+		seen[r] = true
+		vert[r] = pid
+	}
+	ix.pts = f.Points
+	ix.idOf = idOf
+	ix.rank = f.Rank
+	ix.vert = vert
+	return nil
+}

@@ -1,0 +1,168 @@
+package spectrallpm_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	spectrallpm "github.com/spectral-lpm/spectrallpm"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenIndexes pins the version-1 serialization format. Both cases are
+// chosen to be byte-stable forever: the hilbert order is closed-form, and
+// the two-point spectral order solves the K₂ component by its closed form
+// (λ₂ = 2 exactly), so no iterative solver digits appear in the file.
+func goldenIndexes(t *testing.T) map[string]*spectrallpm.Index {
+	t.Helper()
+	return map[string]*spectrallpm.Index{
+		"index_v1_hilbert_4x4.golden": buildTestIndex(t,
+			spectrallpm.WithGrid(4, 4), spectrallpm.WithMapping("hilbert"), spectrallpm.WithPageSize(4)),
+		"index_v1_points_k2.golden": buildTestIndex(t,
+			spectrallpm.WithPoints([][]int{{0, 0}, {0, 1}}), spectrallpm.WithPageSize(2)),
+	}
+}
+
+func TestIndexGoldenFormat(t *testing.T) {
+	for name, ix := range goldenIndexes(t) {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", name)
+			var buf bytes.Buffer
+			n, err := ix.WriteTo(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(buf.Len()) {
+				t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+			}
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("serialization drifted from golden file %s:\n got: %s\nwant: %s", path, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestIndexRoundTripBitIdentical checks WriteTo -> ReadIndex -> WriteTo
+// reproduces the exact bytes, including for a solver-produced spectral
+// index whose λ₂ is a nontrivial float.
+func TestIndexRoundTripBitIdentical(t *testing.T) {
+	indexes := goldenIndexes(t)
+	indexes["spectral_8x8"] = buildTestIndex(t, spectrallpm.WithGrid(8, 8), spectrallpm.WithSeed(7), spectrallpm.WithPageSize(8))
+	indexes["spectral_diag_weighted"] = buildTestIndex(t,
+		spectrallpm.WithGrid(5, 5), spectrallpm.WithSeed(3),
+		spectrallpm.WithConnectivity(spectrallpm.Diagonal),
+		spectrallpm.WithEdgeWeights(func(u, v int) float64 { return 2 }),
+		spectrallpm.WithAffinity(spectrallpm.AffinityEdge{U: 0, V: 24, Weight: 5}))
+	indexes["points_l"] = buildTestIndex(t,
+		spectrallpm.WithPoints([][]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {2, 0}}), spectrallpm.WithSeed(2))
+	for name, ix := range indexes {
+		t.Run(name, func(t *testing.T) {
+			var a bytes.Buffer
+			if _, err := ix.WriteTo(&a); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := spectrallpm.ReadIndex(bytes.NewReader(a.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b bytes.Buffer
+			if _, err := loaded.WriteTo(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Errorf("round trip not bit-identical:\n  a: %s\n  b: %s", a.Bytes(), b.Bytes())
+			}
+			// The loaded index serves the same ranks.
+			if loaded.N() != ix.N() || loaded.Name() != ix.Name() || loaded.RecordsPerPage() != ix.RecordsPerPage() {
+				t.Fatalf("loaded index differs: %s/%d vs %s/%d", loaded.Name(), loaded.N(), ix.Name(), ix.N())
+			}
+			for r := 0; r < ix.N(); r++ {
+				p, err := ix.Point(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := loaded.Rank(p...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != r {
+					t.Fatalf("loaded rank of %v = %d, want %d", p, got, r)
+				}
+			}
+		})
+	}
+}
+
+func TestReadIndexRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "not json\n",
+		"wrong format":  `{"format":"something-else","version":1,"name":"x","dims":[2],"records_per_page":1,"rank":[0,1]}`,
+		"future":        `{"format":"spectrallpm-index","version":99,"name":"x","dims":[2],"records_per_page":1,"rank":[0,1]}`,
+		"no name":       `{"format":"spectrallpm-index","version":1,"dims":[2],"records_per_page":1,"rank":[0,1]}`,
+		"bad dims":      `{"format":"spectrallpm-index","version":1,"name":"x","dims":[0],"records_per_page":1,"rank":[]}`,
+		"bad page size": `{"format":"spectrallpm-index","version":1,"name":"x","dims":[2],"records_per_page":0,"rank":[0,1]}`,
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := spectrallpm.ReadIndex(strings.NewReader(data)); err == nil {
+				t.Error("malformed index accepted")
+			}
+		})
+	}
+	if _, err := spectrallpm.ReadIndex(strings.NewReader(
+		`{"format":"spectrallpm-index","version":1,"name":"x","dims":[2,2],"records_per_page":1,"rank":[0,1,2,2]}`)); !errors.Is(err, spectrallpm.ErrNotPermutation) {
+		t.Errorf("dup rank err = %v", err)
+	}
+	if _, err := spectrallpm.ReadIndex(strings.NewReader(
+		`{"format":"spectrallpm-index","version":1,"name":"spectral","dims":[1,2],"records_per_page":1,"points":[[0,0],[0,1]],"rank":[1,1]}`)); !errors.Is(err, spectrallpm.ErrNotPermutation) {
+		t.Errorf("dup point rank err = %v", err)
+	}
+	if _, err := spectrallpm.ReadIndex(strings.NewReader(
+		`{"format":"spectrallpm-index","version":1,"name":"spectral","dims":[1,2],"records_per_page":1,"points":[[0,0],[0,5]],"rank":[0,1]}`)); !errors.Is(err, spectrallpm.ErrDimensionMismatch) {
+		t.Errorf("out-of-grid point err = %v", err)
+	}
+}
+
+// TestBuildServeSplit is the ISSUE's motivating scenario end to end: build
+// once, persist, load in a fresh "server", serve concurrently — without a
+// second eigensolve.
+func TestBuildServeSplit(t *testing.T) {
+	built, err := spectrallpm.Build(context.Background(),
+		spectrallpm.WithGrid(9, 9), spectrallpm.WithSeed(5), spectrallpm.WithPageSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file bytes.Buffer
+	if _, err := built.WriteTo(&file); err != nil {
+		t.Fatal(err)
+	}
+	server, err := spectrallpm.ReadIndex(&file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 := server.Lambda2(); len(l2) != 1 || l2[0] != built.Lambda2()[0] {
+		t.Fatalf("lambda2 not preserved: %v vs %v", l2, built.Lambda2())
+	}
+	io, err := server.QueryIO(spectrallpm.Box{Start: []int{2, 2}, Dims: []int{4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io.Pages < 1 || io.Seeks < 1 || io.SpanPages < io.Pages {
+		t.Fatalf("implausible IO stats %+v", io)
+	}
+}

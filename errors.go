@@ -1,0 +1,31 @@
+package spectrallpm
+
+import (
+	"errors"
+
+	"github.com/spectral-lpm/spectrallpm/internal/errs"
+)
+
+// Sentinel errors. Errors returned by this package (and by the deprecated
+// free functions it wraps) can be classified with errors.Is against these
+// values, so a server can turn a malformed request into a 4xx instead of a
+// retry or a crash.
+var (
+	// ErrUnknownMapping reports a mapping name outside the supported
+	// families (see StandardMappings and the Build documentation).
+	ErrUnknownMapping = errs.ErrUnknownMapping
+	// ErrNotPermutation reports a rank slice that is not a permutation of
+	// 0..N-1 — a duplicate, a hole, or an out-of-range value — passed to
+	// WithRanks, MappingFromRanks, or found in a serialized index.
+	ErrNotPermutation = errs.ErrNotPermutation
+	// ErrDimensionMismatch reports coordinates, boxes, or slices whose
+	// arity or extent does not fit the index's grid.
+	ErrDimensionMismatch = errs.ErrDimensionMismatch
+	// ErrRankOutOfRange reports a 1-D rank outside [0, N).
+	ErrRankOutOfRange = errs.ErrRankOutOfRange
+	// ErrPointNotIndexed reports a lookup of coordinates that are not
+	// among a point-set index's indexed points — whether inside its
+	// bounding box or beyond it (the bounding box is an implementation
+	// detail, so absent is absent either way).
+	ErrPointNotIndexed = errors.New("point not in index")
+)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	grid := spectrallpm.MustGrid(12, 12)
 
 	// Two hot pairs discovered from a (synthetic) trace: opposite corners,
@@ -23,11 +25,11 @@ func main() {
 		{U: grid.ID([]int{0, 11}), V: grid.ID([]int{6, 0}), Weight: 25},
 	}
 
-	base, err := spectrallpm.SpectralMapping(grid, spectrallpm.SpectralConfig{})
+	base, err := spectrallpm.Build(ctx, spectrallpm.WithGrid(12, 12))
 	if err != nil {
 		log.Fatal(err)
 	}
-	tuned, err := spectrallpm.SpectralMapping(grid, spectrallpm.SpectralConfig{Affinity: hot})
+	tuned, err := spectrallpm.Build(ctx, spectrallpm.WithGrid(12, 12), spectrallpm.WithAffinity(hot...))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,21 +37,27 @@ func main() {
 	fmt.Println("rank distance of the hot pairs (smaller = cheaper co-access):")
 	fmt.Printf("%-28s %10s %16s\n", "pair", "spectral", "spectral+affinity")
 	for _, e := range hot {
-		a := abs(base.Rank(e.U) - base.Rank(e.V))
-		b := abs(tuned.Rank(e.U) - tuned.Rank(e.V))
 		cu := grid.Coords(e.U, nil)
 		cv := grid.Coords(e.V, nil)
+		a, err := rankGap(base, cu, cv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := rankGap(tuned, cu, cv)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%v-%v %16d %16d\n", cu, cv, a, b)
 	}
 
 	// The rest of the space barely degrades: compare the paper's Theorem 1
 	// objective of both orders on the *unmodified* grid graph.
 	g := spectrallpm.GridGraph(grid, spectrallpm.Orthogonal)
-	baseCost, err := spectrallpm.LinearArrangementCost(g, base.Ranks())
+	baseCost, err := spectrallpm.LinearArrangementCost(g, base.Mapping().Ranks())
 	if err != nil {
 		log.Fatal(err)
 	}
-	tunedCost, err := spectrallpm.LinearArrangementCost(g, tuned.Ranks())
+	tunedCost, err := spectrallpm.LinearArrangementCost(g, tuned.Mapping().Ranks())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,9 +65,18 @@ func main() {
 		baseCost, tunedCost, 100*(tunedCost-baseCost)/baseCost)
 }
 
-func abs(v int) int {
-	if v < 0 {
-		return -v
+// rankGap returns the 1-D distance between two points of an index.
+func rankGap(ix *spectrallpm.Index, u, v []int) (int, error) {
+	ru, err := ix.Rank(u...)
+	if err != nil {
+		return 0, err
 	}
-	return v
+	rv, err := ix.Rank(v...)
+	if err != nil {
+		return 0, err
+	}
+	if ru > rv {
+		return ru - rv, nil
+	}
+	return rv - ru, nil
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,13 +15,13 @@ import (
 
 func main() {
 	const side = 16
-	grid := spectrallpm.MustGrid(side, side)
+	ctx := context.Background()
 
-	sweep, err := spectrallpm.NewMapping("sweep", grid, spectrallpm.SpectralConfig{})
+	sweep, err := spectrallpm.Build(ctx, spectrallpm.WithGrid(side, side), spectrallpm.WithMapping("sweep"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	spectral, err := spectrallpm.NewMapping("spectral", grid, spectrallpm.SpectralConfig{})
+	spectral, err := spectrallpm.Build(ctx, spectrallpm.WithGrid(side, side))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,12 +31,12 @@ func main() {
 	for _, delta := range []int{2, 3, 5, 6, 8} {
 		row := []int{}
 		for _, probe := range []struct {
-			m    *spectrallpm.Mapping
+			ix   *spectrallpm.Index
 			axis int
 		}{
 			{sweep, 1}, {sweep, 0}, {spectral, 1}, {spectral, 0},
 		} {
-			st, err := spectrallpm.AxisGap(probe.m, probe.axis, delta)
+			st, err := spectrallpm.AxisGap(probe.ix.Mapping(), probe.axis, delta)
 			if err != nil {
 				log.Fatal(err)
 			}

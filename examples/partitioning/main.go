@@ -1,9 +1,14 @@
 // Partitioning: the graph-partitioning application behind the paper's
 // optimality argument (its reference [1], Chan–Ciarlet–Szeto: the spectral
-// median cut). Spatial data is declustered across sites by recursive
-// spectral bisection of the point-set graph; the edge cut counts the
-// neighbor relations broken across sites — every cut edge is a spatial
-// neighborhood a site-local query can no longer serve alone.
+// median cut). Spatial data is declustered across sites by splitting the
+// spectral order at its median rank; the edge cut counts the neighbor
+// relations broken across sites — every cut edge is a spatial neighborhood
+// a site-local query can no longer serve alone.
+//
+// The point set is indexed with the serving API (Build + WithPoints): the
+// 1-D order a point-set Index serves is exactly the spectral order, so the
+// median cut falls out of the ranks for free — sites 0 and 1 are ranks
+// below and above N/2.
 //
 // The data is a "dumbbell": two dense 8x8 regions joined by a thin
 // corridor. Coordinate striping cannot see the bottleneck; the Fiedler
@@ -13,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -39,19 +45,34 @@ func main() {
 			points = append(points, []int{x, y})
 		}
 	}
-	g, err := spectrallpm.PointGraph(points)
+
+	// Index the point set: one spectral solve over the unit-Manhattan
+	// graph of the points (the paper's general setting).
+	ix, err := spectrallpm.Build(context.Background(), spectrallpm.WithPoints(points))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Spectral bisection.
-	left, right, err := spectrallpm.Bisect(g, spectrallpm.Options{})
+	// The spectral median cut: site = which half of the 1-D order the
+	// point's rank falls in.
+	half := (ix.N() + 1) / 2
+	labels := make([]int, len(points))
+	sizes := [2]int{}
+	for i, p := range points {
+		r, err := ix.Rank(p...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r >= half {
+			labels[i] = 1
+		}
+		sizes[labels[i]]++
+	}
+
+	// Edge cuts are evaluated on the same graph the index solved.
+	g, err := spectrallpm.PointGraph(points)
 	if err != nil {
 		log.Fatal(err)
-	}
-	labels := make([]int, len(points))
-	for _, v := range right {
-		labels[v] = 1
 	}
 	spectralCut, err := spectrallpm.PartitionEdgeCut(g, labels)
 	if err != nil {
@@ -97,7 +118,7 @@ func main() {
 	fmt.Printf("dumbbell point set: 2 blobs of %dx%d joined by a %d-cell corridor (%d points)\n\n",
 		blob, blob, corridorLen, len(points))
 	fmt.Println("bisection edge cut (broken neighbor relations; lower is better):")
-	fmt.Printf("  %-24s %5.0f   (parts %d/%d)\n", "spectral median cut", spectralCut, len(left), len(right))
+	fmt.Printf("  %-24s %5.0f   (parts %d/%d)\n", "spectral median cut", spectralCut, sizes[0], sizes[1])
 	fmt.Printf("  %-24s %5.0f\n", "x striping at median", stripedCut)
 	fmt.Printf("  %-24s %5.0f\n", "y striping", stripedYCut)
 	fmt.Printf("  %-24s %5.0f\n\n", "random balanced", randomCut)

@@ -1,0 +1,614 @@
+package spectrallpm
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sort"
+	"strings"
+
+	"github.com/spectral-lpm/spectrallpm/internal/core"
+	"github.com/spectral-lpm/spectrallpm/internal/eigen"
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/order"
+	"github.com/spectral-lpm/spectrallpm/internal/storage"
+)
+
+// PageRun is a maximal run of contiguous pages a query touches — the unit
+// of sequential I/O an executor can issue as one read.
+type PageRun = storage.PageRun
+
+// DefaultRecordsPerPage is the page capacity Build uses when WithPageSize
+// is not given.
+const DefaultRecordsPerPage = 64
+
+// Index is the serving-oriented entry point of the library: a
+// locality-preserving mapping built once (the expensive spectral solve, or
+// any curve mapping) and then consulted for every query against the
+// storage medium.
+//
+// An Index is immutable after Build or ReadIndex returns: every method is
+// read-only and safe for concurrent use by any number of goroutines
+// without external locking. Persist a built index with WriteTo and load it
+// at server startup with ReadIndex — no re-solve needed.
+//
+// An Index covers either a full grid (every point of WithGrid's grid) or
+// an arbitrary point set (WithPoints). Both expose the same serving
+// surface: Rank/Point lookups, RankBatch for amortized slices, Scan for
+// streaming results of a box query in 1-D order, and Pages/QueryIO for the
+// page-level I/O plan and cost of a query.
+type Index struct {
+	name    string
+	grid    *graph.Grid    // bounding grid (always set)
+	mapping *order.Mapping // full-grid indexes; nil for point sets
+	store   *storage.Store // full-grid indexes; nil for point sets
+
+	// Point-set indexes only.
+	pts  [][]int     // coordinates by point id (input order)
+	idOf map[int]int // bounding-grid vertex id -> point id
+	rank []int       // rank[point id]
+	vert []int       // point id at each rank
+
+	pager   *storage.Pager
+	lambda2 []float64 // per-component λ₂; nil for curve/rank mappings
+	meta    provenance
+}
+
+// provenance records how the order was built, so a loaded index can report
+// (and re-serialize) its origin without recomputing anything.
+type provenance struct {
+	connectivity string // "orthogonal" | "diagonal" | "" (curve/rank mappings)
+	weights      string // "unit" | "custom" | ""
+	affinity     int    // number of affinity edges folded into the graph
+}
+
+// buildConfig accumulates Build's functional options.
+type buildConfig struct {
+	grid       *graph.Grid
+	points     [][]int
+	name       string
+	nameSet    bool
+	conn       graph.Connectivity
+	weight     func(u, v int) float64
+	affinity   []order.AffinityEdge
+	solver     eigen.Options
+	degeneracy core.DegeneracyPolicy
+	ranks      []int
+	pageSize   int
+}
+
+// BuildOption configures Build.
+type BuildOption func(*buildConfig) error
+
+// WithGrid indexes the full grid with the given per-dimension side lengths
+// (the paper's dense setting). Exactly one of WithGrid and WithPoints must
+// be given.
+func WithGrid(dims ...int) BuildOption {
+	return func(c *buildConfig) error {
+		g, err := graph.NewGrid(dims...)
+		if err != nil {
+			return err
+		}
+		c.grid = g
+		return nil
+	}
+}
+
+// WithPoints indexes an arbitrary set of distinct points with non-negative
+// integer coordinates (the paper's general setting: an edge joins every
+// pair at Manhattan distance 1). Point-set indexes support only the
+// spectral mapping — a fractal curve is fixed before the data, which is
+// exactly what the paper argues against.
+func WithPoints(points [][]int) BuildOption {
+	return func(c *buildConfig) error {
+		if len(points) == 0 {
+			return fmt.Errorf("spectrallpm: no points to index")
+		}
+		c.points = points
+		return nil
+	}
+}
+
+// WithMapping selects the mapping family: "spectral" (the default) or one
+// of the curve names "hilbert", "gray", "morton", "peano", "sweep",
+// "snake", "diagonal", "spiral". Unknown names fail Build with
+// ErrUnknownMapping.
+func WithMapping(name string) BuildOption {
+	return func(c *buildConfig) error {
+		c.name = strings.ToLower(name)
+		c.nameSet = true
+		return nil
+	}
+}
+
+// WithConnectivity selects the grid-graph neighborhood of the spectral
+// mapping (paper §4): Orthogonal (the default) or Diagonal. Diagonal
+// fails Build when combined with a path that runs no grid solve (curve
+// mappings, WithRanks, WithPoints).
+func WithConnectivity(conn Connectivity) BuildOption {
+	return func(c *buildConfig) error {
+		c.conn = conn
+		return nil
+	}
+}
+
+// WithEdgeWeights weights the grid edges of the spectral mapping (paper
+// §4). A weighted index records "custom" weight provenance when persisted;
+// the function itself cannot be serialized. Fails Build when combined
+// with a path that runs no grid solve (curve mappings, WithRanks,
+// WithPoints).
+func WithEdgeWeights(weight func(u, v int) float64) BuildOption {
+	return func(c *buildConfig) error {
+		c.weight = weight
+		return nil
+	}
+}
+
+// WithAffinity adds extra edges expressing that two points should map near
+// each other (paper §4's access-pattern extension). For WithGrid the
+// endpoints are grid vertex ids; for WithPoints they are indices into the
+// point slice. Fails Build on non-spectral paths (curve mappings,
+// WithRanks), which run no solve the edges could influence.
+func WithAffinity(edges ...AffinityEdge) BuildOption {
+	return func(c *buildConfig) error {
+		c.affinity = append(c.affinity, edges...)
+		return nil
+	}
+}
+
+// WithSolver replaces the full eigensolver configuration (method,
+// tolerance, cutoffs, parallelism, seed) in one call.
+func WithSolver(o SolverOptions) BuildOption {
+	return func(c *buildConfig) error {
+		c.solver = o
+		return nil
+	}
+}
+
+// WithSolverMethod forces an eigensolver method (see ParseSolverMethod).
+func WithSolverMethod(m SolverMethod) BuildOption {
+	return func(c *buildConfig) error {
+		c.solver.Method = m
+		return nil
+	}
+}
+
+// WithSeed seeds the eigensolver's randomized starts; the same seed always
+// yields the same index.
+func WithSeed(seed int64) BuildOption {
+	return func(c *buildConfig) error {
+		c.solver.Seed = seed
+		return nil
+	}
+}
+
+// WithParallelism sets the goroutine count of the sparse solver kernels
+// (0 = all of GOMAXPROCS, 1 = serial).
+func WithParallelism(p int) BuildOption {
+	return func(c *buildConfig) error {
+		c.solver.Parallelism = p
+		return nil
+	}
+}
+
+// WithDegeneracy selects how degenerate λ₂ eigenspaces are resolved
+// (DegeneracyBalanced by default).
+func WithDegeneracy(p DegeneracyPolicy) BuildOption {
+	return func(c *buildConfig) error {
+		c.degeneracy = p
+		return nil
+	}
+}
+
+// WithRanks wraps a precomputed rank permutation (rank[vertex id] = 1-D
+// position) instead of solving — for orders computed elsewhere. Requires
+// WithGrid; the mapping name defaults to "custom" unless WithMapping is
+// given.
+func WithRanks(rank []int) BuildOption {
+	return func(c *buildConfig) error {
+		c.ranks = rank
+		return nil
+	}
+}
+
+// WithPageSize sets the records-per-page capacity backing Pages and
+// QueryIO (DefaultRecordsPerPage when omitted). The page size is persisted
+// with the index.
+func WithPageSize(recordsPerPage int) BuildOption {
+	return func(c *buildConfig) error {
+		if recordsPerPage < 1 {
+			return fmt.Errorf("spectrallpm: page size %d < 1", recordsPerPage)
+		}
+		c.pageSize = recordsPerPage
+		return nil
+	}
+}
+
+// Build constructs an Index: it runs the spectral solve (or wraps a curve
+// mapping or a precomputed permutation) and attaches the paged-storage
+// plan. The expensive work happens exactly once, here; the returned Index
+// is immutable and goroutine-safe. Cancellation of ctx is observed between
+// build phases (graph construction, eigensolve, wrapping) — a solve
+// already in flight runs to completion.
+func Build(ctx context.Context, opts ...BuildOption) (*Index, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := buildConfig{name: "spectral", pageSize: DefaultRecordsPerPage}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if (cfg.grid == nil) == (cfg.points == nil) {
+		return nil, fmt.Errorf("spectrallpm: exactly one of WithGrid and WithPoints is required")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.points != nil {
+		return buildPointIndex(ctx, &cfg)
+	}
+	return buildGridIndex(ctx, &cfg)
+}
+
+func buildGridIndex(ctx context.Context, cfg *buildConfig) (*Index, error) {
+	ix := &Index{grid: cfg.grid}
+	switch {
+	case cfg.ranks != nil:
+		if err := rejectGraphOptions(cfg, "WithRanks", false); err != nil {
+			return nil, err
+		}
+		if !cfg.nameSet {
+			cfg.name = "custom"
+		}
+		m, err := order.FromRanks(cfg.name, cfg.grid, cfg.ranks)
+		if err != nil {
+			return nil, err
+		}
+		ix.mapping = m
+	case cfg.name == "spectral":
+		gr := graph.GridGraphWeighted(cfg.grid, cfg.conn, cfg.weight)
+		for _, e := range cfg.affinity {
+			if err := gr.AddEdge(e.U, e.V, e.Weight); err != nil {
+				return nil, fmt.Errorf("spectrallpm: affinity edge: %w", err)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := core.SpectralOrder(gr, core.Options{Solver: cfg.solver, Degeneracy: cfg.degeneracy})
+		if err != nil {
+			return nil, err
+		}
+		m, err := order.FromRanks("spectral", cfg.grid, res.Rank)
+		if err != nil {
+			return nil, err
+		}
+		ix.mapping = m
+		ix.lambda2 = res.Lambda2
+		ix.meta = spectralProvenance(cfg)
+	default:
+		if err := rejectGraphOptions(cfg, "curve mappings", false); err != nil {
+			return nil, err
+		}
+		m, err := order.New(cfg.name, cfg.grid, order.SpectralConfig{})
+		if err != nil {
+			return nil, err
+		}
+		ix.mapping = m
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ix.name = ix.mapping.Name()
+	st, err := storage.NewStore(ix.mapping, cfg.pageSize)
+	if err != nil {
+		return nil, err
+	}
+	ix.store = st
+	ix.pager = st.Pager()
+	return ix, nil
+}
+
+// rejectGraphOptions fails builds that combine graph-shaping options with
+// a path that never feeds them into a solve — silently ignoring them would
+// hand back an order the caller believes is tuned, and (for spectral
+// provenance) persist metadata the solve never used.
+func rejectGraphOptions(cfg *buildConfig, what string, allowAffinity bool) error {
+	if cfg.conn != graph.Orthogonal {
+		return fmt.Errorf("spectrallpm: WithConnectivity applies only to spectral grid indexes, not %s", what)
+	}
+	if cfg.weight != nil {
+		return fmt.Errorf("spectrallpm: WithEdgeWeights applies only to spectral grid indexes, not %s", what)
+	}
+	if len(cfg.affinity) != 0 && !allowAffinity {
+		return fmt.Errorf("spectrallpm: WithAffinity applies only to spectral indexes, not %s", what)
+	}
+	return nil
+}
+
+func buildPointIndex(ctx context.Context, cfg *buildConfig) (*Index, error) {
+	if cfg.nameSet && cfg.name != "spectral" {
+		return nil, fmt.Errorf("spectrallpm: point-set indexes support only the spectral mapping (%w %q: curves need a full grid)", ErrUnknownMapping, cfg.name)
+	}
+	if cfg.ranks != nil {
+		return nil, fmt.Errorf("spectrallpm: WithRanks requires WithGrid")
+	}
+	// The point graph is always the paper's unit-Manhattan adjacency;
+	// affinity edges (point indices) are still folded in.
+	if err := rejectGraphOptions(cfg, "point sets", true); err != nil {
+		return nil, err
+	}
+	d := len(cfg.points[0])
+	dims := make([]int, d)
+	for i, p := range cfg.points {
+		if len(p) != d {
+			return nil, fmt.Errorf("spectrallpm: point %d has arity %d, want %d: %w", i, len(p), d, ErrDimensionMismatch)
+		}
+		for j, c := range p {
+			if c < 0 {
+				return nil, fmt.Errorf("spectrallpm: point %d has negative coordinate %d: %w", i, c, ErrDimensionMismatch)
+			}
+			if c+1 > dims[j] {
+				dims[j] = c + 1
+			}
+		}
+	}
+	grid, err := graph.NewGrid(dims...)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([][]int, len(cfg.points))
+	for i, p := range cfg.points {
+		pts[i] = append([]int(nil), p...)
+	}
+	idOf, err := indexPoints(grid, pts)
+	if err != nil {
+		return nil, err
+	}
+	gr, err := graph.PointGraph(pts)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range cfg.affinity {
+		if err := gr.AddEdge(e.U, e.V, e.Weight); err != nil {
+			return nil, fmt.Errorf("spectrallpm: affinity edge: %w", err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := core.SpectralOrder(gr, core.Options{Solver: cfg.solver, Degeneracy: cfg.degeneracy})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pager, err := storage.NewPager(len(pts), cfg.pageSize)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		name:    "spectral",
+		grid:    grid,
+		pts:     pts,
+		idOf:    idOf,
+		rank:    res.Rank,
+		vert:    res.Order,
+		pager:   pager,
+		lambda2: res.Lambda2,
+		meta:    spectralProvenance(cfg),
+	}
+	return ix, nil
+}
+
+// indexPoints validates a point set against its grid (arity, bounds,
+// duplicates) and returns the grid-id -> point-id lookup table. Shared by
+// Build and ReadIndex so the two construction paths cannot drift apart.
+func indexPoints(grid *graph.Grid, pts [][]int) (map[int]int, error) {
+	d := grid.D()
+	dims := grid.Dims()
+	idOf := make(map[int]int, len(pts))
+	for i, p := range pts {
+		if len(p) != d {
+			return nil, fmt.Errorf("spectrallpm: point %d has arity %d, want %d: %w", i, len(p), d, ErrDimensionMismatch)
+		}
+		for j, c := range p {
+			if c < 0 || c >= dims[j] {
+				return nil, fmt.Errorf("spectrallpm: point %d coordinate %d outside [0,%d): %w", i, c, dims[j], ErrDimensionMismatch)
+			}
+		}
+		id := grid.ID(p)
+		if j, dup := idOf[id]; dup {
+			return nil, fmt.Errorf("spectrallpm: duplicate point at indices %d and %d", j, i)
+		}
+		idOf[id] = i
+	}
+	return idOf, nil
+}
+
+func spectralProvenance(cfg *buildConfig) provenance {
+	p := provenance{connectivity: "orthogonal", weights: "unit", affinity: len(cfg.affinity)}
+	if cfg.conn == graph.Diagonal {
+		p.connectivity = "diagonal"
+	}
+	if cfg.weight != nil {
+		p.weights = "custom"
+	}
+	return p
+}
+
+// Name identifies the mapping family ("spectral", "hilbert", ...).
+func (ix *Index) Name() string { return ix.name }
+
+// N returns the number of indexed points (and the number of ranks).
+func (ix *Index) N() int {
+	if ix.mapping != nil {
+		return ix.mapping.N()
+	}
+	return len(ix.rank)
+}
+
+// Dims returns the per-dimension side lengths of the indexed grid (for
+// point-set indexes, the bounding box of the points).
+func (ix *Index) Dims() []int { return append([]int(nil), ix.grid.Dims()...) }
+
+// D returns the number of dimensions.
+func (ix *Index) D() int { return ix.grid.D() }
+
+// Lambda2 returns λ₂ (the algebraic connectivity) of each connected
+// component of the solved graph, or nil for curve and precomputed-rank
+// indexes.
+func (ix *Index) Lambda2() []float64 { return append([]float64(nil), ix.lambda2...) }
+
+// RecordsPerPage returns the page capacity backing Pages and QueryIO.
+func (ix *Index) RecordsPerPage() int { return ix.pager.RecordsPerPage() }
+
+// NumPages returns the number of storage pages the index's records occupy.
+func (ix *Index) NumPages() int { return ix.pager.NumPages() }
+
+// Mapping returns the underlying grid mapping for interoperation with the
+// metrics functions (PairwiseByManhattan, AxisGap, RangeSpan, ...), or nil
+// for point-set indexes. The mapping must be treated as read-only.
+func (ix *Index) Mapping() *Mapping { return ix.mapping }
+
+// Points returns a deep copy of the indexed point set in input order, or
+// nil for full-grid indexes (use Point to enumerate those).
+func (ix *Index) Points() [][]int {
+	if ix.pts == nil {
+		return nil
+	}
+	out := make([][]int, len(ix.pts))
+	for i, p := range ix.pts {
+		out[i] = append([]int(nil), p...)
+	}
+	return out
+}
+
+// Rank returns the 1-D position of the point with the given coordinates.
+// It never panics: a wrong arity or an out-of-grid coordinate returns
+// ErrDimensionMismatch (full-grid indexes), and a point absent from a
+// point-set index returns ErrPointNotIndexed.
+func (ix *Index) Rank(coords ...int) (int, error) {
+	d := ix.grid.D()
+	if len(coords) != d {
+		return 0, fmt.Errorf("spectrallpm: coordinate arity %d, want %d: %w", len(coords), d, ErrDimensionMismatch)
+	}
+	dims := ix.grid.Dims()
+	for i, c := range coords {
+		if c < 0 || c >= dims[i] {
+			if ix.mapping != nil {
+				return 0, fmt.Errorf("spectrallpm: coordinate %d outside [0,%d): %w", c, dims[i], ErrDimensionMismatch)
+			}
+			return 0, fmt.Errorf("spectrallpm: point %v: %w", coords, ErrPointNotIndexed)
+		}
+	}
+	id := ix.grid.ID(coords)
+	if ix.mapping != nil {
+		return ix.mapping.Rank(id), nil
+	}
+	pid, ok := ix.idOf[id]
+	if !ok {
+		return 0, fmt.Errorf("spectrallpm: point %v: %w", coords, ErrPointNotIndexed)
+	}
+	return ix.rank[pid], nil
+}
+
+// Point returns the coordinates of the point at the given rank. The
+// returned slice is freshly allocated. A rank outside [0, N) returns
+// ErrRankOutOfRange.
+func (ix *Index) Point(rank int) ([]int, error) {
+	if rank < 0 || rank >= ix.N() {
+		return nil, fmt.Errorf("spectrallpm: rank %d outside [0,%d): %w", rank, ix.N(), ErrRankOutOfRange)
+	}
+	if ix.mapping != nil {
+		return ix.grid.Coords(ix.mapping.Vertex(rank), nil), nil
+	}
+	return append([]int(nil), ix.pts[ix.vert[rank]]...), nil
+}
+
+// RankBatch appends the ranks of the given points to dst (which may be nil
+// or a slice being reused across calls to amortize allocation) and returns
+// the extended slice. The first bad point aborts the batch with the same
+// errors Rank returns; the returned slice is still dst's backing buffer
+// (contents unspecified), so reuse keeps working after an error.
+func (ix *Index) RankBatch(coords [][]int, dst []int) ([]int, error) {
+	if cap(dst)-len(dst) < len(coords) {
+		grown := make([]int, len(dst), len(dst)+len(coords))
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, c := range coords {
+		r, err := ix.Rank(c...)
+		if err != nil {
+			// Hand dst back so the caller's amortized buffer survives a
+			// bad batch; its contents are unspecified on error.
+			return dst, err
+		}
+		dst = append(dst, r)
+	}
+	return dst, nil
+}
+
+// Scan streams the points of an axis-aligned box query in 1-D rank order —
+// the order a storage medium would deliver them in. Each iteration yields
+// a rank and the freshly-allocated coordinates of the point at that rank.
+// For full-grid indexes the box must lie inside the grid
+// (ErrDimensionMismatch otherwise); for point-set indexes any box of the
+// right arity is allowed and only indexed points match.
+func (ix *Index) Scan(b Box) (iter.Seq2[int, []int], error) {
+	ranks, err := ix.boxRanks(b)
+	if err != nil {
+		return nil, err
+	}
+	return func(yield func(int, []int) bool) {
+		for _, r := range ranks {
+			p, err := ix.Point(r)
+			if err != nil || !yield(r, p) {
+				return
+			}
+		}
+	}, nil
+}
+
+// Pages returns the page-run plan of a box query: the distinct pages
+// holding results, grouped into maximal contiguous runs sorted by start
+// page — the sequential reads an I/O-aware executor would issue.
+func (ix *Index) Pages(b Box) ([]PageRun, error) {
+	ranks, err := ix.boxRanks(b)
+	if err != nil {
+		return nil, err
+	}
+	return ix.pager.Runs(ranks)
+}
+
+// QueryIO returns the simulated I/O cost of a box query (distinct pages,
+// seeks, scan span).
+func (ix *Index) QueryIO(b Box) (IOStats, error) {
+	ranks, err := ix.boxRanks(b)
+	if err != nil {
+		return IOStats{}, err
+	}
+	return ix.pager.QueryIO(ranks)
+}
+
+// boxRanks returns the sorted ranks of the indexed points inside the box.
+func (ix *Index) boxRanks(b Box) ([]int, error) {
+	if ix.store != nil {
+		return ix.store.BoxRanks(b)
+	}
+	d := ix.grid.D()
+	if len(b.Start) != d || len(b.Dims) != d {
+		return nil, fmt.Errorf("spectrallpm: box arity %d/%d, want %d: %w", len(b.Start), len(b.Dims), d, ErrDimensionMismatch)
+	}
+	var ranks []int
+	for pid, p := range ix.pts {
+		if b.Contains(p) {
+			ranks = append(ranks, ix.rank[pid])
+		}
+	}
+	sort.Ints(ranks)
+	return ranks, nil
+}

@@ -101,7 +101,11 @@ func TestEndToEndPipeline(t *testing.T) {
 				// the per-disk maximum.
 				pages := map[int]bool{}
 				for _, r := range ranks {
-					pages[store.Pager().Page(r)] = true
+					pg, err := store.Pager().Page(r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pages[pg] = true
 				}
 				list := make([]int, 0, len(pages))
 				for p := range pages {

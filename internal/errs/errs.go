@@ -1,0 +1,27 @@
+// Package errs holds the sentinel errors shared by the internal packages
+// and re-exported by the root package. Internal packages cannot import the
+// root package (it imports them), so the sentinels live here; callers are
+// expected to match them with errors.Is against the root package's
+// re-exports (spectrallpm.ErrUnknownMapping and friends).
+package errs
+
+import "errors"
+
+var (
+	// ErrUnknownMapping reports a mapping name outside the supported
+	// families ("spectral", "hilbert", "gray", "morton", "peano", "sweep",
+	// "snake", "diagonal", "spiral").
+	ErrUnknownMapping = errors.New("unknown mapping")
+
+	// ErrNotPermutation reports a rank slice that is not a permutation of
+	// 0..N-1 (a duplicate, a hole, or an out-of-range value).
+	ErrNotPermutation = errors.New("rank slice is not a permutation")
+
+	// ErrDimensionMismatch reports coordinates, boxes, or rank slices whose
+	// arity or extent does not fit the grid they are used with.
+	ErrDimensionMismatch = errors.New("dimension mismatch")
+
+	// ErrRankOutOfRange reports a 1-D rank outside [0, N) — a malformed
+	// query against a pager or index that must not crash a server.
+	ErrRankOutOfRange = errors.New("rank out of range")
+)

@@ -180,7 +180,11 @@ func ExtIO(cfg Config) (*ExtIOResult, error) {
 				// Page set for declustering and the buffer pool.
 				pages := map[int]bool{}
 				for _, id := range workload.IDsInBox(g, box) {
-					pages[store.Pager().Page(m.Rank(id))] = true
+					pg, err := store.Pager().Page(m.Rank(id))
+					if err != nil {
+						return nil, err
+					}
+					pages[pg] = true
 				}
 				pageList := make([]int, 0, len(pages))
 				for p := range pages {

@@ -19,6 +19,8 @@ import (
 	"math"
 	"sort"
 
+	"github.com/spectral-lpm/spectrallpm/internal/errs"
+
 	"github.com/spectral-lpm/spectrallpm/internal/order"
 )
 
@@ -122,10 +124,10 @@ func AxisGap(m *order.Mapping, axis, delta int) (AxisGapStats, error) {
 	g := m.Grid()
 	dims := g.Dims()
 	if axis < 0 || axis >= len(dims) {
-		return AxisGapStats{}, fmt.Errorf("metrics: axis %d outside [0,%d)", axis, len(dims))
+		return AxisGapStats{}, fmt.Errorf("metrics: axis %d outside [0,%d): %w", axis, len(dims), errs.ErrDimensionMismatch)
 	}
 	if delta < 1 || delta >= dims[axis] {
-		return AxisGapStats{}, fmt.Errorf("metrics: delta %d outside [1,%d)", delta, dims[axis])
+		return AxisGapStats{}, fmt.Errorf("metrics: delta %d outside [1,%d): %w", delta, dims[axis], errs.ErrDimensionMismatch)
 	}
 	st := AxisGapStats{Axis: axis, Delta: delta}
 	coords := make([]int, len(dims))
@@ -176,11 +178,11 @@ func RangeSpan(m *order.Mapping, qdims []int) (SpanStats, error) {
 	g := m.Grid()
 	dims := g.Dims()
 	if len(qdims) != len(dims) {
-		return SpanStats{}, fmt.Errorf("metrics: query arity %d, grid %d", len(qdims), len(dims))
+		return SpanStats{}, fmt.Errorf("metrics: query arity %d, grid %d: %w", len(qdims), len(dims), errs.ErrDimensionMismatch)
 	}
 	for i, q := range qdims {
 		if q < 1 || q > dims[i] {
-			return SpanStats{}, fmt.Errorf("metrics: query side %d outside [1,%d] in dim %d", q, dims[i], i)
+			return SpanStats{}, fmt.Errorf("metrics: query side %d outside [1,%d] in dim %d: %w", q, dims[i], i, errs.ErrDimensionMismatch)
 		}
 	}
 	st := SpanStats{QueryDims: append([]int(nil), qdims...), Min: math.MaxInt}
@@ -246,12 +248,12 @@ func RangeClusters(m *order.Mapping, qdims []int) (ClusterStats, error) {
 	g := m.Grid()
 	dims := g.Dims()
 	if len(qdims) != len(dims) {
-		return ClusterStats{}, fmt.Errorf("metrics: query arity %d, grid %d", len(qdims), len(dims))
+		return ClusterStats{}, fmt.Errorf("metrics: query arity %d, grid %d: %w", len(qdims), len(dims), errs.ErrDimensionMismatch)
 	}
 	boxSize := 1
 	for i, q := range qdims {
 		if q < 1 || q > dims[i] {
-			return ClusterStats{}, fmt.Errorf("metrics: query side %d outside [1,%d] in dim %d", q, dims[i], i)
+			return ClusterStats{}, fmt.Errorf("metrics: query side %d outside [1,%d] in dim %d: %w", q, dims[i], i, errs.ErrDimensionMismatch)
 		}
 		boxSize *= q
 	}

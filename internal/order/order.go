@@ -16,6 +16,7 @@ import (
 
 	"github.com/spectral-lpm/spectrallpm/internal/core"
 	"github.com/spectral-lpm/spectrallpm/internal/eigen"
+	"github.com/spectral-lpm/spectrallpm/internal/errs"
 	"github.com/spectral-lpm/spectrallpm/internal/graph"
 	"github.com/spectral-lpm/spectrallpm/internal/sfc"
 )
@@ -54,13 +55,13 @@ func (m *Mapping) Ranks() []int { return m.rank }
 // FromRanks wraps a precomputed rank permutation (rank[vertex] = position).
 func FromRanks(name string, g *graph.Grid, rank []int) (*Mapping, error) {
 	if len(rank) != g.Size() {
-		return nil, fmt.Errorf("order: rank length %d, grid size %d", len(rank), g.Size())
+		return nil, fmt.Errorf("order: rank length %d, grid size %d: %w", len(rank), g.Size(), errs.ErrDimensionMismatch)
 	}
 	vert := make([]int, len(rank))
 	seen := make([]bool, len(rank))
 	for v, r := range rank {
 		if r < 0 || r >= len(rank) || seen[r] {
-			return nil, fmt.Errorf("order: rank slice is not a permutation (vertex %d, rank %d)", v, r)
+			return nil, fmt.Errorf("order: vertex %d, rank %d: %w", v, r, errs.ErrNotPermutation)
 		}
 		seen[r] = true
 		vert[r] = v
@@ -75,11 +76,11 @@ func FromCurve(g *graph.Grid, c sfc.Curve) (*Mapping, error) {
 	cd := c.Dims()
 	gd := g.Dims()
 	if len(cd) != len(gd) {
-		return nil, fmt.Errorf("order: curve dimensionality %d, grid %d", len(cd), len(gd))
+		return nil, fmt.Errorf("order: curve dimensionality %d, grid %d: %w", len(cd), len(gd), errs.ErrDimensionMismatch)
 	}
 	for i := range gd {
 		if cd[i] < gd[i] {
-			return nil, fmt.Errorf("order: curve side %d < grid side %d in dim %d", cd[i], gd[i], i)
+			return nil, fmt.Errorf("order: curve side %d < grid side %d in dim %d: %w", cd[i], gd[i], i, errs.ErrDimensionMismatch)
 		}
 	}
 	n := g.Size()
@@ -230,6 +231,6 @@ func coveringCurve(name string, g *graph.Grid) (sfc.Curve, error) {
 	case "spiral":
 		return sfc.New(name, d, maxSide)
 	default:
-		return nil, fmt.Errorf("order: unknown mapping %q", name)
+		return nil, fmt.Errorf("order: %w %q", errs.ErrUnknownMapping, name)
 	}
 }

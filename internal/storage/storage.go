@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/spectral-lpm/spectrallpm/internal/errs"
 	"github.com/spectral-lpm/spectrallpm/internal/order"
 	"github.com/spectral-lpm/spectrallpm/internal/workload"
 )
@@ -38,13 +39,18 @@ func NewPager(numRecords, recordsPerPage int) (*Pager, error) {
 	}, nil
 }
 
-// Page returns the page holding the record at the given rank.
-func (p *Pager) Page(rank int) int {
+// Page returns the page holding the record at the given rank. A rank
+// outside [0, NumRecords) returns an error wrapping errs.ErrRankOutOfRange
+// (never panics: a malformed query must not crash a server).
+func (p *Pager) Page(rank int) (int, error) {
 	if rank < 0 || rank >= p.numRecords {
-		panic(fmt.Sprintf("storage: rank %d outside [0,%d)", rank, p.numRecords))
+		return 0, fmt.Errorf("storage: rank %d outside [0,%d): %w", rank, p.numRecords, errs.ErrRankOutOfRange)
 	}
-	return rank / p.recordsPerPage
+	return rank / p.recordsPerPage, nil
 }
+
+// NumRecords returns the number of records laid on pages.
+func (p *Pager) NumRecords() int { return p.numRecords }
 
 // NumPages returns the number of pages.
 func (p *Pager) NumPages() int { return p.numPages }
@@ -67,30 +73,70 @@ type IOStats struct {
 	SpanPages int
 }
 
-// QueryIO computes the I/O statistics for a query whose results live at the
-// given ranks. An empty rank set costs nothing.
-func (p *Pager) QueryIO(ranks []int) IOStats {
+// PageRun is a maximal run of contiguous pages a query touches — the unit
+// of sequential I/O an executor can issue as one read.
+type PageRun struct {
+	// Start is the first page of the run.
+	Start int
+	// Pages is the run length in pages (always >= 1).
+	Pages int
+}
+
+// Runs returns the page-run plan for a query whose results live at the
+// given ranks: the distinct pages holding results, grouped into maximal
+// contiguous runs and sorted by start page. An empty rank set plans
+// nothing; an out-of-range rank returns an error wrapping
+// errs.ErrRankOutOfRange.
+func (p *Pager) Runs(ranks []int) ([]PageRun, error) {
 	if len(ranks) == 0 {
-		return IOStats{}
+		return nil, nil
 	}
 	pages := make([]int, len(ranks))
 	for i, r := range ranks {
-		pages[i] = p.Page(r)
+		pg, err := p.Page(r)
+		if err != nil {
+			return nil, err
+		}
+		pages[i] = pg
 	}
 	sort.Ints(pages)
-	distinct := pages[:1]
+	runs := []PageRun{{Start: pages[0], Pages: 1}}
 	for _, pg := range pages[1:] {
-		if pg != distinct[len(distinct)-1] {
-			distinct = append(distinct, pg)
+		last := &runs[len(runs)-1]
+		switch {
+		case pg == last.Start+last.Pages-1:
+			// Duplicate page within the current run.
+		case pg == last.Start+last.Pages:
+			last.Pages++
+		default:
+			runs = append(runs, PageRun{Start: pg, Pages: 1})
 		}
 	}
-	st := IOStats{Pages: len(distinct), Seeks: 1}
-	for i := 1; i < len(distinct); i++ {
-		if distinct[i] != distinct[i-1]+1 {
-			st.Seeks++
-		}
+	return runs, nil
+}
+
+// QueryIO computes the I/O statistics for a query whose results live at the
+// given ranks. An empty rank set costs nothing; an out-of-range rank
+// returns an error wrapping errs.ErrRankOutOfRange.
+func (p *Pager) QueryIO(ranks []int) (IOStats, error) {
+	runs, err := p.Runs(ranks)
+	if err != nil {
+		return IOStats{}, err
 	}
-	st.SpanPages = distinct[len(distinct)-1] - distinct[0] + 1
+	return statsFromRuns(runs), nil
+}
+
+// statsFromRuns folds a page-run plan into IOStats.
+func statsFromRuns(runs []PageRun) IOStats {
+	if len(runs) == 0 {
+		return IOStats{}
+	}
+	st := IOStats{Seeks: len(runs)}
+	for _, r := range runs {
+		st.Pages += r.Pages
+	}
+	last := runs[len(runs)-1]
+	st.SpanPages = last.Start + last.Pages - runs[0].Start
 	return st
 }
 
@@ -116,12 +162,16 @@ func (s *Store) Mapping() *order.Mapping { return s.mapping }
 // Pager returns the underlying pager.
 func (s *Store) Pager() *Pager { return s.pager }
 
-// BoxQueryIO returns the I/O cost of an axis-aligned box query.
-func (s *Store) BoxQueryIO(b workload.Box) (IOStats, error) {
+// BoxRanks returns the 1-D ranks of the grid points inside the box, in
+// ascending rank order — the scan order a serving path streams results in.
+func (s *Store) BoxRanks(b workload.Box) ([]int, error) {
 	g := s.mapping.Grid()
+	if len(b.Start) != g.D() || len(b.Dims) != g.D() {
+		return nil, fmt.Errorf("storage: box arity %d/%d, grid %d: %w", len(b.Start), len(b.Dims), g.D(), errs.ErrDimensionMismatch)
+	}
 	for i, st := range b.Start {
-		if st < 0 || st+b.Dims[i] > g.Dims()[i] {
-			return IOStats{}, fmt.Errorf("storage: box %v exceeds grid", b)
+		if b.Dims[i] < 1 || st < 0 || st+b.Dims[i] > g.Dims()[i] {
+			return nil, fmt.Errorf("storage: box %v exceeds grid %v: %w", b, g.Dims(), errs.ErrDimensionMismatch)
 		}
 	}
 	ids := workload.IDsInBox(g, b)
@@ -129,7 +179,26 @@ func (s *Store) BoxQueryIO(b workload.Box) (IOStats, error) {
 	for i, id := range ids {
 		ranks[i] = s.mapping.Rank(id)
 	}
-	return s.pager.QueryIO(ranks), nil
+	sort.Ints(ranks)
+	return ranks, nil
+}
+
+// BoxQueryIO returns the I/O cost of an axis-aligned box query.
+func (s *Store) BoxQueryIO(b workload.Box) (IOStats, error) {
+	ranks, err := s.BoxRanks(b)
+	if err != nil {
+		return IOStats{}, err
+	}
+	return s.pager.QueryIO(ranks)
+}
+
+// BoxRuns returns the page-run plan of an axis-aligned box query.
+func (s *Store) BoxRuns(b workload.Box) ([]PageRun, error) {
+	ranks, err := s.BoxRanks(b)
+	if err != nil {
+		return nil, err
+	}
+	return s.pager.Runs(ranks)
 }
 
 // BufferPool is an LRU page cache with hit/miss accounting, used to measure

@@ -1,9 +1,11 @@
 package storage
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
+	"github.com/spectral-lpm/spectrallpm/internal/errs"
 	"github.com/spectral-lpm/spectrallpm/internal/graph"
 	"github.com/spectral-lpm/spectrallpm/internal/order"
 	"github.com/spectral-lpm/spectrallpm/internal/workload"
@@ -23,19 +25,55 @@ func TestNewPagerValidation(t *testing.T) {
 	if p.NumPages() != 3 || p.RecordsPerPage() != 4 {
 		t.Errorf("pages = %d", p.NumPages())
 	}
-	if p.Page(0) != 0 || p.Page(3) != 0 || p.Page(4) != 1 || p.Page(9) != 2 {
-		t.Error("Page mapping wrong")
+	for rank, want := range map[int]int{0: 0, 3: 0, 4: 1, 9: 2} {
+		got, err := p.Page(rank)
+		if err != nil || got != want {
+			t.Errorf("Page(%d) = %d, %v, want %d", rank, got, err, want)
+		}
 	}
 }
 
-func TestPagerPagePanics(t *testing.T) {
+func TestPagerPageOutOfRange(t *testing.T) {
 	p, _ := NewPager(10, 4)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+	for _, rank := range []int{-1, 10, 1 << 40} {
+		if _, err := p.Page(rank); !errors.Is(err, errs.ErrRankOutOfRange) {
+			t.Errorf("Page(%d) err = %v, want ErrRankOutOfRange", rank, err)
 		}
-	}()
-	p.Page(10)
+	}
+	if _, err := p.QueryIO([]int{0, 10}); !errors.Is(err, errs.ErrRankOutOfRange) {
+		t.Errorf("QueryIO with bad rank err = %v, want ErrRankOutOfRange", err)
+	}
+}
+
+func TestPagerRuns(t *testing.T) {
+	p, _ := NewPager(100, 10)
+	tests := []struct {
+		name  string
+		ranks []int
+		want  []PageRun
+	}{
+		{"empty", nil, nil},
+		{"one run", []int{5, 12, 25}, []PageRun{{Start: 0, Pages: 3}}},
+		{"two runs", []int{5, 95}, []PageRun{{Start: 0, Pages: 1}, {Start: 9, Pages: 1}}},
+		{"dups", []int{5, 5, 15, 15}, []PageRun{{Start: 0, Pages: 2}}},
+		{"unsorted", []int{95, 5}, []PageRun{{Start: 0, Pages: 1}, {Start: 9, Pages: 1}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := p.Runs(tc.ranks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("Runs(%v) = %+v, want %+v", tc.ranks, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Runs(%v) = %+v, want %+v", tc.ranks, got, tc.want)
+				}
+			}
+		})
+	}
 }
 
 func TestQueryIO(t *testing.T) {
@@ -55,7 +93,10 @@ func TestQueryIO(t *testing.T) {
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
-			got := p.QueryIO(tc.ranks)
+			got, err := p.QueryIO(tc.ranks)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if got != tc.want {
 				t.Errorf("QueryIO(%v) = %+v, want %+v", tc.ranks, got, tc.want)
 			}

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/spectral-lpm/spectrallpm/internal/errs"
 	"github.com/spectral-lpm/spectrallpm/internal/graph"
 )
 
@@ -136,11 +137,11 @@ func (b Box) Volume() int {
 func RandomBoxes(g *graph.Grid, qdims []int, count int, seed int64) ([]Box, error) {
 	dims := g.Dims()
 	if len(qdims) != len(dims) {
-		return nil, fmt.Errorf("workload: query arity %d, grid %d", len(qdims), len(dims))
+		return nil, fmt.Errorf("workload: query arity %d, grid %d: %w", len(qdims), len(dims), errs.ErrDimensionMismatch)
 	}
 	for i, q := range qdims {
 		if q < 1 || q > dims[i] {
-			return nil, fmt.Errorf("workload: query side %d outside [1,%d]", q, dims[i])
+			return nil, fmt.Errorf("workload: query side %d outside [1,%d]: %w", q, dims[i], errs.ErrDimensionMismatch)
 		}
 	}
 	if count < 0 {

@@ -13,23 +13,29 @@
 //
 // # Quick start
 //
-//	grid := spectrallpm.MustGrid(16, 16)
-//	m, err := spectrallpm.NewMapping("spectral", grid, spectrallpm.SpectralConfig{})
+// The entry point is Index: build once (the expensive spectral solve),
+// then serve any number of concurrent queries.
+//
+//	ix, err := spectrallpm.Build(ctx, spectrallpm.WithGrid(16, 16))
 //	if err != nil { ... }
-//	rank := m.RankAt([]int{3, 7}) // 1-D position of point (3,7)
+//	rank, err := ix.Rank(3, 7)    // 1-D position of point (3,7)
+//	runs, err := ix.Pages(spectrallpm.Box{Start: []int{0, 0}, Dims: []int{4, 4}})
 //
-// Mapping names: "spectral" plus the curve families "hilbert", "gray",
-// "morton" (the paper's "Peano"), "peano" (the base-3 Peano), "sweep",
-// "snake".
+// Mapping names (WithMapping): "spectral" (default) plus the curve
+// families "hilbert", "gray", "morton" (the paper's "Peano"), "peano"
+// (the base-3 Peano), "sweep", "snake". Arbitrary point sets — the
+// paper's general setting — index with WithPoints. The §4 extensions
+// (edge weights, affinity edges from access patterns, 8-connectivity)
+// are the WithEdgeWeights, WithAffinity, and WithConnectivity options.
 //
-// For arbitrary (non-grid) point sets, build the paper's graph directly:
+// An Index is immutable, goroutine-safe, and persistable: WriteTo saves
+// the solved order in a versioned format and ReadIndex loads it at server
+// startup without re-solving.
 //
-//	g, err := spectrallpm.PointGraph(points)      // unit-Manhattan adjacency
-//	res, err := spectrallpm.SpectralOrder(g, spectrallpm.Options{})
-//	// res.Order is the paper's linear order S; res.Rank its inverse.
-//
-// The §4 extensions — edge weights, affinity edges from access patterns,
-// 8-connectivity — are exposed through SpectralConfig and Graph.AddEdge.
+// The graph-level functions (PointGraph, SpectralOrder, Bisect,
+// KWayPartition) remain first-class for partitioning and analysis
+// workloads that want the order or the Fiedler vector itself rather than
+// a serving index.
 //
 // # Scaling
 //
@@ -214,21 +220,34 @@ func Bisect(g *Graph, opt Options) (left, right []int, err error) { return core.
 
 // NewMapping builds a mapping by name over a grid: "spectral" runs Spectral
 // LPM with cfg; curve names use the smallest covering curve of that family.
+//
+// Deprecated: use Build with WithGrid and WithMapping, which adds
+// concurrency-safe serving, batching, and persistence on top of the same
+// order. NewMapping remains as a thin wrapper for existing callers.
 func NewMapping(name string, g *Grid, cfg SpectralConfig) (*Mapping, error) {
 	return order.New(name, g, cfg)
 }
 
 // SpectralMapping runs Spectral LPM over a grid graph and wraps the result
 // as a Mapping.
+//
+// Deprecated: use Build with WithGrid (spectral is the default mapping);
+// WithConnectivity, WithEdgeWeights, WithAffinity, and WithSolver cover
+// everything SpectralConfig does.
 func SpectralMapping(g *Grid, cfg SpectralConfig) (*Mapping, error) {
 	return order.FromSpectral(g, cfg)
 }
 
 // CurveMapping ranks grid points by their index on the given curve
 // (compacting when the curve's cube exceeds the grid).
+//
+// Deprecated: use Build with WithGrid and WithMapping(name), which
+// constructs the smallest covering curve itself.
 func CurveMapping(g *Grid, c Curve) (*Mapping, error) { return order.FromCurve(g, c) }
 
 // MappingFromRanks wraps a precomputed rank permutation.
+//
+// Deprecated: use Build with WithGrid and WithRanks.
 func MappingFromRanks(name string, g *Grid, rank []int) (*Mapping, error) {
 	return order.FromRanks(name, g, rank)
 }
@@ -307,6 +326,9 @@ func PartitionLabels(parts [][]int, n int) ([]int, error) {
 }
 
 // NewStore lays a mapping's points on fixed-size pages for I/O simulation.
+//
+// Deprecated: use Build with WithPageSize; Index.Pages and Index.QueryIO
+// replace Store.BoxQueryIO with a concurrency-safe, persistable surface.
 func NewStore(m *Mapping, recordsPerPage int) (*Store, error) {
 	return storage.NewStore(m, recordsPerPage)
 }
