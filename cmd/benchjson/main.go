@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so CI can persist benchmark results (BENCH_query.json)
+// and the performance trajectory of the serving path can be tracked across
+// PRs with plain tooling.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'IndexServing|BoxQuery' -benchmem . | benchjson > BENCH_query.json
+//
+// Standard columns become fixed fields (iterations, ns_per_op, bytes_per_op,
+// allocs_per_op); any extra b.ReportMetric pairs land in "metrics". Context
+// lines (goos/goarch/cpu/pkg) are carried through. Output is deterministic
+// for a given input: benchmarks keep input order and keys are sorted by
+// encoding/json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line.
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// report is the whole document.
+type report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName[-P]   <iters>   <rest>" where rest is a
+// sequence of "<value> <unit>" pairs. The name is kept verbatim (including
+// any -GOMAXPROCS suffix): stripping it cannot be distinguished from a
+// benchmark whose own name ends in -<digits>, like rank-batch-64.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse folds bench output into a report. Unrecognized lines (PASS, ok,
+// test chatter) are skipped.
+func parse(r io.Reader) (*report, error) {
+	rep := &report{Benchmarks: []result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("iterations in %q: %w", line, err)
+		}
+		res := result{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd value/unit fields in %q", line)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("value %q in %q: %w", fields[i], line, err)
+			}
+			val := v
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = &val
+			case "allocs/op":
+				res.AllocsPerOp = &val
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[fields[i+1]] = val
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

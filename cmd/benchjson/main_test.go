@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/spectral-lpm/spectrallpm
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkIndexServing/scan-16x16@256-8   	  364123	      4675 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBoxQueryPointSweep/scan-16x16/n=2048-8 	  738763	      1385 ns/op	        52.00 results/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem-4     1000     123.4 ns/op
+PASS
+ok  	github.com/spectral-lpm/spectrallpm	26.795s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg == "" || rep.CPU == "" {
+		t.Errorf("context lines lost: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkIndexServing/scan-16x16@256-8" || b0.Iterations != 364123 ||
+		b0.NsPerOp != 4675 || b0.BytesPerOp == nil || *b0.AllocsPerOp != 0 {
+		t.Errorf("bench 0 = %+v", b0)
+	}
+	b1 := rep.Benchmarks[1]
+	if b1.Metrics["results/op"] != 52 {
+		t.Errorf("extra metric lost: %+v", b1)
+	}
+	b2 := rep.Benchmarks[2]
+	if b2.Name != "BenchmarkNoMem-4" || b2.BytesPerOp != nil || b2.NsPerOp != 123.4 {
+		t.Errorf("bench 2 = %+v", b2)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-8  12  34 ns/op stray\n")); err == nil {
+		t.Error("odd field count accepted")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkX-8  12  nan.bad ns/op\n")); err == nil {
+		t.Error("bad float accepted")
+	}
+}

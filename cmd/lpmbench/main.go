@@ -148,8 +148,11 @@ type serveConfig struct {
 // printServe benchmarks the build-once/query-many split on the public
 // Index API: one spectral solve (wall-clocked), a WriteTo/ReadIndex cycle
 // (proving a server can reload without re-solving), then every position of
-// the query box answered through Scan and Pages, reporting query
-// throughput and the average I/O plan per mapping.
+// the query box answered through the amortized serving pattern (ScanInto
+// with a shared yield, PagesInto with a reused plan buffer — zero
+// steady-state allocations), plus the same boxes pushed through the
+// parallel QueryBatch, reporting both query throughputs and the average
+// I/O plan per mapping.
 func printServe(w io.Writer, cfg experiments.Config, serve serveConfig) error {
 	side, qside := serve.side, serve.qside
 	if side < 2 {
@@ -162,8 +165,8 @@ func printServe(w io.Writer, cfg experiments.Config, serve serveConfig) error {
 		}
 	}
 	fmt.Fprintf(w, "SERVE — Index API on a %dx%d grid, all %dx%d range queries\n", side, side, qside, qside)
-	fmt.Fprintf(w, "%-10s %12s %12s %10s %10s %12s\n",
-		"mapping", "build ms", "reload ms", "queries", "qps", "avg runs")
+	fmt.Fprintf(w, "%-10s %12s %12s %10s %10s %12s %12s %12s\n",
+		"mapping", "build ms", "reload ms", "queries", "scan qps", "io qps", "batch qps", "avg runs")
 	for _, name := range spectrallpm.StandardMappings() {
 		buildStart := time.Now()
 		built, err := spectrallpm.Build(context.Background(),
@@ -188,33 +191,51 @@ func printServe(w io.Writer, cfg experiments.Config, serve serveConfig) error {
 		}
 		reloadMS := float64(time.Since(reloadStart).Microseconds()) / 1e3
 
-		var queries, runsSum, scanned int
-		queryStart := time.Now()
+		var boxes []spectrallpm.Box
 		for x := 0; x+qside <= side; x++ {
 			for y := 0; y+qside <= side; y++ {
-				box := spectrallpm.Box{Start: []int{x, y}, Dims: []int{qside, qside}}
-				runs, err := ix.Pages(box)
-				if err != nil {
-					return err
-				}
-				runsSum += len(runs)
-				seq, err := ix.Scan(box)
-				if err != nil {
-					return err
-				}
-				for range seq {
-					scanned++
-				}
-				queries++
+				boxes = append(boxes, spectrallpm.Box{Start: []int{x, y}, Dims: []int{qside, qside}})
+			}
+		}
+		var runsSum, scanned int
+		scan := func(int, []int) bool { scanned++; return true }
+		var plan []spectrallpm.PageRun
+		queryStart := time.Now()
+		for _, box := range boxes {
+			plan, err = ix.PagesInto(box, plan[:0])
+			if err != nil {
+				return err
+			}
+			runsSum += len(plan)
+			if err := ix.ScanInto(box, scan); err != nil {
+				return err
 			}
 		}
 		elapsed := time.Since(queryStart).Seconds()
-		if want := queries * qside * qside; scanned != want {
+		if want := len(boxes) * qside * qside; scanned != want {
 			return fmt.Errorf("serve: scanned %d records, want %d", scanned, want)
 		}
-		qps := float64(queries) / elapsed
-		fmt.Fprintf(w, "%-10s %12.2f %12.2f %10d %10.0f %12.2f\n",
-			name, buildMS, reloadMS, queries, qps, float64(runsSum)/float64(queries))
+		scanQPS := float64(len(boxes)) / elapsed
+
+		// io qps and batch qps do identical per-box work (QueryIO), so
+		// their ratio isolates what QueryBatch's parallel fan-out buys.
+		ioStart := time.Now()
+		for _, box := range boxes {
+			if _, err := ix.QueryIO(box); err != nil {
+				return err
+			}
+		}
+		ioQPS := float64(len(boxes)) / time.Since(ioStart).Seconds()
+
+		batchStart := time.Now()
+		stats, err := ix.QueryBatch(boxes)
+		if err != nil {
+			return err
+		}
+		batchQPS := float64(len(stats)) / time.Since(batchStart).Seconds()
+
+		fmt.Fprintf(w, "%-10s %12.2f %12.2f %10d %10.0f %12.0f %12.0f %12.2f\n",
+			name, buildMS, reloadMS, len(boxes), scanQPS, ioQPS, batchQPS, float64(runsSum)/float64(len(boxes)))
 	}
 	fmt.Fprintln(w)
 	return nil

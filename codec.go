@@ -7,6 +7,7 @@ import (
 
 	"github.com/spectral-lpm/spectrallpm/internal/graph"
 	"github.com/spectral-lpm/spectrallpm/internal/order"
+	"github.com/spectral-lpm/spectrallpm/internal/rtree"
 	"github.com/spectral-lpm/spectrallpm/internal/storage"
 )
 
@@ -71,7 +72,9 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 // ReadIndex loads an index written by WriteTo, validating the format tag,
 // the version, and that the rank slice is a permutation over the declared
 // points (ErrNotPermutation otherwise). The loaded index serializes back
-// to the exact bytes it was read from.
+// to the exact bytes it was read from. Serving parallelism is not part of
+// the format: a reloaded index runs QueryBatch at GOMAXPROCS regardless of
+// the WithParallelism the builder used.
 func ReadIndex(r io.Reader) (*Index, error) {
 	var f indexFileV1
 	dec := json.NewDecoder(r)
@@ -123,14 +126,15 @@ func ReadIndex(r io.Reader) (*Index, error) {
 }
 
 // loadPointSet reconstructs the point-set half of an Index from the wire
-// form: the grid-id lookup table and the rank/vert permutations, with the
-// same validation Build applies.
+// form: the grid-id lookup slices, the rank/vert permutations, and the
+// rank-order packed R-tree the box-query path probes, with the same
+// validation Build applies.
 func loadPointSet(ix *Index, grid *graph.Grid, f *indexFileV1) error {
 	n := len(f.Points)
 	if len(f.Rank) != n {
 		return fmt.Errorf("spectrallpm: index has %d points but %d ranks: %w", n, len(f.Rank), ErrDimensionMismatch)
 	}
-	idOf, err := indexPoints(grid, f.Points)
+	idSorted, pidOf, err := indexPoints(grid, f.Points)
 	if err != nil {
 		return err
 	}
@@ -144,8 +148,15 @@ func loadPointSet(ix *Index, grid *graph.Grid, f *indexFileV1) error {
 		vert[r] = pid
 	}
 	ix.pts = f.Points
-	ix.idOf = idOf
+	ix.idSorted = idSorted
+	ix.pidOf = pidOf
 	ix.rank = f.Rank
 	ix.vert = vert
-	return nil
+	if n == 0 {
+		// An empty point-set file is a valid (if useless) index; Pack
+		// rejects zero points, and every query answers empty without it.
+		return nil
+	}
+	ix.rt, err = rtree.Pack(f.Points, vert, pointTreeFanout)
+	return err
 }

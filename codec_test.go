@@ -138,6 +138,31 @@ func TestReadIndexRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestReadIndexEmptyPointSet pins that an externally produced file with an
+// empty point array still loads (as it did before the R-tree path) and that
+// every query surface answers empty rather than dereferencing a nil tree.
+func TestReadIndexEmptyPointSet(t *testing.T) {
+	ix, err := spectrallpm.ReadIndex(strings.NewReader(
+		`{"format":"spectrallpm-index","version":1,"name":"spectral","dims":[1,1],"records_per_page":4,"points":[],"rank":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.N() != 0 {
+		t.Fatalf("N = %d", ix.N())
+	}
+	box := spectrallpm.Box{Start: []int{0, 0}, Dims: []int{5, 5}}
+	if err := ix.ScanInto(box, func(int, []int) bool { t.Fatal("yield on empty index"); return false }); err != nil {
+		t.Fatal(err)
+	}
+	io, err := ix.QueryIO(box)
+	if err != nil || io != (spectrallpm.IOStats{}) {
+		t.Fatalf("io = %+v, %v", io, err)
+	}
+	if runs, err := ix.Pages(box); err != nil || len(runs) != 0 {
+		t.Fatalf("runs = %v, %v", runs, err)
+	}
+}
+
 // TestBuildServeSplit is the ISSUE's motivating scenario end to end: build
 // once, persist, load in a fresh "server", serve concurrently — without a
 // second eigensolve.

@@ -4,13 +4,18 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"runtime"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/spectral-lpm/spectrallpm/internal/core"
 	"github.com/spectral-lpm/spectrallpm/internal/eigen"
 	"github.com/spectral-lpm/spectrallpm/internal/graph"
 	"github.com/spectral-lpm/spectrallpm/internal/order"
+	"github.com/spectral-lpm/spectrallpm/internal/rtree"
 	"github.com/spectral-lpm/spectrallpm/internal/storage"
 )
 
@@ -44,15 +49,23 @@ type Index struct {
 	store   *storage.Store // full-grid indexes; nil for point sets
 
 	// Point-set indexes only.
-	pts  [][]int     // coordinates by point id (input order)
-	idOf map[int]int // bounding-grid vertex id -> point id
-	rank []int       // rank[point id]
-	vert []int       // point id at each rank
+	pts      [][]int     // coordinates by point id (input order)
+	idSorted []int       // bounding-grid vertex ids of the points, ascending
+	pidOf    []int       // point id at each idSorted position
+	rank     []int       // rank[point id]
+	vert     []int       // point id at each rank
+	rt       *rtree.Tree // rank-order packed over pts; box queries probe it
 
 	pager   *storage.Pager
 	lambda2 []float64 // per-component λ₂; nil for curve/rank mappings
 	meta    provenance
+	par     int // serving parallelism (QueryBatch workers); 0 = GOMAXPROCS
 }
+
+// pointTreeFanout is the node capacity of the rank-order packed R-tree
+// backing point-set box queries. Leaves hold runs of consecutive ranks, so
+// a box query emits matches already sorted by rank.
+const pointTreeFanout = 16
 
 // provenance records how the order was built, so a loaded index can report
 // (and re-serialize) its origin without recomputing anything.
@@ -308,6 +321,7 @@ func buildGridIndex(ctx context.Context, cfg *buildConfig) (*Index, error) {
 	}
 	ix.store = st
 	ix.pager = st.Pager()
+	ix.par = cfg.solver.Parallelism
 	return ix, nil
 }
 
@@ -363,7 +377,7 @@ func buildPointIndex(ctx context.Context, cfg *buildConfig) (*Index, error) {
 	for i, p := range cfg.points {
 		pts[i] = append([]int(nil), p...)
 	}
-	idOf, err := indexPoints(grid, pts)
+	idSorted, pidOf, err := indexPoints(grid, pts)
 	if err != nil {
 		return nil, err
 	}
@@ -391,42 +405,64 @@ func buildPointIndex(ctx context.Context, cfg *buildConfig) (*Index, error) {
 		return nil, err
 	}
 	ix := &Index{
-		name:    "spectral",
-		grid:    grid,
-		pts:     pts,
-		idOf:    idOf,
-		rank:    res.Rank,
-		vert:    res.Order,
-		pager:   pager,
-		lambda2: res.Lambda2,
-		meta:    spectralProvenance(cfg),
+		name:     "spectral",
+		grid:     grid,
+		pts:      pts,
+		idSorted: idSorted,
+		pidOf:    pidOf,
+		rank:     res.Rank,
+		vert:     res.Order,
+		pager:    pager,
+		lambda2:  res.Lambda2,
+		meta:     spectralProvenance(cfg),
+		par:      cfg.solver.Parallelism,
+	}
+	ix.rt, err = rtree.Pack(pts, res.Order, pointTreeFanout)
+	if err != nil {
+		return nil, err
 	}
 	return ix, nil
 }
 
 // indexPoints validates a point set against its grid (arity, bounds,
-// duplicates) and returns the grid-id -> point-id lookup table. Shared by
-// Build and ReadIndex so the two construction paths cannot drift apart.
-func indexPoints(grid *graph.Grid, pts [][]int) (map[int]int, error) {
+// duplicates) and returns the grid-id -> point-id lookup as a pair of
+// parallel slices sorted by grid id, for binary-search lookups with no map
+// and no per-lookup allocation. Shared by Build and ReadIndex so the two
+// construction paths cannot drift apart.
+func indexPoints(grid *graph.Grid, pts [][]int) (idSorted, pidOf []int, err error) {
 	d := grid.D()
 	dims := grid.Dims()
-	idOf := make(map[int]int, len(pts))
+	ids := make([]int, len(pts))
 	for i, p := range pts {
 		if len(p) != d {
-			return nil, fmt.Errorf("spectrallpm: point %d has arity %d, want %d: %w", i, len(p), d, ErrDimensionMismatch)
+			return nil, nil, fmt.Errorf("spectrallpm: point %d has arity %d, want %d: %w", i, len(p), d, ErrDimensionMismatch)
 		}
 		for j, c := range p {
 			if c < 0 || c >= dims[j] {
-				return nil, fmt.Errorf("spectrallpm: point %d coordinate %d outside [0,%d): %w", i, c, dims[j], ErrDimensionMismatch)
+				return nil, nil, fmt.Errorf("spectrallpm: point %d coordinate %d outside [0,%d): %w", i, c, dims[j], ErrDimensionMismatch)
 			}
 		}
-		id := grid.ID(p)
-		if j, dup := idOf[id]; dup {
-			return nil, fmt.Errorf("spectrallpm: duplicate point at indices %d and %d", j, i)
-		}
-		idOf[id] = i
+		ids[i] = grid.ID(p)
 	}
-	return idOf, nil
+	pidOf = make([]int, len(pts))
+	for i := range pidOf {
+		pidOf[i] = i
+	}
+	sort.Slice(pidOf, func(a, b int) bool { return ids[pidOf[a]] < ids[pidOf[b]] })
+	idSorted = make([]int, len(pts))
+	for k, pid := range pidOf {
+		idSorted[k] = ids[pid]
+	}
+	for k := 1; k < len(idSorted); k++ {
+		if idSorted[k] == idSorted[k-1] {
+			a, b := pidOf[k-1], pidOf[k]
+			if a > b {
+				a, b = b, a
+			}
+			return nil, nil, fmt.Errorf("spectrallpm: duplicate point at indices %d and %d", a, b)
+		}
+	}
+	return idSorted, pidOf, nil
 }
 
 func spectralProvenance(cfg *buildConfig) provenance {
@@ -509,11 +545,11 @@ func (ix *Index) Rank(coords ...int) (int, error) {
 	if ix.mapping != nil {
 		return ix.mapping.Rank(id), nil
 	}
-	pid, ok := ix.idOf[id]
+	i, ok := slices.BinarySearch(ix.idSorted, id)
 	if !ok {
 		return 0, fmt.Errorf("spectrallpm: point %v: %w", coords, ErrPointNotIndexed)
 	}
-	return ix.rank[pid], nil
+	return ix.rank[ix.pidOf[i]], nil
 }
 
 // Point returns the coordinates of the point at the given rank. The
@@ -552,63 +588,246 @@ func (ix *Index) RankBatch(coords [][]int, dst []int) ([]int, error) {
 	return dst, nil
 }
 
-// Scan streams the points of an axis-aligned box query in 1-D rank order —
-// the order a storage medium would deliver them in. Each iteration yields
-// a rank and the freshly-allocated coordinates of the point at that rank.
-// For full-grid indexes the box must lie inside the grid
-// (ErrDimensionMismatch otherwise); for point-set indexes any box of the
-// right arity is allowed and only indexed points match.
-func (ix *Index) Scan(b Box) (iter.Seq2[int, []int], error) {
-	ranks, err := ix.boxRanks(b)
-	if err != nil {
-		return nil, err
-	}
-	return func(yield func(int, []int) bool) {
-		for _, r := range ranks {
-			p, err := ix.Point(r)
-			if err != nil || !yield(r, p) {
+// scanState is the pooled workspace of one in-flight box query: the rank
+// buffer, the borrowed coordinate buffer Scan yields, rectangle scratch for
+// the point-set R-tree probe, and a prebuilt iterator closure so that a
+// steady-state Scan performs zero heap allocations.
+type scanState struct {
+	ix     *Index // owning index while a Scan sequence is live; nil otherwise
+	ranks  []int
+	pids   []int
+	coords []int
+	min    []int
+	max    []int
+	seq    iter.Seq2[int, []int]
+}
+
+var scanPool sync.Pool
+
+// The pool's New is assigned in init because the iterator closure it builds
+// refers back to scanPool (via release) — a package-level literal would be
+// an initialization cycle.
+func init() {
+	scanPool.New = newScanState
+}
+
+func newScanState() any {
+	s := &scanState{}
+	s.seq = func(yield func(int, []int) bool) {
+		ix := s.ix
+		if ix == nil {
+			// The sequence was already consumed (it is single-use); the
+			// state may belong to another query by now.
+			return
+		}
+		defer s.release()
+		if ix.mapping != nil {
+			verts := ix.mapping.Verts()
+			for _, r := range s.ranks {
+				if !yield(r, ix.grid.Coords(verts[r], s.coords)) {
+					return
+				}
+			}
+			return
+		}
+		for _, r := range s.ranks {
+			copy(s.coords, ix.pts[ix.vert[r]])
+			if !yield(r, s.coords) {
 				return
 			}
 		}
-	}, nil
+	}
+	return s
+}
+
+func (s *scanState) release() {
+	s.ix = nil
+	// Truncate so a (forbidden) second iteration of an already-consumed
+	// sequence yields nothing while the state sits in the pool, instead of
+	// replaying stale ranks.
+	s.ranks = s.ranks[:0]
+	scanPool.Put(s)
+}
+
+// sizeCoords readies the borrowed coordinate buffer for a d-dimensional
+// query.
+func (s *scanState) sizeCoords(d int) {
+	if cap(s.coords) < d {
+		s.coords = make([]int, d)
+	}
+	s.coords = s.coords[:d]
+}
+
+// Scan streams the points of an axis-aligned box query in 1-D rank order —
+// the order a storage medium would deliver them in. For full-grid indexes
+// the box must lie inside the grid (ErrDimensionMismatch otherwise); for
+// point-set indexes any box of the right arity is allowed and only indexed
+// points match.
+//
+// Buffer-reuse contract: each iteration yields a rank and the coordinates
+// of the point at that rank in a buffer that is REUSED by the next
+// iteration — copy the slice if it must outlive the loop body. The returned
+// sequence is single-use: iterate it at most once. Its scratch returns to a
+// shared pool when iteration ends, so iterating a second time is a data
+// race that may observe a concurrent query's results — treat a consumed
+// sequence like a freed buffer. Scan performs no steady-state heap
+// allocations; ScanInto offers the same contract in callback form.
+func (ix *Index) Scan(b Box) (iter.Seq2[int, []int], error) {
+	s := scanPool.Get().(*scanState)
+	var err error
+	s.ranks, err = ix.boxRanksAppend(s.ranks[:0], b, s)
+	if err != nil {
+		s.release()
+		return nil, err
+	}
+	s.sizeCoords(ix.grid.D())
+	s.ix = ix
+	return s.seq, nil
+}
+
+// ScanInto is Scan in callback form: yield is called once per matching
+// point in ascending rank order until it returns false. The coords slice
+// passed to yield is reused between calls — copy it if it must survive.
+// ScanInto is the allocation-free core of the scanning path.
+func (ix *Index) ScanInto(b Box, yield func(rank int, coords []int) bool) error {
+	s := scanPool.Get().(*scanState)
+	var err error
+	s.ranks, err = ix.boxRanksAppend(s.ranks[:0], b, s)
+	if err != nil {
+		s.release()
+		return err
+	}
+	s.sizeCoords(ix.grid.D())
+	s.ix = ix
+	// The prebuilt sequence consumes and releases the state — Scan and
+	// ScanInto share one iteration body that cannot drift.
+	s.seq(yield)
+	return nil
 }
 
 // Pages returns the page-run plan of a box query: the distinct pages
 // holding results, grouped into maximal contiguous runs sorted by start
 // page — the sequential reads an I/O-aware executor would issue.
 func (ix *Index) Pages(b Box) ([]PageRun, error) {
-	ranks, err := ix.boxRanks(b)
-	if err != nil {
-		return nil, err
+	return ix.PagesInto(b, nil)
+}
+
+// PagesInto is Pages appending to dst, so a serving loop can reuse one plan
+// buffer across queries; with sufficient capacity it performs zero
+// steady-state heap allocations.
+func (ix *Index) PagesInto(b Box, dst []PageRun) ([]PageRun, error) {
+	if ix.store != nil {
+		return ix.store.BoxRunsAppend(dst, b)
 	}
-	return ix.pager.Runs(ranks)
+	s := scanPool.Get().(*scanState)
+	defer s.release()
+	var err error
+	s.ranks, err = ix.boxRanksAppend(s.ranks[:0], b, s)
+	if err != nil {
+		return dst, err
+	}
+	return ix.pager.RunsAppend(dst, s.ranks)
 }
 
 // QueryIO returns the simulated I/O cost of a box query (distinct pages,
-// seeks, scan span).
+// seeks, scan span). It allocates nothing in steady state.
 func (ix *Index) QueryIO(b Box) (IOStats, error) {
-	ranks, err := ix.boxRanks(b)
+	if ix.store != nil {
+		return ix.store.BoxQueryIO(b)
+	}
+	s := scanPool.Get().(*scanState)
+	defer s.release()
+	var err error
+	s.ranks, err = ix.boxRanksAppend(s.ranks[:0], b, s)
 	if err != nil {
 		return IOStats{}, err
 	}
-	return ix.pager.QueryIO(ranks)
+	return ix.pager.QueryIO(s.ranks)
 }
 
-// boxRanks returns the sorted ranks of the indexed points inside the box.
-func (ix *Index) boxRanks(b Box) ([]int, error) {
+// QueryBatch answers one QueryIO per box, fanning the slice across the
+// index's parallelism (WithParallelism at Build; GOMAXPROCS when unset or
+// zero). Results are positional: stats[i] answers boxes[i]. The first bad
+// box (lowest index) reports its error and discards the batch.
+func (ix *Index) QueryBatch(boxes []Box) ([]IOStats, error) {
+	stats := make([]IOStats, len(boxes))
+	if len(boxes) == 0 {
+		return stats, nil
+	}
+	workers := ix.par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(boxes) {
+		workers = len(boxes)
+	}
+	if workers == 1 {
+		for i, b := range boxes {
+			var err error
+			if stats[i], err = ix.QueryIO(b); err != nil {
+				return nil, fmt.Errorf("spectrallpm: box %d: %w", i, err)
+			}
+		}
+		return stats, nil
+	}
+	errs := make([]error, len(boxes))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(boxes) {
+					return
+				}
+				stats[i], errs[i] = ix.QueryIO(boxes[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("spectrallpm: box %d: %w", i, err)
+		}
+	}
+	return stats, nil
+}
+
+// boxRanksAppend appends the sorted ranks of the indexed points inside the
+// box to dst. Full-grid indexes delegate to the storage engine's run-merge;
+// point-set indexes probe the rank-order packed R-tree (matches stream out
+// in ascending rank because leaves hold consecutive rank runs). s supplies
+// rectangle and point-id scratch for the probe.
+func (ix *Index) boxRanksAppend(dst []int, b Box, s *scanState) ([]int, error) {
 	if ix.store != nil {
-		return ix.store.BoxRanks(b)
+		return ix.store.BoxRanksAppend(dst, b)
 	}
 	d := ix.grid.D()
 	if len(b.Start) != d || len(b.Dims) != d {
-		return nil, fmt.Errorf("spectrallpm: box arity %d/%d, want %d: %w", len(b.Start), len(b.Dims), d, ErrDimensionMismatch)
+		return dst, fmt.Errorf("spectrallpm: box arity %d/%d, want %d: %w", len(b.Start), len(b.Dims), d, ErrDimensionMismatch)
 	}
-	var ranks []int
-	for pid, p := range ix.pts {
-		if b.Contains(p) {
-			ranks = append(ranks, ix.rank[pid])
+	for _, w := range b.Dims {
+		if w < 1 {
+			return dst, nil // empty box matches nothing
 		}
 	}
-	sort.Ints(ranks)
-	return ranks, nil
+	if ix.rt == nil {
+		return dst, nil // empty point set (loadable via ReadIndex)
+	}
+	if cap(s.min) < d {
+		s.min = make([]int, d)
+		s.max = make([]int, d)
+	}
+	s.min, s.max = s.min[:d], s.max[:d]
+	for i := range b.Start {
+		s.min[i] = b.Start[i]
+		s.max[i] = b.Start[i] + b.Dims[i] - 1
+	}
+	s.pids, _ = ix.rt.SearchAppend(rtree.Rect{Min: s.min, Max: s.max}, s.pids[:0])
+	for _, pid := range s.pids {
+		dst = append(dst, ix.rank[pid])
+	}
+	return dst, nil
 }

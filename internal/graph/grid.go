@@ -101,6 +101,44 @@ func (g *Grid) Coords(id int, dst []int) []int {
 	return dst
 }
 
+// RowLen returns the length of a grid row: the side of the last (fastest-
+// varying, stride-1) dimension. Ids within a row are consecutive.
+func (g *Grid) RowLen() int { return g.dims[len(g.dims)-1] }
+
+// NumRows returns the number of grid rows (Size / RowLen).
+func (g *Grid) NumRows() int { return g.size / g.RowLen() }
+
+// AppendBoxRows appends the base id of each row-slab of an axis-aligned box
+// to dst and returns the extended slice. A row-slab is a maximal run of
+// consecutive ids inside the box: it covers [base, base+dims[D-1]). Slabs
+// are appended in increasing base order. scratch is reused as the
+// coordinate odometer when it has length D (avoiding an allocation) and is
+// replaced otherwise. The box (start, dims) must lie inside the grid with
+// every side >= 1; callers validate. The append style (rather than a
+// callback) keeps hot query paths free of closure allocations.
+func (g *Grid) AppendBoxRows(dst []int, start, dims, scratch []int) []int {
+	d := len(g.dims)
+	if len(scratch) != d {
+		scratch = make([]int, d)
+	}
+	copy(scratch, start)
+	for {
+		dst = append(dst, g.ID(scratch))
+		// Odometer over every dimension but the last (the row axis).
+		i := d - 2
+		for ; i >= 0; i-- {
+			scratch[i]++
+			if scratch[i] < start[i]+dims[i] {
+				break
+			}
+			scratch[i] = start[i]
+		}
+		if i < 0 {
+			return dst
+		}
+	}
+}
+
 // Manhattan returns the Manhattan (L1) distance between two vertex ids.
 func (g *Grid) Manhattan(a, b int) int {
 	ca := g.Coords(a, nil)
@@ -257,13 +295,91 @@ func diagonalOffsets(d int) [][]int {
 // d-dimensional integer points: vertices are point indices, with a unit edge
 // between every pair at Manhattan distance exactly 1. Duplicate points and
 // mixed arities are rejected.
+//
+// Dedup and neighbor probing key on the packed vertex id of the points'
+// bounding grid — a single uint64 per point instead of a per-lookup string
+// key. The bounding sides get one cell of headroom so the +1 neighbor probe
+// always packs. Point sets whose bounding volume overflows a uint64 (possible
+// only with astronomically spread coordinates, never for points validated
+// against a Grid) fall back to byte-string keys.
 func PointGraph(points [][]int) (*Graph, error) {
 	if len(points) == 0 {
 		return New(0), nil
 	}
 	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("graph: point %d has arity %d, want %d", i, len(p), d)
+		}
+	}
+	lo := append([]int(nil), points[0]...)
+	hi := append([]int(nil), points[0]...)
+	for _, p := range points {
+		for j, c := range p {
+			if c < lo[j] {
+				lo[j] = c
+			}
+			if c > hi[j] {
+				hi[j] = c
+			}
+		}
+	}
+	// Row-major strides over the bounding box, with +2 headroom per side so
+	// the +1 probe below never collides with another cell's id.
+	stride := make([]uint64, d)
+	s := uint64(1)
+	overflow := false
+	for j := d - 1; j >= 0; j-- {
+		stride[j] = s
+		side := uint64(hi[j]-lo[j]) + 2
+		// side < 2 means hi-lo+2 itself wrapped (a spread of 2^64-2 or
+		// more) — an overflow the product check below would miss.
+		if side < 2 || (s != 0 && side > ^uint64(0)/s) {
+			overflow = true
+			s = 0
+			continue
+		}
+		s *= side
+	}
+	if overflow {
+		return pointGraphStringKeys(points, d)
+	}
+	key := func(p []int) uint64 {
+		var id uint64
+		for j, c := range p {
+			id += uint64(c-lo[j]) * stride[j]
+		}
+		return id
+	}
+	index := make(map[uint64]int, len(points))
+	for i, p := range points {
+		k := key(p)
+		if j, dup := index[k]; dup {
+			return nil, fmt.Errorf("graph: duplicate point at indices %d and %d", j, i)
+		}
+		index[k] = i
+	}
+	g := New(len(points))
+	for i, p := range points {
+		base := key(p)
+		for dim := 0; dim < d; dim++ {
+			// Only the +1 neighbor so each undirected edge is added once.
+			if j, ok := index[base+stride[dim]]; ok {
+				if err := g.AddUnitEdge(i, j); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// pointGraphStringKeys is PointGraph's fallback for point sets whose
+// bounding volume exceeds uint64: coordinates packed into byte-string keys.
+// Arity has already been validated.
+func pointGraphStringKeys(points [][]int, d int) (*Graph, error) {
 	index := make(map[string]int, len(points))
-	keyBuf := make([]byte, 0, d*9)
+	keyBuf := make([]byte, 0, d*8)
 	key := func(p []int) string {
 		keyBuf = keyBuf[:0]
 		for _, c := range p {
@@ -274,9 +390,6 @@ func PointGraph(points [][]int) (*Graph, error) {
 		return string(keyBuf)
 	}
 	for i, p := range points {
-		if len(p) != d {
-			return nil, fmt.Errorf("graph: point %d has arity %d, want %d", i, len(p), d)
-		}
 		k := key(p)
 		if j, dup := index[k]; dup {
 			return nil, fmt.Errorf("graph: duplicate point at indices %d and %d", j, i)

@@ -241,6 +241,88 @@ func TestPointGraphNegativeCoordinates(t *testing.T) {
 	}
 }
 
+func TestPointGraphHugeSpreadFallsBack(t *testing.T) {
+	// A bounding volume beyond uint64 takes the string-key path; adjacency
+	// must still be found and duplicates still rejected.
+	const far = 1 << 62
+	points := [][]int{
+		{0, 0, 0}, {0, 0, 1},
+		{far, far, far},
+		{-far, 5, -far}, {-far, 6, -far},
+	}
+	g, err := PointGraph(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(3, 4) {
+		t.Errorf("huge-spread adjacency wrong: %d edges", g.NumEdges())
+	}
+	if _, err := PointGraph([][]int{{0, 0, 0}, {far, -far, far}, {0, 0, 0}}); err == nil {
+		t.Error("duplicate points accepted on fallback path")
+	}
+}
+
+func TestGridRowHelpers(t *testing.T) {
+	g := MustGrid(3, 4, 5)
+	if g.RowLen() != 5 || g.NumRows() != 12 {
+		t.Fatalf("RowLen=%d NumRows=%d", g.RowLen(), g.NumRows())
+	}
+	// AppendBoxRows must yield exactly the slab bases of the box, in id
+	// order, and the slabs must tile the box's id set.
+	start, dims := []int{1, 0, 2}, []int{2, 3, 2}
+	bases := g.AppendBoxRows(nil, start, dims, make([]int, 3))
+	if len(bases) != 2*3 {
+		t.Fatalf("slab count = %d, want 6", len(bases))
+	}
+	var got []int
+	for _, b := range bases {
+		for off := 0; off < dims[2]; off++ {
+			got = append(got, b+off)
+		}
+	}
+	want := IDsInBoxNaive(g, start, dims)
+	if len(got) != len(want) {
+		t.Fatalf("covered %d ids, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("id %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+	// Appending preserves dst contents.
+	withPrefix := g.AppendBoxRows([]int{-1}, start, dims, nil)
+	if withPrefix[0] != -1 || len(withPrefix) != 7 {
+		t.Errorf("append semantics broken: %v", withPrefix)
+	}
+	// 1-D grids have a single slab: the interval itself.
+	line := MustGrid(9)
+	oneD := line.AppendBoxRows(nil, []int{3}, []int{4}, nil)
+	if len(oneD) != 1 || oneD[0] != 3 {
+		t.Errorf("1-D slabs = %v, want [3]", oneD)
+	}
+}
+
+// IDsInBoxNaive enumerates box ids by scanning the whole grid — the oracle
+// for BoxRows.
+func IDsInBoxNaive(g *Grid, start, dims []int) []int {
+	var ids []int
+	c := make([]int, g.D())
+	for id := 0; id < g.Size(); id++ {
+		g.Coords(id, c)
+		in := true
+		for i := range c {
+			if c[i] < start[i] || c[i] >= start[i]+dims[i] {
+				in = false
+				break
+			}
+		}
+		if in {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
 // Property: for random grids, id→coords→id is the identity and Manhattan
 // distance of graph edges is 1.
 func TestGridRoundTripProperty(t *testing.T) {

@@ -52,6 +52,11 @@ func (m *Mapping) Vertex(rank int) int { return m.vert[rank] }
 // not be modified.
 func (m *Mapping) Ranks() []int { return m.rank }
 
+// Verts returns the inverse permutation: the vertex id at each rank. The
+// slice must not be modified. Serving paths index it directly instead of
+// calling Vertex per record.
+func (m *Mapping) Verts() []int { return m.vert }
+
 // FromRanks wraps a precomputed rank permutation (rank[vertex] = position).
 func FromRanks(name string, g *graph.Grid, rank []int) (*Mapping, error) {
 	if len(rank) != g.Size() {

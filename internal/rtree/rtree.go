@@ -172,30 +172,49 @@ func (t *Tree) Bounds() Rect { return cloneRect(t.root.rect) }
 // number of tree nodes visited — the I/O cost proxy used to compare pack
 // orders.
 func (t *Tree) Search(q Rect) (results []int, nodesVisited int) {
+	return t.SearchAppend(q, nil)
+}
+
+// SearchAppend is Search appending to dst, so a serving loop can reuse one
+// result buffer across queries without allocating. Matches are appended in
+// pack order: children are visited in order and leaf entries retain the
+// bulk-load permutation, so a tree packed on a rank order emits matches in
+// ascending rank. The walk itself performs no heap allocation.
+func (t *Tree) SearchAppend(q Rect, dst []int) ([]int, int) {
 	if len(q.Min) != len(t.points[0]) {
 		panic(fmt.Sprintf("rtree: query arity %d, want %d", len(q.Min), len(t.points[0])))
 	}
-	var walk func(n *node)
-	walk = func(n *node) {
-		nodesVisited++
-		if n.points != nil {
-			for _, idx := range n.points {
-				if q.ContainsPoint(t.points[idx]) {
-					results = append(results, idx)
-				}
-			}
-			return
-		}
-		for _, c := range n.children {
-			if q.Intersects(c.rect) {
-				walk(c)
-			}
-		}
-	}
+	s := searcher{t: t, q: q, dst: dst}
 	if q.Intersects(t.root.rect) {
-		walk(t.root)
+		s.walk(t.root)
 	}
-	return results, nodesVisited
+	return s.dst, s.visited
+}
+
+// searcher carries a window query's state through the recursive walk
+// without closures, so the walk stays off the heap.
+type searcher struct {
+	t       *Tree
+	q       Rect
+	dst     []int
+	visited int
+}
+
+func (s *searcher) walk(n *node) {
+	s.visited++
+	if n.points != nil {
+		for _, idx := range n.points {
+			if s.q.ContainsPoint(s.t.points[idx]) {
+				s.dst = append(s.dst, idx)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		if s.q.Intersects(c.rect) {
+			s.walk(c)
+		}
+	}
 }
 
 func pointRect(p []int) Rect {

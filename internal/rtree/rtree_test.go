@@ -34,6 +34,50 @@ func TestNewRectValidation(t *testing.T) {
 	}
 }
 
+func TestSearchAppendRankOrder(t *testing.T) {
+	// A tree packed on a rank order must emit matches in ascending rank
+	// position, and SearchAppend must preserve dst's existing contents.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.MustGrid(12, 12)
+	pts := make([][]int, g.Size())
+	for id := range pts {
+		pts[id] = g.Coords(id, nil)
+	}
+	ord := rng.Perm(len(pts)) // ord[k] = point at linear position k
+	tree, err := Pack(pts, ord, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, len(pts)) // linear position by point index
+	for k, idx := range ord {
+		pos[idx] = k
+	}
+	q, _ := NewRect([]int{2, 3}, []int{8, 9})
+	prefix := []int{-1}
+	got, visited := tree.SearchAppend(q, prefix)
+	if visited < 1 {
+		t.Fatal("no nodes visited")
+	}
+	if got[0] != -1 {
+		t.Fatal("dst prefix clobbered")
+	}
+	matches := got[1:]
+	want := 0
+	for _, p := range pts {
+		if q.ContainsPoint(p) {
+			want++
+		}
+	}
+	if len(matches) != want {
+		t.Fatalf("matched %d points, want %d", len(matches), want)
+	}
+	for i := 1; i < len(matches); i++ {
+		if pos[matches[i]] <= pos[matches[i-1]] {
+			t.Fatalf("matches not in pack order at %d: %v", i, matches)
+		}
+	}
+}
+
 func TestRectPredicates(t *testing.T) {
 	a, _ := NewRect([]int{0, 0}, []int{2, 2})
 	b, _ := NewRect([]int{2, 2}, []int{4, 4})

@@ -8,7 +8,7 @@ package storage
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/spectral-lpm/spectrallpm/internal/errs"
 	"github.com/spectral-lpm/spectrallpm/internal/order"
@@ -88,63 +88,111 @@ type PageRun struct {
 // nothing; an out-of-range rank returns an error wrapping
 // errs.ErrRankOutOfRange.
 func (p *Pager) Runs(ranks []int) ([]PageRun, error) {
+	return p.RunsAppend(nil, ranks)
+}
+
+// RunsAppend is Runs appending to dst, so a serving loop can reuse one
+// []PageRun across queries without allocating. Validation is hoisted out of
+// the per-rank loop: sorted input (the common case — box-query engines emit
+// ranks in ascending order) is range-checked by its endpoints and folded
+// into runs in one linear pass with no page buffer and no sort; unsorted
+// input is sorted into pooled scratch first.
+func (p *Pager) RunsAppend(dst []PageRun, ranks []int) ([]PageRun, error) {
 	if len(ranks) == 0 {
-		return nil, nil
+		return dst, nil
 	}
-	pages := make([]int, len(ranks))
-	for i, r := range ranks {
-		pg, err := p.Page(r)
-		if err != nil {
-			return nil, err
-		}
-		pages[i] = pg
+	ranks, sc, err := p.sortedRanks(ranks)
+	if sc != nil {
+		defer boxScratchPool.Put(sc)
 	}
-	sort.Ints(pages)
-	runs := []PageRun{{Start: pages[0], Pages: 1}}
-	for _, pg := range pages[1:] {
-		last := &runs[len(runs)-1]
+	if err != nil {
+		return dst, err
+	}
+	prev := -1
+	for _, r := range ranks {
+		pg := r / p.recordsPerPage
 		switch {
-		case pg == last.Start+last.Pages-1:
-			// Duplicate page within the current run.
-		case pg == last.Start+last.Pages:
-			last.Pages++
+		case pg == prev:
+			// Another record on the current page.
+		case prev >= 0 && pg == prev+1:
+			dst[len(dst)-1].Pages++
 		default:
-			runs = append(runs, PageRun{Start: pg, Pages: 1})
+			dst = append(dst, PageRun{Start: pg, Pages: 1})
+		}
+		prev = pg
+	}
+	return dst, nil
+}
+
+// sortedRanks returns ranks in ascending order, range-checked once against
+// [0, NumRecords). Already-sorted input (detected in one scan) is returned
+// as-is; otherwise it is copied into pooled scratch and sorted there, and
+// the scratch holder is returned for the caller to release.
+func (p *Pager) sortedRanks(ranks []int) ([]int, *boxScratch, error) {
+	sorted := true
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i] < ranks[i-1] {
+			sorted = false
+			break
 		}
 	}
-	return runs, nil
+	var sc *boxScratch
+	if !sorted {
+		sc = boxScratchPool.Get().(*boxScratch)
+		sc.ranks = append(sc.ranks[:0], ranks...)
+		slices.Sort(sc.ranks)
+		ranks = sc.ranks
+	}
+	if lo := ranks[0]; lo < 0 {
+		return ranks, sc, fmt.Errorf("storage: rank %d outside [0,%d): %w", lo, p.numRecords, errs.ErrRankOutOfRange)
+	}
+	if hi := ranks[len(ranks)-1]; hi >= p.numRecords {
+		return ranks, sc, fmt.Errorf("storage: rank %d outside [0,%d): %w", hi, p.numRecords, errs.ErrRankOutOfRange)
+	}
+	return ranks, sc, nil
 }
 
 // QueryIO computes the I/O statistics for a query whose results live at the
-// given ranks. An empty rank set costs nothing; an out-of-range rank
+// given ranks, in a single allocation-free pass (no page-run plan is
+// materialized). An empty rank set costs nothing; an out-of-range rank
 // returns an error wrapping errs.ErrRankOutOfRange.
 func (p *Pager) QueryIO(ranks []int) (IOStats, error) {
-	runs, err := p.Runs(ranks)
+	if len(ranks) == 0 {
+		return IOStats{}, nil
+	}
+	ranks, sc, err := p.sortedRanks(ranks)
+	if sc != nil {
+		defer boxScratchPool.Put(sc)
+	}
 	if err != nil {
 		return IOStats{}, err
 	}
-	return statsFromRuns(runs), nil
-}
-
-// statsFromRuns folds a page-run plan into IOStats.
-func statsFromRuns(runs []PageRun) IOStats {
-	if len(runs) == 0 {
-		return IOStats{}
+	var st IOStats
+	first := ranks[0] / p.recordsPerPage
+	prev := -1
+	for _, r := range ranks {
+		pg := r / p.recordsPerPage
+		if pg == prev {
+			continue
+		}
+		st.Pages++
+		if prev < 0 || pg > prev+1 {
+			st.Seeks++
+		}
+		prev = pg
 	}
-	st := IOStats{Seeks: len(runs)}
-	for _, r := range runs {
-		st.Pages += r.Pages
-	}
-	last := runs[len(runs)-1]
-	st.SpanPages = last.Start + last.Pages - runs[0].Start
-	return st
+	st.SpanPages = prev - first + 1
+	return st, nil
 }
 
 // Store couples a mapping with a pager so grid range queries can be costed
-// directly.
+// directly. NewStore precomputes the rank-ordered layout the box-query
+// engine consults, so every query after build is allocation-free (pooled
+// scratch) and sort-free on the common path.
 type Store struct {
 	mapping *order.Mapping
 	pager   *Pager
+	layout  *rankLayout
 }
 
 // NewStore lays the mapping's grid points on pages in rank order.
@@ -153,7 +201,7 @@ func NewStore(m *order.Mapping, recordsPerPage int) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{mapping: m, pager: p}, nil
+	return &Store{mapping: m, pager: p, layout: newRankLayout(m.Grid(), m.Ranks())}, nil
 }
 
 // Mapping returns the underlying mapping.
@@ -162,43 +210,65 @@ func (s *Store) Mapping() *order.Mapping { return s.mapping }
 // Pager returns the underlying pager.
 func (s *Store) Pager() *Pager { return s.pager }
 
-// BoxRanks returns the 1-D ranks of the grid points inside the box, in
-// ascending rank order — the scan order a serving path streams results in.
-func (s *Store) BoxRanks(b workload.Box) ([]int, error) {
+// checkBox validates a box against the store's grid.
+func (s *Store) checkBox(b workload.Box) error {
 	g := s.mapping.Grid()
 	if len(b.Start) != g.D() || len(b.Dims) != g.D() {
-		return nil, fmt.Errorf("storage: box arity %d/%d, grid %d: %w", len(b.Start), len(b.Dims), g.D(), errs.ErrDimensionMismatch)
+		return fmt.Errorf("storage: box arity %d/%d, grid %d: %w", len(b.Start), len(b.Dims), g.D(), errs.ErrDimensionMismatch)
 	}
 	for i, st := range b.Start {
 		if b.Dims[i] < 1 || st < 0 || st+b.Dims[i] > g.Dims()[i] {
-			return nil, fmt.Errorf("storage: box %v exceeds grid %v: %w", b, g.Dims(), errs.ErrDimensionMismatch)
+			return fmt.Errorf("storage: box %v exceeds grid %v: %w", b, g.Dims(), errs.ErrDimensionMismatch)
 		}
 	}
-	ids := workload.IDsInBox(g, b)
-	ranks := make([]int, len(ids))
-	for i, id := range ids {
-		ranks[i] = s.mapping.Rank(id)
-	}
-	sort.Ints(ranks)
-	return ranks, nil
+	return nil
 }
 
-// BoxQueryIO returns the I/O cost of an axis-aligned box query.
+// BoxRanks returns the 1-D ranks of the grid points inside the box, in
+// ascending rank order — the scan order a serving path streams results in.
+func (s *Store) BoxRanks(b workload.Box) ([]int, error) {
+	return s.BoxRanksAppend(nil, b)
+}
+
+// BoxRanksAppend is BoxRanks appending to dst, so a serving loop can reuse
+// one rank buffer across queries without allocating.
+func (s *Store) BoxRanksAppend(dst []int, b workload.Box) ([]int, error) {
+	if err := s.checkBox(b); err != nil {
+		return dst, err
+	}
+	sc := boxScratchPool.Get().(*boxScratch)
+	dst = s.layout.appendBoxRanks(dst, b.Start, b.Dims, sc)
+	boxScratchPool.Put(sc)
+	return dst, nil
+}
+
+// BoxQueryIO returns the I/O cost of an axis-aligned box query without
+// materializing ranks or runs for the caller (pooled scratch only).
 func (s *Store) BoxQueryIO(b workload.Box) (IOStats, error) {
-	ranks, err := s.BoxRanks(b)
-	if err != nil {
+	if err := s.checkBox(b); err != nil {
 		return IOStats{}, err
 	}
-	return s.pager.QueryIO(ranks)
+	sc := boxScratchPool.Get().(*boxScratch)
+	defer boxScratchPool.Put(sc)
+	sc.ranks = s.layout.appendBoxRanks(sc.ranks[:0], b.Start, b.Dims, sc)
+	return s.pager.QueryIO(sc.ranks)
 }
 
 // BoxRuns returns the page-run plan of an axis-aligned box query.
 func (s *Store) BoxRuns(b workload.Box) ([]PageRun, error) {
-	ranks, err := s.BoxRanks(b)
-	if err != nil {
-		return nil, err
+	return s.BoxRunsAppend(nil, b)
+}
+
+// BoxRunsAppend is BoxRuns appending to dst, so a serving loop can reuse
+// one plan buffer across queries without allocating.
+func (s *Store) BoxRunsAppend(dst []PageRun, b workload.Box) ([]PageRun, error) {
+	if err := s.checkBox(b); err != nil {
+		return dst, err
 	}
-	return s.pager.Runs(ranks)
+	sc := boxScratchPool.Get().(*boxScratch)
+	defer boxScratchPool.Put(sc)
+	sc.ranks = s.layout.appendBoxRanks(sc.ranks[:0], b.Start, b.Dims, sc)
+	return s.pager.RunsAppend(dst, sc.ranks)
 }
 
 // BufferPool is an LRU page cache with hit/miss accounting, used to measure

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/spectral-lpm/spectrallpm/internal/errs"
 	"github.com/spectral-lpm/spectrallpm/internal/graph"
@@ -159,26 +160,42 @@ func RandomBoxes(g *graph.Grid, qdims []int, count int, seed int64) ([]Box, erro
 	return boxes, nil
 }
 
-// IDsInBox returns the grid vertex ids inside the box, in id order.
+// IDsInBox returns the grid vertex ids inside the box, in id order. The box
+// must lie inside the grid with every side >= 1. The result is exact-sized
+// in one allocation; loops answering many boxes should prefer IDsInBoxAppend
+// with a reused buffer.
 func IDsInBox(g *graph.Grid, b Box) []int {
-	var ids []int
-	cell := append([]int(nil), b.Start...)
-	for {
-		ids = append(ids, g.ID(cell))
-		i := len(cell) - 1
-		for ; i >= 0; i-- {
-			cell[i]++
-			if cell[i] < b.Start[i]+b.Dims[i] {
-				break
-			}
-			cell[i] = b.Start[i]
-		}
-		if i < 0 {
-			break
+	return IDsInBoxAppend(make([]int, 0, b.Volume()), g, b)
+}
+
+// boxBuffers is the pooled scratch of IDsInBoxAppend: the slab-base list
+// and the coordinate odometer.
+type boxBuffers struct {
+	bases  []int
+	coords []int
+}
+
+var boxPool = sync.Pool{New: func() any { return new(boxBuffers) }}
+
+// IDsInBoxAppend is IDsInBox appending to dst. Row-major ids increase along
+// the enumeration order (the last coordinate has stride 1), so ids emerge
+// sorted with no sort; all scratch is pooled, so a caller reusing dst
+// allocates nothing in steady state.
+func IDsInBoxAppend(dst []int, g *graph.Grid, b Box) []int {
+	sc := boxPool.Get().(*boxBuffers)
+	d := len(b.Start)
+	if cap(sc.coords) < d {
+		sc.coords = make([]int, d)
+	}
+	sc.bases = g.AppendBoxRows(sc.bases[:0], b.Start, b.Dims, sc.coords[:d])
+	w := b.Dims[d-1]
+	for _, base := range sc.bases {
+		for id := base; id < base+w; id++ {
+			dst = append(dst, id)
 		}
 	}
-	sort.Ints(ids)
-	return ids
+	boxPool.Put(sc)
+	return dst
 }
 
 // HotPair is a pair of grid points accessed together with a relative

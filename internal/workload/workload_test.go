@@ -166,6 +166,29 @@ func TestIDsInBox(t *testing.T) {
 	}
 }
 
+func TestIDsInBoxAppend(t *testing.T) {
+	g := graph.MustGrid(3, 5, 4)
+	b := Box{Start: []int{0, 1, 2}, Dims: []int{3, 2, 2}}
+	prefix := []int{-1}
+	ids := IDsInBoxAppend(prefix, g, b)
+	if ids[0] != -1 {
+		t.Fatal("dst prefix clobbered")
+	}
+	want := IDsInBox(g, b)
+	got := ids[1:]
+	if len(got) != len(want) || len(got) != b.Volume() {
+		t.Fatalf("got %d ids, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+		if i > 0 && got[i] <= got[i-1] {
+			t.Fatalf("ids not ascending: %v", got)
+		}
+	}
+}
+
 func TestCorrelatedTrace(t *testing.T) {
 	g := graph.MustGrid(8, 8)
 	pairs, err := CorrelatedTrace(g, 10, 5)

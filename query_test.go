@@ -1,0 +1,286 @@
+// Tests of the box-query engine behind Scan/ScanInto/Pages/QueryIO: a
+// property test pinning the merge-based grid path and the R-tree point-set
+// path rank-for-rank against a naive enumerate-filter-sort oracle, a fuzz
+// target over grid geometry, and the zero-allocation guarantee of the
+// steady-state serving paths.
+package spectrallpm_test
+
+import (
+	"context"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+
+	spectrallpm "github.com/spectral-lpm/spectrallpm"
+)
+
+// oracleBoxRanks enumerates every indexed point, filters by the box, and
+// sorts the ranks — the obviously-correct reference the engine must match.
+func oracleBoxRanks(t *testing.T, ix *spectrallpm.Index, b spectrallpm.Box) []int {
+	t.Helper()
+	var ranks []int
+	for r := 0; r < ix.N(); r++ {
+		p, err := ix.Point(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Contains(p) && len(p) == len(b.Start) {
+			ranks = append(ranks, r)
+		}
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// scannedRanks drains ScanInto and verifies that the yielded coordinates
+// round-trip through Rank, copying nothing out of the borrowed buffer.
+func scannedRanks(t *testing.T, ix *spectrallpm.Index, b spectrallpm.Box) []int {
+	t.Helper()
+	var got []int
+	err := ix.ScanInto(b, func(r int, p []int) bool {
+		back, err := ix.Rank(p...)
+		if err != nil || back != r {
+			t.Fatalf("yielded coords %v do not round-trip: rank %d vs %d (%v)", p, r, back, err)
+		}
+		got = append(got, r)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// checkAgainstOracle compares every query surface against the oracle for
+// one box.
+func checkAgainstOracle(t *testing.T, ix *spectrallpm.Index, b spectrallpm.Box) {
+	t.Helper()
+	want := oracleBoxRanks(t, ix, b)
+	got := scannedRanks(t, ix, b)
+	if !slices.Equal(got, want) {
+		t.Fatalf("box %v: scan ranks %v, oracle %v", b, got, want)
+	}
+	// Scan (iterator form) agrees with ScanInto.
+	seq, err := ix.Scan(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaSeq []int
+	for r := range seq {
+		viaSeq = append(viaSeq, r)
+	}
+	if !slices.Equal(viaSeq, want) {
+		t.Fatalf("box %v: Scan ranks %v, oracle %v", b, viaSeq, want)
+	}
+	// Pages and QueryIO agree with plans derived from the oracle ranks.
+	io, err := ix.QueryIO(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := ix.Pages(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, seeks := 0, len(runs)
+	for _, run := range runs {
+		pages += run.Pages
+	}
+	if pages != io.Pages || seeks != io.Seeks {
+		t.Fatalf("box %v: plan %v disagrees with stats %+v", b, runs, io)
+	}
+	wantPages := map[int]bool{}
+	for _, r := range want {
+		wantPages[r/ix.RecordsPerPage()] = true
+	}
+	if pages != len(wantPages) {
+		t.Fatalf("box %v: planned %d pages, oracle %d", b, pages, len(wantPages))
+	}
+}
+
+// TestGridQueryMatchesOracle drives random grids, mappings (curves and
+// adversarial random permutations), and boxes — including full-grid and
+// single-cell boxes — through the query engine.
+func TestGridQueryMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mappings := []string{"hilbert", "sweep", "morton", "snake"}
+	for trial := 0; trial < 60; trial++ {
+		d := 1 + rng.Intn(3)
+		dims := make([]int, d)
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(8)
+		}
+		opts := []spectrallpm.BuildOption{
+			spectrallpm.WithGrid(dims...),
+			spectrallpm.WithPageSize(1 + rng.Intn(6)),
+		}
+		if trial%2 == 0 {
+			size := 1
+			for _, s := range dims {
+				size *= s
+			}
+			opts = append(opts, spectrallpm.WithRanks(rng.Perm(size)))
+		} else {
+			opts = append(opts, spectrallpm.WithMapping(mappings[trial%len(mappings)]))
+		}
+		ix, err := spectrallpm.Build(context.Background(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Full-grid box, a random box, and a single cell.
+		checkAgainstOracle(t, ix, spectrallpm.Box{Start: make([]int, d), Dims: ix.Dims()})
+		checkAgainstOracle(t, ix, randomBox(rng, dims))
+		cell := spectrallpm.Box{Start: make([]int, d), Dims: make([]int, d)}
+		for i, s := range dims {
+			cell.Start[i] = rng.Intn(s)
+			cell.Dims[i] = 1
+		}
+		checkAgainstOracle(t, ix, cell)
+	}
+}
+
+func randomBox(rng *rand.Rand, dims []int) spectrallpm.Box {
+	b := spectrallpm.Box{Start: make([]int, len(dims)), Dims: make([]int, len(dims))}
+	for i, s := range dims {
+		b.Start[i] = rng.Intn(s)
+		b.Dims[i] = 1 + rng.Intn(s-b.Start[i])
+	}
+	return b
+}
+
+// TestPointQueryMatchesOracle drives random point sets through the R-tree
+// path, including boxes beyond the bounding grid, empty boxes, and boxes
+// covering everything.
+func TestPointQueryMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		d := 2 + rng.Intn(2)
+		side := 4 + rng.Intn(8)
+		seen := map[string]bool{}
+		var pts [][]int
+		for len(pts) < 6+rng.Intn(40) {
+			p := make([]int, d)
+			for i := range p {
+				p[i] = rng.Intn(side)
+			}
+			k := ""
+			for _, c := range p {
+				k += string(rune('a'+c)) + ","
+			}
+			if !seen[k] {
+				seen[k] = true
+				pts = append(pts, p)
+			}
+		}
+		ix, err := spectrallpm.Build(context.Background(),
+			spectrallpm.WithPoints(pts), spectrallpm.WithSeed(int64(trial)),
+			spectrallpm.WithPageSize(1+rng.Intn(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A box past the bounding grid still answers (only indexed points
+		// match); an all-covering box returns every rank.
+		big := spectrallpm.Box{Start: make([]int, d), Dims: make([]int, d)}
+		for i := range big.Dims {
+			big.Dims[i] = 10 * side
+		}
+		checkAgainstOracle(t, ix, big)
+		for q := 0; q < 6; q++ {
+			b := spectrallpm.Box{Start: make([]int, d), Dims: make([]int, d)}
+			for i := range b.Start {
+				b.Start[i] = rng.Intn(side) - 2
+				b.Dims[i] = 1 + rng.Intn(side)
+			}
+			checkAgainstOracle(t, ix, b)
+		}
+		// A zero-volume box matches nothing.
+		empty := spectrallpm.Box{Start: make([]int, d), Dims: make([]int, d)}
+		if got := scannedRanks(t, ix, empty); len(got) != 0 {
+			t.Fatalf("empty box matched %v", got)
+		}
+	}
+}
+
+// FuzzGridBoxRanks fuzzes 2-D grid geometry and a rank permutation seed,
+// asserting engine/oracle agreement for whatever box the fuzzer shapes.
+func FuzzGridBoxRanks(f *testing.F) {
+	f.Add(uint8(6), uint8(7), int64(1), uint8(1), uint8(2), uint8(3), uint8(3))
+	f.Add(uint8(16), uint8(3), int64(9), uint8(0), uint8(0), uint8(16), uint8(3))
+	f.Add(uint8(1), uint8(1), int64(0), uint8(0), uint8(0), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, w, h uint8, seed int64, x, y, bw, bh uint8) {
+		W, H := int(w%24)+1, int(h%24)+1
+		rng := rand.New(rand.NewSource(seed))
+		ix, err := spectrallpm.Build(context.Background(),
+			spectrallpm.WithGrid(W, H), spectrallpm.WithRanks(rng.Perm(W*H)),
+			spectrallpm.WithPageSize(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := spectrallpm.Box{
+			Start: []int{int(x) % W, int(y) % H},
+			Dims:  []int{int(bw)%(W-int(x)%W) + 1, int(bh)%(H-int(y)%H) + 1},
+		}
+		want := oracleBoxRanks(t, ix, b)
+		got := scannedRanks(t, ix, b)
+		if !slices.Equal(got, want) {
+			t.Fatalf("grid %dx%d box %v: got %v want %v", W, H, b, got, want)
+		}
+	})
+}
+
+// TestScanZeroAlloc pins the steady-state allocation count of the serving
+// paths at zero for grid indexes: Scan (consumed by invoking the sequence
+// with a preallocated yield), ScanInto, PagesInto with a reused buffer, and
+// QueryIO. Steady state means pools are warm — a few priming queries run
+// first.
+func TestScanZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation makes sync.Pool allocate")
+	}
+	ix, err := spectrallpm.Build(context.Background(),
+		spectrallpm.WithGrid(64, 64), spectrallpm.WithMapping("hilbert"),
+		spectrallpm.WithPageSize(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := spectrallpm.Box{Start: []int{5, 9}, Dims: []int{12, 10}}
+	n := 0
+	yield := func(int, []int) bool { n++; return true }
+	dst := make([]spectrallpm.PageRun, 0, 64)
+
+	scan := func() {
+		seq, err := ix.Scan(box)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq(yield)
+	}
+	scanInto := func() {
+		if err := ix.ScanInto(box, yield); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pages := func() {
+		var err error
+		dst, err = ix.PagesInto(box, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	queryIO := func() {
+		if _, err := ix.QueryIO(box); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, fn := range map[string]func(){
+		"Scan": scan, "ScanInto": scanInto, "PagesInto": pages, "QueryIO": queryIO,
+	} {
+		fn() // warm the pools
+		if avg := testing.AllocsPerRun(50, fn); avg != 0 {
+			t.Errorf("%s allocates %.1f per op in steady state, want 0", name, avg)
+		}
+	}
+	if n == 0 {
+		t.Fatal("yield never ran")
+	}
+}

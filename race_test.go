@@ -1,0 +1,7 @@
+//go:build race
+
+package spectrallpm_test
+
+// raceEnabled reports that this binary runs under the race detector, whose
+// instrumentation makes sync.Pool allocate — allocation-count tests skip.
+const raceEnabled = true
