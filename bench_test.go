@@ -564,6 +564,105 @@ func BenchmarkIndexServing(b *testing.B) {
 	})
 }
 
+// BenchmarkShardedServing measures the sharded serving path on a prebuilt
+// 4-shard spectral index against the same spectral order served
+// monolithically: the planner + per-shard engine + merge stack versus the
+// single engine, on a box straddling shard boundaries (the worst case for
+// the planner — every shard participates).
+func BenchmarkShardedServing(b *testing.B) {
+	const side = 64
+	ctx := context.Background()
+	sx, err := spectrallpm.BuildSharded(ctx, 4,
+		spectrallpm.WithGrid(side, side), spectrallpm.WithSeed(1), spectrallpm.WithPageSize(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	box := spectrallpm.Box{Start: []int{28, 28}, Dims: []int{8, 8}} // straddles all 4 shards
+	b.Run("scan-8x8@64", func(b *testing.B) {
+		b.ReportAllocs()
+		n := 0
+		yield := func(int, []int) bool { n++; return true }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seq, err := sx.Scan(box)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = 0
+			seq(yield)
+			if n != 64 {
+				b.Fatal("short scan")
+			}
+		}
+	})
+	b.Run("queryio-8x8@64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sx.QueryIO(box); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pages-8x8@64", func(b *testing.B) {
+		b.ReportAllocs()
+		var dst []spectrallpm.PageRun
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			dst, err = sx.PagesInto(box, dst[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("querybatch-64x8x8@64", func(b *testing.B) {
+		boxes := make([]spectrallpm.Box, 64)
+		for i := range boxes {
+			boxes[i] = spectrallpm.Box{Start: []int{(i * 3) % 56, (i * 7) % 56}, Dims: []int{8, 8}}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sx.QueryBatch(boxes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkShardedBuild is the acceptance-size build comparison: one
+// monolithic multilevel solve of a 512x512 grid versus the 16-shard
+// sharded build of the same grid (16 congruent 128x128 cells share ONE
+// shard-sized solve; with more cores, distinct shapes also build in
+// parallel). Skipped under -short like the multilevel-vs-exact benchmark —
+// the monolithic solve runs minutes; the committed BENCH_query.json
+// snapshot carries the full-size rows.
+func BenchmarkShardedBuild(b *testing.B) {
+	if testing.Short() {
+		b.Skip("512x512 builds run minutes per solve; skipped under -short")
+	}
+	const side = 512
+	ctx := context.Background()
+	b.Run("monolithic-multilevel/512x512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := spectrallpm.Build(ctx,
+				spectrallpm.WithGrid(side, side),
+				spectrallpm.WithSolverMethod(spectrallpm.MethodMultilevel),
+				spectrallpm.WithSeed(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharded-16/512x512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := spectrallpm.BuildSharded(ctx, 16,
+				spectrallpm.WithGrid(side, side),
+				spectrallpm.WithSeed(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkBoxQueryPointSweep measures point-set box queries at constant
 // point density (1/4 of the bounding grid) and constant box size while the
 // total point count grows 4x per step. A query path that scans every indexed

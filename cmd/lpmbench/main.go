@@ -41,6 +41,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "sparse-kernel goroutines (0 = GOMAXPROCS, 1 = serial)")
 		serveSide = flag.Int("serve-side", 32, "serve experiment grid side")
 		serveQ    = flag.Int("serve-q", 4, "serve experiment query side")
+		shards    = flag.Int("shards", 0, "serve experiment: also build/serve a sharded spectral index with this many shards (0 = off)")
 	)
 	flag.Parse()
 
@@ -62,7 +63,7 @@ func main() {
 	cfg.Solver.Method = method
 	cfg.Solver.Parallelism = *parallel
 
-	if err := run(os.Stdout, strings.ToLower(*exp), cfg, *plot, serveConfig{side: *serveSide, qside: *serveQ}); err != nil {
+	if err := run(os.Stdout, strings.ToLower(*exp), cfg, *plot, serveConfig{side: *serveSide, qside: *serveQ, shards: *shards}); err != nil {
 		fmt.Fprintf(os.Stderr, "lpmbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -139,10 +140,23 @@ func run(w io.Writer, exp string, cfg experiments.Config, plot bool, serve serve
 }
 
 // serveConfig shapes the serve experiment: an NxN grid served under all
-// positions of a qside x qside range query.
+// positions of a qside x qside range query, optionally adding a sharded
+// spectral row (-shards) so single-index and sharded build/serve costs sit
+// side by side in one table.
 type serveConfig struct {
-	side  int
-	qside int
+	side   int
+	qside  int
+	shards int
+}
+
+// servingIndex is the query surface the serve experiment drives —
+// satisfied by both *spectrallpm.Index and *spectrallpm.ShardedIndex, so
+// single-index and sharded rows run the identical measurement loop.
+type servingIndex interface {
+	PagesInto(spectrallpm.Box, []spectrallpm.PageRun) ([]spectrallpm.PageRun, error)
+	ScanInto(spectrallpm.Box, func(int, []int) bool) error
+	QueryIO(spectrallpm.Box) (spectrallpm.IOStats, error)
+	QueryBatch([]spectrallpm.Box) ([]spectrallpm.IOStats, error)
 }
 
 // printServe benchmarks the build-once/query-many split on the public
@@ -152,7 +166,10 @@ type serveConfig struct {
 // with a shared yield, PagesInto with a reused plan buffer — zero
 // steady-state allocations), plus the same boxes pushed through the
 // parallel QueryBatch, reporting both query throughputs and the average
-// I/O plan per mapping.
+// I/O plan per mapping. With -shards N a final row builds the spectral
+// order as N parallel per-shard solves (BuildSharded) and serves through
+// the shard planner, so the sharded build speedup and merge overhead are
+// directly comparable to the single-index rows.
 func printServe(w io.Writer, cfg experiments.Config, serve serveConfig) error {
 	side, qside := serve.side, serve.qside
 	if side < 2 {
@@ -164,8 +181,14 @@ func printServe(w io.Writer, cfg experiments.Config, serve serveConfig) error {
 			qside = side
 		}
 	}
+	var boxes []spectrallpm.Box
+	for x := 0; x+qside <= side; x++ {
+		for y := 0; y+qside <= side; y++ {
+			boxes = append(boxes, spectrallpm.Box{Start: []int{x, y}, Dims: []int{qside, qside}})
+		}
+	}
 	fmt.Fprintf(w, "SERVE — Index API on a %dx%d grid, all %dx%d range queries\n", side, side, qside, qside)
-	fmt.Fprintf(w, "%-10s %12s %12s %10s %10s %12s %12s %12s\n",
+	fmt.Fprintf(w, "%-12s %12s %12s %10s %10s %12s %12s %12s\n",
 		"mapping", "build ms", "reload ms", "queries", "scan qps", "io qps", "batch qps", "avg runs")
 	for _, name := range spectrallpm.StandardMappings() {
 		buildStart := time.Now()
@@ -190,54 +213,82 @@ func printServe(w io.Writer, cfg experiments.Config, serve serveConfig) error {
 			return err
 		}
 		reloadMS := float64(time.Since(reloadStart).Microseconds()) / 1e3
-
-		var boxes []spectrallpm.Box
-		for x := 0; x+qside <= side; x++ {
-			for y := 0; y+qside <= side; y++ {
-				boxes = append(boxes, spectrallpm.Box{Start: []int{x, y}, Dims: []int{qside, qside}})
-			}
+		if err := serveRow(w, name, ix, buildMS, reloadMS, boxes, qside); err != nil {
+			return err
 		}
-		var runsSum, scanned int
-		scan := func(int, []int) bool { scanned++; return true }
-		var plan []spectrallpm.PageRun
-		queryStart := time.Now()
-		for _, box := range boxes {
-			plan, err = ix.PagesInto(box, plan[:0])
-			if err != nil {
-				return err
-			}
-			runsSum += len(plan)
-			if err := ix.ScanInto(box, scan); err != nil {
-				return err
-			}
-		}
-		elapsed := time.Since(queryStart).Seconds()
-		if want := len(boxes) * qside * qside; scanned != want {
-			return fmt.Errorf("serve: scanned %d records, want %d", scanned, want)
-		}
-		scanQPS := float64(len(boxes)) / elapsed
-
-		// io qps and batch qps do identical per-box work (QueryIO), so
-		// their ratio isolates what QueryBatch's parallel fan-out buys.
-		ioStart := time.Now()
-		for _, box := range boxes {
-			if _, err := ix.QueryIO(box); err != nil {
-				return err
-			}
-		}
-		ioQPS := float64(len(boxes)) / time.Since(ioStart).Seconds()
-
-		batchStart := time.Now()
-		stats, err := ix.QueryBatch(boxes)
+	}
+	if serve.shards > 1 {
+		buildStart := time.Now()
+		built, err := spectrallpm.BuildSharded(context.Background(), serve.shards,
+			spectrallpm.WithGrid(side, side),
+			spectrallpm.WithSolver(cfg.Solver),
+			spectrallpm.WithPageSize(8))
 		if err != nil {
 			return err
 		}
-		batchQPS := float64(len(stats)) / time.Since(batchStart).Seconds()
-
-		fmt.Fprintf(w, "%-10s %12.2f %12.2f %10d %10.0f %12.0f %12.0f %12.2f\n",
-			name, buildMS, reloadMS, len(boxes), scanQPS, ioQPS, batchQPS, float64(runsSum)/float64(len(boxes)))
+		buildMS := float64(time.Since(buildStart).Microseconds()) / 1e3
+		var file bytes.Buffer
+		if _, err := built.WriteTo(&file); err != nil {
+			return err
+		}
+		reloadStart := time.Now()
+		sx, err := spectrallpm.ReadSharded(&file)
+		if err != nil {
+			return err
+		}
+		reloadMS := float64(time.Since(reloadStart).Microseconds()) / 1e3
+		name := fmt.Sprintf("sharded/%d", serve.shards)
+		if err := serveRow(w, name, sx, buildMS, reloadMS, boxes, qside); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintln(w)
+	return nil
+}
+
+// serveRow runs the measurement loop for one index flavor and prints its
+// table row.
+func serveRow(w io.Writer, name string, ix servingIndex, buildMS, reloadMS float64, boxes []spectrallpm.Box, qside int) error {
+	var runsSum, scanned int
+	scan := func(int, []int) bool { scanned++; return true }
+	var plan []spectrallpm.PageRun
+	var err error
+	queryStart := time.Now()
+	for _, box := range boxes {
+		plan, err = ix.PagesInto(box, plan[:0])
+		if err != nil {
+			return err
+		}
+		runsSum += len(plan)
+		if err := ix.ScanInto(box, scan); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(queryStart).Seconds()
+	if want := len(boxes) * qside * qside; scanned != want {
+		return fmt.Errorf("serve: scanned %d records, want %d", scanned, want)
+	}
+	scanQPS := float64(len(boxes)) / elapsed
+
+	// io qps and batch qps do identical per-box work (QueryIO), so
+	// their ratio isolates what QueryBatch's parallel fan-out buys.
+	ioStart := time.Now()
+	for _, box := range boxes {
+		if _, err := ix.QueryIO(box); err != nil {
+			return err
+		}
+	}
+	ioQPS := float64(len(boxes)) / time.Since(ioStart).Seconds()
+
+	batchStart := time.Now()
+	stats, err := ix.QueryBatch(boxes)
+	if err != nil {
+		return err
+	}
+	batchQPS := float64(len(stats)) / time.Since(batchStart).Seconds()
+
+	fmt.Fprintf(w, "%-12s %12.2f %12.2f %10d %10.0f %12.0f %12.0f %12.2f\n",
+		name, buildMS, reloadMS, len(boxes), scanQPS, ioQPS, batchQPS, float64(runsSum)/float64(len(boxes)))
 	return nil
 }
 

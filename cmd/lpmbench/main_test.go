@@ -70,6 +70,16 @@ func TestRunServeExperiment(t *testing.T) {
 	}
 }
 
+func TestRunServeSharded(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "serve", experiments.Config{}, false, serveConfig{side: 8, qside: 2, shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sharded/4") {
+		t.Errorf("serve table missing sharded row:\n%s", buf.String())
+	}
+}
+
 func TestRunServeTinyGridClampsQuery(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, "serve", experiments.Config{}, false, serveConfig{side: 2}); err != nil {

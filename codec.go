@@ -19,6 +19,14 @@ import (
 // permutation. Serialization is deterministic: the same index always
 // produces the same bytes, and WriteTo∘ReadIndex is the identity on those
 // bytes.
+//
+// The "points" key is encoded through a pointer so that PRESENCE — not
+// emptiness — selects the point-set decode path: an empty point-set index
+// (loadable from external files) writes "points":[] and round-trips as a
+// point set, while full-grid indexes omit the key entirely. A plain
+// omitempty slice would drop the empty array and silently demote the index
+// to the full-grid path on reload, where an empty rank permutation cannot
+// cover the grid.
 const (
 	indexFormat  = "spectrallpm-index"
 	indexVersion = 1
@@ -35,14 +43,12 @@ type indexFileV1 struct {
 	Affinity       int       `json:"affinity,omitempty"`
 	Lambda2        []float64 `json:"lambda2,omitempty"`
 	RecordsPerPage int       `json:"records_per_page"`
-	Points         [][]int   `json:"points,omitempty"`
+	Points         *[][]int  `json:"points,omitempty"`
 	Rank           []int     `json:"rank"`
 }
 
-// WriteTo serializes the index in the versioned format, so a server can
-// load a prebuilt order at startup without re-solving. It implements
-// io.WriterTo and writes exactly one newline-terminated JSON object.
-func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+// wireForm assembles the version-1 wire struct for an index.
+func (ix *Index) wireForm() indexFileV1 {
 	f := indexFileV1{
 		Format:         indexFormat,
 		Version:        indexVersion,
@@ -57,9 +63,17 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if ix.mapping != nil {
 		f.Rank = ix.mapping.Ranks()
 	} else {
-		f.Points = ix.pts
+		f.Points = &ix.pts
 		f.Rank = ix.rank
 	}
+	return f
+}
+
+// WriteTo serializes the index in the versioned format, so a server can
+// load a prebuilt order at startup without re-solving. It implements
+// io.WriterTo and writes exactly one newline-terminated JSON object.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	f := ix.wireForm()
 	data, err := json.Marshal(f)
 	if err != nil {
 		return 0, fmt.Errorf("spectrallpm: encode index: %w", err)
@@ -71,16 +85,28 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 
 // ReadIndex loads an index written by WriteTo, validating the format tag,
 // the version, and that the rank slice is a permutation over the declared
-// points (ErrNotPermutation otherwise). The loaded index serializes back
-// to the exact bytes it was read from. Serving parallelism is not part of
-// the format: a reloaded index runs QueryBatch at GOMAXPROCS regardless of
-// the WithParallelism the builder used.
+// points (ErrNotPermutation otherwise). Structural inconsistencies an
+// attacker could plant in a hand-crafted file — a grid whose dims product
+// would wrap the vertex count, a non-positive page size, impossible λ₂
+// entries — are rejected with errors matching ErrCorruptIndex or
+// ErrDimensionMismatch rather than being allowed to panic or
+// over-allocate. The loaded index serializes back to the exact bytes it
+// was read from. Serving parallelism is not part of the format: a reloaded
+// index runs QueryBatch at GOMAXPROCS regardless of the WithParallelism
+// the builder used.
 func ReadIndex(r io.Reader) (*Index, error) {
 	var f indexFileV1
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("spectrallpm: decode index: %w", err)
 	}
+	return indexFromFile(&f)
+}
+
+// indexFromFile builds an Index from a decoded version-1 wire struct with
+// full validation — the shared trust boundary of ReadIndex and the
+// per-shard frames of ReadSharded.
+func indexFromFile(f *indexFileV1) (*Index, error) {
 	if f.Format != indexFormat {
 		return nil, fmt.Errorf("spectrallpm: not an index file (format %q, want %q)", f.Format, indexFormat)
 	}
@@ -90,9 +116,27 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if f.Name == "" {
 		return nil, fmt.Errorf("spectrallpm: index file has no mapping name")
 	}
+	if f.RecordsPerPage < 1 {
+		return nil, fmt.Errorf("spectrallpm: records_per_page %d < 1: %w", f.RecordsPerPage, ErrCorruptIndex)
+	}
 	grid, err := graph.NewGrid(f.Dims...)
 	if err != nil {
-		return nil, fmt.Errorf("spectrallpm: index dims: %w", err)
+		return nil, fmt.Errorf("spectrallpm: index dims: %w (%w)", err, ErrCorruptIndex)
+	}
+	// λ₂ entries are one per connected component of the solved graph: a
+	// grid graph is connected (at most one), a point graph has at most one
+	// per point. Negative algebraic connectivity is impossible.
+	maxLambda := 1
+	if f.Points != nil {
+		maxLambda = len(*f.Points)
+	}
+	if len(f.Lambda2) > maxLambda {
+		return nil, fmt.Errorf("spectrallpm: %d lambda2 entries for at most %d components: %w", len(f.Lambda2), maxLambda, ErrCorruptIndex)
+	}
+	for _, l := range f.Lambda2 {
+		if l < 0 {
+			return nil, fmt.Errorf("spectrallpm: negative lambda2 %v: %w", l, ErrCorruptIndex)
+		}
 	}
 	ix := &Index{
 		name:    f.Name,
@@ -101,10 +145,10 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		meta:    provenance{connectivity: f.Connectivity, weights: f.Weights, affinity: f.Affinity},
 	}
 	if f.Points != nil {
-		if err := loadPointSet(ix, grid, &f); err != nil {
+		if err := loadPointSet(ix, grid, f); err != nil {
 			return nil, err
 		}
-		pager, err := storage.NewPager(len(f.Points), f.RecordsPerPage)
+		pager, err := storage.NewPager(len(*f.Points), f.RecordsPerPage)
 		if err != nil {
 			return nil, err
 		}
@@ -130,11 +174,12 @@ func ReadIndex(r io.Reader) (*Index, error) {
 // rank-order packed R-tree the box-query path probes, with the same
 // validation Build applies.
 func loadPointSet(ix *Index, grid *graph.Grid, f *indexFileV1) error {
-	n := len(f.Points)
+	pts := *f.Points
+	n := len(pts)
 	if len(f.Rank) != n {
 		return fmt.Errorf("spectrallpm: index has %d points but %d ranks: %w", n, len(f.Rank), ErrDimensionMismatch)
 	}
-	idSorted, pidOf, err := indexPoints(grid, f.Points)
+	idSorted, pidOf, err := indexPoints(grid, pts)
 	if err != nil {
 		return err
 	}
@@ -147,7 +192,7 @@ func loadPointSet(ix *Index, grid *graph.Grid, f *indexFileV1) error {
 		seen[r] = true
 		vert[r] = pid
 	}
-	ix.pts = f.Points
+	ix.pts = pts
 	ix.idSorted = idSorted
 	ix.pidOf = pidOf
 	ix.rank = f.Rank
@@ -155,8 +200,11 @@ func loadPointSet(ix *Index, grid *graph.Grid, f *indexFileV1) error {
 	if n == 0 {
 		// An empty point-set file is a valid (if useless) index; Pack
 		// rejects zero points, and every query answers empty without it.
+		// WriteTo preserves the empty "points" array (see the format
+		// comment), so the emptiness survives a rewrite instead of
+		// demoting the index to the full-grid path.
 		return nil
 	}
-	ix.rt, err = rtree.Pack(f.Points, vert, pointTreeFanout)
+	ix.rt, err = rtree.Pack(pts, vert, pointTreeFanout)
 	return err
 }

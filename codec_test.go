@@ -163,6 +163,125 @@ func TestReadIndexEmptyPointSet(t *testing.T) {
 	}
 }
 
+// TestEmptyPointSetRoundTrip pins the confirmed WriteTo∘ReadIndex identity
+// bug: "points" used a plain omitempty slice, so rewriting a loaded empty
+// point-set index dropped the key, demoting the file to the full-grid
+// decode path where an empty rank permutation cannot cover the grid. The
+// fix encodes presence through a pointer; an empty point set must now
+// survive any number of read/write cycles byte-identically.
+func TestEmptyPointSetRoundTrip(t *testing.T) {
+	const file = `{"format":"spectrallpm-index","version":1,"name":"spectral","dims":[1,1],"records_per_page":4,"points":[],"rank":[]}` + "\n"
+	ix, err := spectrallpm.ReadIndex(strings.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rewritten bytes.Buffer
+	if _, err := ix.WriteTo(&rewritten); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rewritten.String(), `"points":[]`) {
+		t.Fatalf("rewritten file dropped the empty points array: %s", rewritten.String())
+	}
+	reloaded, err := spectrallpm.ReadIndex(bytes.NewReader(rewritten.Bytes()))
+	if err != nil {
+		t.Fatalf("rewritten empty point-set index does not load: %v", err)
+	}
+	if reloaded.N() != 0 || reloaded.Points() == nil {
+		t.Fatalf("reloaded index is not an empty point set: N=%d points=%v", reloaded.N(), reloaded.Points())
+	}
+	var again bytes.Buffer
+	if _, err := reloaded.WriteTo(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rewritten.Bytes(), again.Bytes()) {
+		t.Fatalf("second cycle not bit-identical:\n  a: %s\n  b: %s", rewritten.Bytes(), again.Bytes())
+	}
+	// Grid indexes must still omit the key entirely (v1 compatibility).
+	grid := buildTestIndex(t, spectrallpm.WithGrid(2, 2), spectrallpm.WithMapping("sweep"))
+	var gbuf bytes.Buffer
+	if _, err := grid.WriteTo(&gbuf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(gbuf.String(), `"points"`) {
+		t.Fatalf("grid index grew a points key: %s", gbuf.String())
+	}
+}
+
+// TestReadIndexHardening drives the adversarial-file validation: inputs
+// that decode but are structurally hostile must be rejected with typed
+// errors — never panic, never over-allocate, never load inconsistently.
+func TestReadIndexHardening(t *testing.T) {
+	cases := map[string]string{
+		"dims product overflow": `{"format":"spectrallpm-index","version":1,"name":"x","dims":[2305843009213693952,2305843009213693952],"records_per_page":1,"rank":[0,1]}`,
+		"negative page size":    `{"format":"spectrallpm-index","version":1,"name":"x","dims":[2],"records_per_page":-3,"rank":[0,1]}`,
+		"zero page size":        `{"format":"spectrallpm-index","version":1,"name":"x","dims":[2],"records_per_page":0,"rank":[0,1]}`,
+		"excess lambda2 grid":   `{"format":"spectrallpm-index","version":1,"name":"spectral","dims":[2],"records_per_page":1,"lambda2":[1,1],"rank":[0,1]}`,
+		"excess lambda2 points": `{"format":"spectrallpm-index","version":1,"name":"spectral","dims":[1,2],"records_per_page":1,"lambda2":[1,1,1],"points":[[0,0],[0,1]],"rank":[0,1]}`,
+		"negative lambda2":      `{"format":"spectrallpm-index","version":1,"name":"spectral","dims":[2],"records_per_page":1,"lambda2":[-0.5],"rank":[0,1]}`,
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := spectrallpm.ReadIndex(strings.NewReader(data))
+			if err == nil {
+				t.Fatal("hostile index accepted")
+			}
+			if !errors.Is(err, spectrallpm.ErrCorruptIndex) {
+				t.Fatalf("err = %v, want ErrCorruptIndex", err)
+			}
+		})
+	}
+	// The typed error is reported before any pager is constructed, so even
+	// a page size that would overflow page-count arithmetic is harmless.
+	huge := `{"format":"spectrallpm-index","version":1,"name":"x","dims":[2],"records_per_page":9223372036854775807,"rank":[0,1]}`
+	if ix, err := spectrallpm.ReadIndex(strings.NewReader(huge)); err != nil {
+		t.Fatalf("max page size rejected: %v", err)
+	} else if ix.NumPages() != 1 {
+		t.Fatalf("page rounding wrapped: %d pages", ix.NumPages())
+	}
+}
+
+// FuzzReadIndex hammers the single-index codec with mutated inputs seeded
+// from the golden files plus truncated and corrupted variants. Two
+// invariants: ReadIndex never panics, and anything it accepts round-trips
+// bit-identically through WriteTo and loads again (decode is a projection
+// onto valid indexes).
+func FuzzReadIndex(f *testing.F) {
+	for _, name := range []string{"index_v1_hilbert_4x4.golden", "index_v1_points_k2.golden"} {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])                                     // truncated
+		f.Add(bytes.Replace(data, []byte("rank"), []byte("rnak"), 1)) // corrupted key
+		f.Add(bytes.Replace(data, []byte("1"), []byte("-1"), 2))      // corrupted values
+	}
+	f.Add([]byte(`{"format":"spectrallpm-index","version":1,"name":"spectral","dims":[1,1],"records_per_page":4,"points":[],"rank":[]}`))
+	f.Add([]byte(`{"format":"spectrallpm-index","version":1,"name":"x","dims":[99999999,99999999],"records_per_page":1,"rank":[0]}`))
+	f.Add([]byte("not json"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := spectrallpm.ReadIndex(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := ix.WriteTo(&out); err != nil {
+			t.Fatalf("accepted index does not re-serialize: %v", err)
+		}
+		again, err := spectrallpm.ReadIndex(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-serialized index does not load: %v\nfile: %s", err, out.Bytes())
+		}
+		var out2 bytes.Buffer
+		if _, err := again.WriteTo(&out2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatalf("write/read/write not stable:\n  a: %s\n  b: %s", out.Bytes(), out2.Bytes())
+		}
+	})
+}
+
 // TestBuildServeSplit is the ISSUE's motivating scenario end to end: build
 // once, persist, load in a fresh "server", serve concurrently — without a
 // second eigensolve.

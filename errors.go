@@ -23,6 +23,14 @@ var (
 	ErrDimensionMismatch = errs.ErrDimensionMismatch
 	// ErrRankOutOfRange reports a 1-D rank outside [0, N).
 	ErrRankOutOfRange = errs.ErrRankOutOfRange
+	// ErrCorruptIndex reports a serialized index (single or sharded) whose
+	// framing decodes but whose contents are inconsistent or hostile: a
+	// non-positive page size, impossible λ₂ entries, a dims product that
+	// would wrap the vertex count, shard frames that do not tile the
+	// declared grid, or mismatched shard metadata. A server loading
+	// untrusted files should treat it as a permanent (non-retryable) load
+	// failure.
+	ErrCorruptIndex = errs.ErrCorruptIndex
 	// ErrPointNotIndexed reports a lookup of coordinates that are not
 	// among a point-set index's indexed points — whether inside its
 	// bounding box or beyond it (the bounding box is an implementation

@@ -4,12 +4,10 @@ import (
 	"context"
 	"fmt"
 	"iter"
-	"runtime"
 	"slices"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"github.com/spectral-lpm/spectrallpm/internal/core"
 	"github.com/spectral-lpm/spectrallpm/internal/eigen"
@@ -588,17 +586,34 @@ func (ix *Index) RankBatch(coords [][]int, dst []int) ([]int, error) {
 	return dst, nil
 }
 
-// scanState is the pooled workspace of one in-flight box query: the rank
-// buffer, the borrowed coordinate buffer Scan yields, rectangle scratch for
-// the point-set R-tree probe, and a prebuilt iterator closure so that a
-// steady-state Scan performs zero heap allocations.
+// rankScratch is the pooled heavy workspace of one box query: the rank
+// buffer (which grows to the box's result volume) and the rectangle and
+// point-id scratch of the point-set R-tree probe. It is acquired only for
+// the duration of the work that needs it — inside PagesInto/QueryIO, or
+// inside a Scan sequence's single iteration — and returned on the way out,
+// so an obtained-but-never-iterated Scan sequence can never strand rank
+// scratch (the bug the buffer-reuse contract documents).
+type rankScratch struct {
+	ranks []int
+	pids  []int
+	min   []int
+	max   []int
+}
+
+var rankScratchPool = sync.Pool{New: func() any { return new(rankScratch) }}
+
+// scanState is the pooled lightweight shell of one in-flight Scan/ScanInto:
+// the validated box copied into reusable buffers, the borrowed coordinate
+// buffer the iteration yields, and a prebuilt iterator closure so a
+// steady-state Scan performs zero heap allocations. The shell holds no rank
+// scratch — that is acquired lazily from rankScratchPool on first (and
+// only) iteration, so abandoning an unconsumed sequence costs at most this
+// few-words shell to the garbage collector, never a grown rank buffer.
 type scanState struct {
 	ix     *Index // owning index while a Scan sequence is live; nil otherwise
-	ranks  []int
-	pids   []int
+	start  []int  // box copy: callers may reuse their Box slices immediately
+	dims   []int
 	coords []int
-	min    []int
-	max    []int
 	seq    iter.Seq2[int, []int]
 }
 
@@ -620,17 +635,22 @@ func newScanState() any {
 			// state may belong to another query by now.
 			return
 		}
-		defer s.release()
+		// The box was validated by Scan, so materializing the ranks cannot
+		// fail; doing it here instead of in Scan means an unconsumed
+		// sequence never checks rank scratch out of the pool.
+		rs := rankScratchPool.Get().(*rankScratch)
+		rs.ranks = ix.appendBoxRanks(rs.ranks[:0], s.start, s.dims, rs)
+		defer s.release(rs)
 		if ix.mapping != nil {
 			verts := ix.mapping.Verts()
-			for _, r := range s.ranks {
+			for _, r := range rs.ranks {
 				if !yield(r, ix.grid.Coords(verts[r], s.coords)) {
 					return
 				}
 			}
 			return
 		}
-		for _, r := range s.ranks {
+		for _, r := range rs.ranks {
 			copy(s.coords, ix.pts[ix.vert[r]])
 			if !yield(r, s.coords) {
 				return
@@ -640,29 +660,61 @@ func newScanState() any {
 	return s
 }
 
-func (s *scanState) release() {
+// release retires a consumed sequence: the heavy scratch and the shell both
+// return to their pools, and the shell is disarmed so a (forbidden) second
+// iteration yields nothing instead of replaying stale ranks.
+func (s *scanState) release(rs *rankScratch) {
+	rs.release()
 	s.ix = nil
-	// Truncate so a (forbidden) second iteration of an already-consumed
-	// sequence yields nothing while the state sits in the pool, instead of
-	// replaying stale ranks.
-	s.ranks = s.ranks[:0]
 	scanPool.Put(s)
 }
 
-// sizeCoords readies the borrowed coordinate buffer for a d-dimensional
-// query.
-func (s *scanState) sizeCoords(d int) {
+func (rs *rankScratch) release() {
+	rs.ranks = rs.ranks[:0]
+	rankScratchPool.Put(rs)
+}
+
+// arm readies the shell for a d-dimensional query over the given box,
+// copying the box so the caller's slices are free for reuse the moment Scan
+// returns.
+func (s *scanState) arm(ix *Index, b Box, d int) {
+	if cap(s.start) < d {
+		s.start = make([]int, d)
+		s.dims = make([]int, d)
+	}
+	s.start, s.dims = s.start[:d], s.dims[:d]
+	copy(s.start, b.Start)
+	copy(s.dims, b.Dims)
 	if cap(s.coords) < d {
 		s.coords = make([]int, d)
 	}
 	s.coords = s.coords[:d]
+	s.ix = ix
+}
+
+// validateBox checks a box against the index at request time, before any
+// scratch is acquired or work scheduled: full-grid indexes require the box
+// to lie inside the grid with every side at least 1 (ErrDimensionMismatch
+// otherwise); point-set indexes require only the right arity — any extent
+// is allowed and only indexed points match (empty sides simply match
+// nothing).
+func (ix *Index) validateBox(b Box) error {
+	if ix.store != nil {
+		return ix.store.CheckBox(b)
+	}
+	d := ix.grid.D()
+	if len(b.Start) != d || len(b.Dims) != d {
+		return fmt.Errorf("spectrallpm: box arity %d/%d, want %d: %w", len(b.Start), len(b.Dims), d, ErrDimensionMismatch)
+	}
+	return nil
 }
 
 // Scan streams the points of an axis-aligned box query in 1-D rank order —
 // the order a storage medium would deliver them in. For full-grid indexes
 // the box must lie inside the grid (ErrDimensionMismatch otherwise); for
 // point-set indexes any box of the right arity is allowed and only indexed
-// points match.
+// points match. The box is validated (and copied) before Scan returns, so
+// the caller may reuse its Box slices immediately.
 //
 // Buffer-reuse contract: each iteration yields a rank and the coordinates
 // of the point at that rank in a buffer that is REUSED by the next
@@ -670,18 +722,17 @@ func (s *scanState) sizeCoords(d int) {
 // sequence is single-use: iterate it at most once. Its scratch returns to a
 // shared pool when iteration ends, so iterating a second time is a data
 // race that may observe a concurrent query's results — treat a consumed
-// sequence like a freed buffer. Scan performs no steady-state heap
-// allocations; ScanInto offers the same contract in callback form.
+// sequence like a freed buffer. The rank scratch itself is acquired lazily
+// on first iteration, so a sequence that is obtained but never iterated
+// strands no pooled rank buffers — it holds only a small shell the garbage
+// collector reclaims. Scan performs no steady-state heap allocations;
+// ScanInto offers the same contract in callback form.
 func (ix *Index) Scan(b Box) (iter.Seq2[int, []int], error) {
-	s := scanPool.Get().(*scanState)
-	var err error
-	s.ranks, err = ix.boxRanksAppend(s.ranks[:0], b, s)
-	if err != nil {
-		s.release()
+	if err := ix.validateBox(b); err != nil {
 		return nil, err
 	}
-	s.sizeCoords(ix.grid.D())
-	s.ix = ix
+	s := scanPool.Get().(*scanState)
+	s.arm(ix, b, ix.grid.D())
 	return s.seq, nil
 }
 
@@ -690,18 +741,13 @@ func (ix *Index) Scan(b Box) (iter.Seq2[int, []int], error) {
 // passed to yield is reused between calls — copy it if it must survive.
 // ScanInto is the allocation-free core of the scanning path.
 func (ix *Index) ScanInto(b Box, yield func(rank int, coords []int) bool) error {
-	s := scanPool.Get().(*scanState)
-	var err error
-	s.ranks, err = ix.boxRanksAppend(s.ranks[:0], b, s)
-	if err != nil {
-		s.release()
-		return err
-	}
-	s.sizeCoords(ix.grid.D())
-	s.ix = ix
 	// The prebuilt sequence consumes and releases the state — Scan and
 	// ScanInto share one iteration body that cannot drift.
-	s.seq(yield)
+	seq, err := ix.Scan(b)
+	if err != nil {
+		return err
+	}
+	seq(yield)
 	return nil
 }
 
@@ -719,14 +765,13 @@ func (ix *Index) PagesInto(b Box, dst []PageRun) ([]PageRun, error) {
 	if ix.store != nil {
 		return ix.store.BoxRunsAppend(dst, b)
 	}
-	s := scanPool.Get().(*scanState)
-	defer s.release()
-	var err error
-	s.ranks, err = ix.boxRanksAppend(s.ranks[:0], b, s)
-	if err != nil {
+	if err := ix.validateBox(b); err != nil {
 		return dst, err
 	}
-	return ix.pager.RunsAppend(dst, s.ranks)
+	rs := rankScratchPool.Get().(*rankScratch)
+	defer rs.release()
+	rs.ranks = ix.appendBoxRanks(rs.ranks[:0], b.Start, b.Dims, rs)
+	return ix.pager.RunsAppend(dst, rs.ranks)
 }
 
 // QueryIO returns the simulated I/O cost of a box query (distinct pages,
@@ -735,99 +780,57 @@ func (ix *Index) QueryIO(b Box) (IOStats, error) {
 	if ix.store != nil {
 		return ix.store.BoxQueryIO(b)
 	}
-	s := scanPool.Get().(*scanState)
-	defer s.release()
-	var err error
-	s.ranks, err = ix.boxRanksAppend(s.ranks[:0], b, s)
-	if err != nil {
+	if err := ix.validateBox(b); err != nil {
 		return IOStats{}, err
 	}
-	return ix.pager.QueryIO(s.ranks)
+	rs := rankScratchPool.Get().(*rankScratch)
+	defer rs.release()
+	rs.ranks = ix.appendBoxRanks(rs.ranks[:0], b.Start, b.Dims, rs)
+	return ix.pager.QueryIO(rs.ranks)
 }
 
 // QueryBatch answers one QueryIO per box, fanning the slice across the
 // index's parallelism (WithParallelism at Build; GOMAXPROCS when unset or
 // zero). Results are positional: stats[i] answers boxes[i]. The first bad
-// box (lowest index) reports its error and discards the batch.
+// box (lowest index) reports its error and discards the batch, under both
+// the serial and the parallel worker paths.
 func (ix *Index) QueryBatch(boxes []Box) ([]IOStats, error) {
-	stats := make([]IOStats, len(boxes))
-	if len(boxes) == 0 {
-		return stats, nil
-	}
-	workers := ix.par
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(boxes) {
-		workers = len(boxes)
-	}
-	if workers == 1 {
-		for i, b := range boxes {
-			var err error
-			if stats[i], err = ix.QueryIO(b); err != nil {
-				return nil, fmt.Errorf("spectrallpm: box %d: %w", i, err)
-			}
-		}
-		return stats, nil
-	}
-	errs := make([]error, len(boxes))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(boxes) {
-					return
-				}
-				stats[i], errs[i] = ix.QueryIO(boxes[i])
-			}
-		}()
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("spectrallpm: box %d: %w", i, err)
-		}
-	}
-	return stats, nil
+	return runQueryBatch(boxes, ix.par, ix.QueryIO)
 }
 
-// boxRanksAppend appends the sorted ranks of the indexed points inside the
-// box to dst. Full-grid indexes delegate to the storage engine's run-merge;
-// point-set indexes probe the rank-order packed R-tree (matches stream out
-// in ascending rank because leaves hold consecutive rank runs). s supplies
-// rectangle and point-id scratch for the probe.
-func (ix *Index) boxRanksAppend(dst []int, b Box, s *scanState) ([]int, error) {
+// appendBoxRanks appends the sorted ranks of the indexed points inside the
+// already-validated box [start, start+dims) to dst. Full-grid indexes
+// delegate to the storage engine's run-merge; point-set indexes probe the
+// rank-order packed R-tree (matches stream out in ascending rank because
+// leaves hold consecutive rank runs). rs supplies rectangle and point-id
+// scratch for the probe.
+func (ix *Index) appendBoxRanks(dst []int, start, dims []int, rs *rankScratch) []int {
 	if ix.store != nil {
-		return ix.store.BoxRanksAppend(dst, b)
+		// The box passed validateBox, so the engine cannot reject it.
+		dst, _ = ix.store.BoxRanksAppend(dst, Box{Start: start, Dims: dims})
+		return dst
 	}
-	d := ix.grid.D()
-	if len(b.Start) != d || len(b.Dims) != d {
-		return dst, fmt.Errorf("spectrallpm: box arity %d/%d, want %d: %w", len(b.Start), len(b.Dims), d, ErrDimensionMismatch)
-	}
-	for _, w := range b.Dims {
+	for _, w := range dims {
 		if w < 1 {
-			return dst, nil // empty box matches nothing
+			return dst // empty box matches nothing
 		}
 	}
 	if ix.rt == nil {
-		return dst, nil // empty point set (loadable via ReadIndex)
+		return dst // empty point set (loadable via ReadIndex)
 	}
-	if cap(s.min) < d {
-		s.min = make([]int, d)
-		s.max = make([]int, d)
+	d := ix.grid.D()
+	if cap(rs.min) < d {
+		rs.min = make([]int, d)
+		rs.max = make([]int, d)
 	}
-	s.min, s.max = s.min[:d], s.max[:d]
-	for i := range b.Start {
-		s.min[i] = b.Start[i]
-		s.max[i] = b.Start[i] + b.Dims[i] - 1
+	rs.min, rs.max = rs.min[:d], rs.max[:d]
+	for i := range start {
+		rs.min[i] = start[i]
+		rs.max[i] = start[i] + dims[i] - 1
 	}
-	s.pids, _ = ix.rt.SearchAppend(rtree.Rect{Min: s.min, Max: s.max}, s.pids[:0])
-	for _, pid := range s.pids {
+	rs.pids, _ = ix.rt.SearchAppend(rtree.Rect{Min: rs.min, Max: rs.max}, rs.pids[:0])
+	for _, pid := range rs.pids {
 		dst = append(dst, ix.rank[pid])
 	}
-	return dst, nil
+	return dst
 }

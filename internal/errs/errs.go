@@ -24,4 +24,12 @@ var (
 	// ErrRankOutOfRange reports a 1-D rank outside [0, N) — a malformed
 	// query against a pager or index that must not crash a server.
 	ErrRankOutOfRange = errors.New("rank out of range")
+
+	// ErrCorruptIndex reports a serialized index whose framing decodes but
+	// whose contents are inconsistent or hostile: a non-positive page size,
+	// impossible λ₂ entries, shard frames that do not tile the declared
+	// grid, overlapping or mismatched shard metadata. Servers loading
+	// untrusted files should treat it as a permanent (non-retryable) load
+	// failure.
+	ErrCorruptIndex = errors.New("corrupt index file")
 )

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 )
 
 // Grid describes a finite d-dimensional axis-aligned grid of integer points.
@@ -13,8 +14,18 @@ type Grid struct {
 	size   int
 }
 
+// maxGridSize caps the vertex count of a grid. Half of the int range keeps
+// headroom so downstream size arithmetic — pager page rounding, the packed
+// rank|column layout entries, stride products — cannot wrap even at the
+// boundary, and the expression is portable to 32-bit ints (a literal 1<<62
+// bound would not compile there). Dims arrive from untrusted index files,
+// so the guard is a hardening boundary, not just a sanity check.
+const maxGridSize = math.MaxInt >> 1
+
 // NewGrid returns a grid with the given per-dimension side lengths. Every
-// side must be at least 1 and the total size must fit in an int.
+// side must be at least 1 and the total size must stay within maxGridSize
+// (dims whose product would wrap the vertex count are rejected, however
+// large the individual sides are).
 func NewGrid(dims ...int) (*Grid, error) {
 	if len(dims) == 0 {
 		return nil, fmt.Errorf("graph: grid needs at least one dimension")
@@ -24,8 +35,8 @@ func NewGrid(dims ...int) (*Grid, error) {
 		if d < 1 {
 			return nil, fmt.Errorf("graph: grid side %d < 1", d)
 		}
-		if size > (1<<62)/d {
-			return nil, fmt.Errorf("graph: grid size overflow")
+		if size > maxGridSize/d {
+			return nil, fmt.Errorf("graph: grid size overflow (product of %v exceeds %d)", dims, maxGridSize)
 		}
 		size *= d
 	}

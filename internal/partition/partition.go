@@ -21,6 +21,22 @@ import (
 // two. Parts are returned as sorted vertex lists, ordered by their
 // smallest vertex.
 func KWay(g *graph.Graph, k int, opt core.Options) ([][]int, error) {
+	parts, err := KWayOrdered(g, k, opt)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(parts, func(a, b int) bool { return parts[a][0] < parts[b][0] })
+	return parts, nil
+}
+
+// KWayOrdered is KWay returning the parts in recursive-bisection tree order
+// (left subtree before right at every level) instead of sorted by smallest
+// vertex. Because each cut splits the spectral order, consecutive parts are
+// spectrally — and therefore spatially — adjacent, so the sequence of parts
+// is itself a coarse locality-preserving order: exactly what a sharding
+// policy needs when shard i is assigned the global rank block before shard
+// i+1. Vertices within each part are sorted ascending.
+func KWayOrdered(g *graph.Graph, k int, opt core.Options) ([][]int, error) {
 	n := g.N()
 	if k < 1 {
 		return nil, fmt.Errorf("partition: k = %d < 1", k)
@@ -76,7 +92,6 @@ func KWay(g *graph.Graph, k int, opt core.Options) ([][]int, error) {
 	if err := rec(all, k); err != nil {
 		return nil, err
 	}
-	sort.Slice(parts, func(a, b int) bool { return parts[a][0] < parts[b][0] })
 	return parts, nil
 }
 

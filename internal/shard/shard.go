@@ -1,0 +1,148 @@
+// Package shard plans the decomposition of a grid or point set into shards
+// — the paper's declustering application (partitioning spatial data across
+// disks via the Fiedler vector's median cut) turned into a sharding policy
+// for parallel build and parallel serving.
+//
+// For the paper's default construction — the orthogonal, unit-weight grid
+// graph — the Fiedler vector has a closed form: the Laplacian eigenvalues of
+// a grid are sums of path-graph eigenvalues, so λ₂ = 2(1 − cos(π/n_a)) where
+// n_a is the longest side, and its eigenvector is the first cosine harmonic
+// along that axis, constant across all other axes. The spectral median cut
+// of a grid is therefore exactly the half-split of its longest axis — no
+// eigensolve needed. GridPlan applies that cut recursively (proportionally
+// for k not a power of two, the same proportional rule internal/partition's
+// KWay uses on the spectral order), yielding k axis-aligned cells in
+// bisection-tree order: consecutive cells are spatially adjacent, so
+// assigning shard i the global rank block before shard i+1 preserves
+// locality across shard boundaries.
+//
+// Arbitrary point sets have no closed form; they shard through
+// partition.KWayOrdered, which runs the true spectral median cut
+// recursively on the point graph.
+package shard
+
+import (
+	"fmt"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+)
+
+// Cell is one shard of a grid plan: the axis-aligned sub-grid
+// [Origin, Origin+Dims) of the global grid.
+type Cell struct {
+	Origin []int
+	Dims   []int
+}
+
+// Volume returns the number of grid points in the cell.
+func (c Cell) Volume() int {
+	v := 1
+	for _, d := range c.Dims {
+		v *= d
+	}
+	return v
+}
+
+// GridPlan splits a grid with the given side lengths into k axis-aligned
+// cells by recursive proportional median cuts of the longest axis — the
+// closed-form spectral bisection of the paper's grid graph (see the package
+// comment). Cells are returned in bisection-tree order; every cell has at
+// least one point, cells are pairwise disjoint, and together they tile the
+// grid exactly. k must lie in [1, product(dims)].
+func GridPlan(dims []int, k int) ([]Cell, error) {
+	g, err := graph.NewGrid(dims...)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("shard: k = %d < 1", k)
+	}
+	if k > g.Size() {
+		return nil, fmt.Errorf("shard: k = %d exceeds %d grid points", k, g.Size())
+	}
+	cells := make([]Cell, 0, k)
+	var rec func(origin, dims []int, k int)
+	rec = func(origin, dims []int, k int) {
+		if k == 1 {
+			cells = append(cells, Cell{
+				Origin: append([]int(nil), origin...),
+				Dims:   append([]int(nil), dims...),
+			})
+			return
+		}
+		// Cut the longest axis (ties to the lowest axis, matching the
+		// deterministic tie-break of the spectral order itself) at the
+		// position proportional to the child part counts, rounded to a
+		// whole layer so both children stay axis-aligned boxes.
+		axis := 0
+		for a := 1; a < len(dims); a++ {
+			if dims[a] > dims[axis] {
+				axis = a
+			}
+		}
+		kLeft := k / 2
+		cut := (dims[axis]*kLeft + k/2) / k // round(dims[axis] * kLeft / k)
+		if cut < 1 {
+			cut = 1
+		}
+		if cut > dims[axis]-1 {
+			cut = dims[axis] - 1
+		}
+		// Layer volume of the cut axis: points per unit of axis length.
+		layer := 1
+		for a, d := range dims {
+			if a != axis {
+				layer *= d
+			}
+		}
+		leftVol, rightVol := layer*cut, layer*(dims[axis]-cut)
+		// Re-balance the child part counts against the achievable volumes:
+		// each child must receive at least one part and no more parts than
+		// points. The interval is never empty because k <= leftVol+rightVol.
+		if kLeft < k-rightVol {
+			kLeft = k - rightVol
+		}
+		if kLeft > leftVol {
+			kLeft = leftVol
+		}
+		if kLeft < 1 {
+			kLeft = 1
+		}
+		if kLeft > k-1 {
+			kLeft = k - 1
+		}
+		left := append([]int(nil), dims...)
+		left[axis] = cut
+		right := append([]int(nil), dims...)
+		right[axis] = dims[axis] - cut
+		rightOrigin := append([]int(nil), origin...)
+		rightOrigin[axis] += cut
+		rec(origin, left, kLeft)
+		rec(rightOrigin, right, k-kLeft)
+	}
+	rec(make([]int, len(dims)), append([]int(nil), dims...), k)
+	return cells, nil
+}
+
+// ClipBox intersects the half-open box [start, start+dims) with the
+// inclusive bounding box [lo, hi], writing the intersection into
+// outStart/outDims (each of length d, allocation-free). It returns false —
+// leaving the outputs unspecified — when the intersection is empty, which
+// includes any query side < 1. All inputs must share arity d.
+func ClipBox(start, dims, lo, hi, outStart, outDims []int) bool {
+	for i := range start {
+		s, e := start[i], start[i]+dims[i] // half-open [s, e)
+		if s < lo[i] {
+			s = lo[i]
+		}
+		if e > hi[i]+1 {
+			e = hi[i] + 1
+		}
+		if e <= s {
+			return false
+		}
+		outStart[i] = s
+		outDims[i] = e - s
+	}
+	return true
+}

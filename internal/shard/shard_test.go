@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+)
+
+// TestGridPlanTiles checks the defining property of a plan: k non-empty,
+// pairwise-disjoint axis-aligned cells that cover every grid point exactly
+// once, for many random grids and shard counts.
+func TestGridPlanTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(3)
+		dims := make([]int, d)
+		size := 1
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(9)
+			size *= dims[i]
+		}
+		k := 1 + rng.Intn(size)
+		cells, err := GridPlan(dims, k)
+		if err != nil {
+			t.Fatalf("dims %v k %d: %v", dims, k, err)
+		}
+		if len(cells) != k {
+			t.Fatalf("dims %v k %d: got %d cells", dims, k, len(cells))
+		}
+		g := graph.MustGrid(dims...)
+		covered := make([]int, g.Size())
+		for ci, c := range cells {
+			if c.Volume() < 1 {
+				t.Fatalf("dims %v k %d: empty cell %d", dims, k, ci)
+			}
+			coords := append([]int(nil), c.Origin...)
+			for {
+				covered[g.ID(coords)]++
+				i := d - 1
+				for ; i >= 0; i-- {
+					coords[i]++
+					if coords[i] < c.Origin[i]+c.Dims[i] {
+						break
+					}
+					coords[i] = c.Origin[i]
+				}
+				if i < 0 {
+					break
+				}
+			}
+		}
+		for id, n := range covered {
+			if n != 1 {
+				t.Fatalf("dims %v k %d: point %d covered %d times", dims, k, id, n)
+			}
+		}
+	}
+}
+
+// TestGridPlanBalance checks near-equal cell volumes: the proportional cut
+// with whole-layer rounding keeps the largest cell within a layer of the
+// ideal share whenever the grid divides evenly, and never degenerates in
+// general (every cell gets at least one point, checked above; here the max
+// stays within 2x of ideal for even splits of even grids).
+func TestGridPlanBalance(t *testing.T) {
+	for _, tc := range []struct {
+		dims []int
+		k    int
+	}{
+		{[]int{512, 512}, 16},
+		{[]int{64, 64}, 4},
+		{[]int{64, 64}, 8},
+		{[]int{32, 32, 32}, 8},
+		{[]int{100, 10}, 5},
+	} {
+		cells, err := GridPlan(tc.dims, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := 1
+		for _, s := range tc.dims {
+			size *= s
+		}
+		ideal := size / tc.k
+		for _, c := range cells {
+			if v := c.Volume(); v != ideal {
+				t.Errorf("dims %v k %d: cell volume %d, ideal %d", tc.dims, tc.k, v, ideal)
+			}
+		}
+	}
+}
+
+// TestGridPlanTreeOrder pins the bisection-tree order: the top-level cut
+// splits the longest axis, and every cell of the left half-space precedes
+// every cell of the right half-space in the returned slice — the coarse
+// spectral order that makes block rank assignment across shards
+// locality-preserving. It also pins determinism (two calls, equal plans).
+func TestGridPlanTreeOrder(t *testing.T) {
+	cells, err := GridPlan([]int{16, 16}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=7: kLeft=3 of 7, cut = round(16*3/7) = 7 on axis 0.
+	const cut = 7
+	sawRight := false
+	for i, c := range cells {
+		left := c.Origin[0]+c.Dims[0] <= cut
+		right := c.Origin[0] >= cut
+		if !left && !right {
+			t.Fatalf("cell %d straddles the top-level cut: %+v", i, c)
+		}
+		if right {
+			sawRight = true
+		}
+		if left && sawRight {
+			t.Fatalf("cell %d from the left half-space appears after right-half cells", i)
+		}
+	}
+	again, err := GridPlan([]int{16, 16}, 7)
+	if err != nil || !reflect.DeepEqual(cells, again) {
+		t.Fatalf("plan is not deterministic: %v", err)
+	}
+}
+
+func TestGridPlanSingleAndErrors(t *testing.T) {
+	cells, err := GridPlan([]int{5, 3}, 1)
+	if err != nil || len(cells) != 1 {
+		t.Fatalf("k=1: %v %v", cells, err)
+	}
+	if !reflect.DeepEqual(cells[0], Cell{Origin: []int{0, 0}, Dims: []int{5, 3}}) {
+		t.Fatalf("k=1 cell %+v", cells[0])
+	}
+	if _, err := GridPlan([]int{2, 2}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := GridPlan([]int{2, 2}, 5); err == nil {
+		t.Error("k>size accepted")
+	}
+	if _, err := GridPlan([]int{0, 2}, 1); err == nil {
+		t.Error("bad dims accepted")
+	}
+	// k == size degenerates to single-point cells.
+	cells, err = GridPlan([]int{2, 3}, 6)
+	if err != nil || len(cells) != 6 {
+		t.Fatalf("k=size: %d cells, %v", len(cells), err)
+	}
+}
+
+func TestClipBox(t *testing.T) {
+	out1, out2 := make([]int, 2), make([]int, 2)
+	// Full overlap, partial overlap, disjoint, empty query.
+	if !ClipBox([]int{1, 1}, []int{4, 4}, []int{0, 0}, []int{9, 9}, out1, out2) {
+		t.Fatal("contained box clipped away")
+	}
+	if !reflect.DeepEqual(out1, []int{1, 1}) || !reflect.DeepEqual(out2, []int{4, 4}) {
+		t.Fatalf("contained clip %v %v", out1, out2)
+	}
+	if !ClipBox([]int{-3, 2}, []int{10, 10}, []int{0, 0}, []int{4, 4}, out1, out2) {
+		t.Fatal("overlapping box clipped away")
+	}
+	if !reflect.DeepEqual(out1, []int{0, 2}) || !reflect.DeepEqual(out2, []int{5, 3}) {
+		t.Fatalf("partial clip %v %v", out1, out2)
+	}
+	if ClipBox([]int{8, 8}, []int{2, 2}, []int{0, 0}, []int{4, 4}, out1, out2) {
+		t.Fatal("disjoint box not clipped away")
+	}
+	if ClipBox([]int{1, 1}, []int{0, 3}, []int{0, 0}, []int{4, 4}, out1, out2) {
+		t.Fatal("empty box not clipped away")
+	}
+}

@@ -1,0 +1,55 @@
+package storage
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// TestMergeSortedAppend drives the exported k-way merge against a
+// sort-based oracle over random stream shapes: empty streams, single
+// streams, disjoint blocks (the concatenation fast path shards hit), and
+// fully interleaved streams (the heap path).
+func TestMergeSortedAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		k := rng.Intn(6)
+		streams := make([][]int, k)
+		var all []int
+		for i := range streams {
+			n := rng.Intn(8)
+			s := make([]int, n)
+			for j := range s {
+				s[j] = rng.Intn(40) - 10 // negatives exercise the sign-flip keying
+			}
+			sort.Ints(s)
+			streams[i] = s
+			all = append(all, s...)
+		}
+		want := append([]int(nil), all...)
+		sort.Ints(want)
+		got := MergeSortedAppend(nil, streams)
+		if len(got) == 0 {
+			got = []int{}
+		}
+		if len(want) == 0 {
+			want = []int{}
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d: merged %v, want %v (streams %v)", trial, got, want, streams)
+		}
+	}
+}
+
+// TestMergeSortedAppendKeepsDst pins the append contract and the ordered
+// fast path: pairwise-ordered streams concatenate behind existing dst
+// contents.
+func TestMergeSortedAppendKeepsDst(t *testing.T) {
+	dst := []int{-1, -2}
+	got := MergeSortedAppend(dst, [][]int{{0, 1, 2}, {3, 4}, {}, {5}})
+	want := []int{-1, -2, 0, 1, 2, 3, 4, 5}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

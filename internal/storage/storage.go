@@ -32,10 +32,17 @@ func NewPager(numRecords, recordsPerPage int) (*Pager, error) {
 	if recordsPerPage < 1 {
 		return nil, fmt.Errorf("storage: records per page %d < 1", recordsPerPage)
 	}
+	// Divide before rounding: the textbook (n + per - 1) / per ceiling wraps
+	// when numRecords sits near MaxInt and per is large — record counts
+	// reach this constructor from untrusted index files.
+	numPages := numRecords / recordsPerPage
+	if numRecords%recordsPerPage != 0 {
+		numPages++
+	}
 	return &Pager{
 		numRecords:     numRecords,
 		recordsPerPage: recordsPerPage,
-		numPages:       (numRecords + recordsPerPage - 1) / recordsPerPage,
+		numPages:       numPages,
 	}, nil
 }
 
@@ -209,6 +216,12 @@ func (s *Store) Mapping() *order.Mapping { return s.mapping }
 
 // Pager returns the underlying pager.
 func (s *Store) Pager() *Pager { return s.pager }
+
+// CheckBox validates a box against the store's grid without running the
+// query: full arity on both Start and Dims, every side at least 1, and the
+// whole box inside the grid. Callers that defer the actual scan (lazy
+// iterators, shard planners) use it to fail fast at request time.
+func (s *Store) CheckBox(b workload.Box) error { return s.checkBox(b) }
 
 // checkBox validates a box against the store's grid.
 func (s *Store) checkBox(b workload.Box) error {

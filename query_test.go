@@ -228,6 +228,50 @@ func FuzzGridBoxRanks(f *testing.F) {
 	})
 }
 
+// TestScanAbandoned pins the fixed leak: a sequence obtained from Scan but
+// never iterated must not strand pooled rank scratch or poison later
+// queries. The box is validated (and copied) eagerly, the expensive rank
+// materialization happens lazily on first iteration, and an abandoned
+// sequence yields nothing once another query has consumed the pool.
+func TestScanAbandoned(t *testing.T) {
+	ix, err := spectrallpm.Build(context.Background(),
+		spectrallpm.WithGrid(16, 16), spectrallpm.WithMapping("hilbert"),
+		spectrallpm.WithPageSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := spectrallpm.Box{Start: []int{2, 2}, Dims: []int{4, 4}}
+	// Validation still happens at Scan time, before any iteration.
+	if _, err := ix.Scan(spectrallpm.Box{Start: []int{0, 0}, Dims: []int{99, 99}}); err == nil {
+		t.Fatal("invalid box accepted by lazy Scan")
+	}
+	// Abandon many sequences; every later query must still be correct.
+	for i := 0; i < 100; i++ {
+		if _, err := ix.Scan(box); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := oracleBoxRanks(t, ix, box)
+	if got := scannedRanks(t, ix, box); !slices.Equal(got, want) {
+		t.Fatalf("after abandoned scans: got %v want %v", got, want)
+	}
+	// The caller may recycle its Box slices the moment Scan returns: the
+	// box is copied into the sequence, not referenced.
+	b := spectrallpm.Box{Start: []int{2, 2}, Dims: []int{4, 4}}
+	seq, err := ix.Scan(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start[0], b.Dims[0] = 13, 1 // mutate before iterating
+	var got []int
+	for r := range seq {
+		got = append(got, r)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("mutating the caller's box changed an armed sequence: got %v want %v", got, want)
+	}
+}
+
 // TestScanZeroAlloc pins the steady-state allocation count of the serving
 // paths at zero for grid indexes: Scan (consumed by invoking the sequence
 // with a preallocated yield), ScanInto, PagesInto with a reused buffer, and

@@ -1,0 +1,703 @@
+package spectrallpm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/spectral-lpm/spectrallpm/internal/core"
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/partition"
+	"github.com/spectral-lpm/spectrallpm/internal/shard"
+	"github.com/spectral-lpm/spectrallpm/internal/storage"
+)
+
+// ShardedIndex is an Index split into S shards — the paper's declustering
+// example (partitioning a point set across disks via the Fiedler vector's
+// median cut) applied as a build and serving policy. The domain is
+// partitioned by recursive spectral bisection (closed-form for grids, a
+// true per-level eigensolve for point sets), each shard solves its own
+// spectral order independently — and therefore in parallel at build time —
+// and shard i owns the contiguous global rank block before shard i+1, so
+// per-shard orders concatenate into one locality-preserving global order:
+// each shard's order is independently optimal for its subdomain, and the
+// bisection tree orders the shards themselves spectrally.
+//
+// Serving mirrors Index: a box query is routed only to the shards whose
+// bounding boxes intersect it (the planner), each intersected shard
+// answers from its own engine, and the per-shard rank streams merge into
+// global rank order. A ShardedIndex is immutable after BuildSharded or
+// ReadSharded returns and safe for concurrent use without locking.
+type ShardedIndex struct {
+	grid   *graph.Grid // global bounding grid
+	shards []*Index
+	origin [][]int // per-shard coordinate translation (all zeros for point shards)
+	lo, hi [][]int // per-shard inclusive bounding box in global coordinates
+	offset []int   // len(shards)+1: shard i owns global ranks [offset[i], offset[i+1])
+	pager  *storage.Pager
+	points bool
+	par    int // serving parallelism (QueryBatch workers); 0 = GOMAXPROCS
+}
+
+// BuildSharded builds a ShardedIndex over shards shards: it plans the
+// partition, builds the per-shard Indexes in parallel (bounded by
+// WithParallelism, observing ctx between shard builds), and assembles the
+// serving plan. Congruent grid shards — cells of identical shape, the
+// common case under the proportional plan — share a single solve and a
+// single immutable Index, so an evenly split grid builds in roughly one
+// shard-sized solve regardless of the shard count. It accepts the same options as Build with the exceptions
+// that follow from sharding itself: only the spectral mapping is supported
+// (a fractal curve is fixed before the data — resharding cannot change it,
+// which is the paper's argument), and WithRanks, WithConnectivity,
+// WithEdgeWeights, and WithAffinity are rejected — the grid partition is
+// the closed-form Fiedler cut of the default orthogonal unit-weight graph,
+// and affinity edges may cross shard boundaries where no per-shard solve
+// could honor them.
+func BuildSharded(ctx context.Context, shards int, opts ...BuildOption) (*ShardedIndex, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := buildConfig{name: "spectral", pageSize: DefaultRecordsPerPage}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if (cfg.grid == nil) == (cfg.points == nil) {
+		return nil, fmt.Errorf("spectrallpm: exactly one of WithGrid and WithPoints is required")
+	}
+	if cfg.nameSet && cfg.name != "spectral" {
+		return nil, fmt.Errorf("spectrallpm: sharded indexes support only the spectral mapping (%w %q)", ErrUnknownMapping, cfg.name)
+	}
+	if cfg.ranks != nil {
+		return nil, fmt.Errorf("spectrallpm: WithRanks does not apply to sharded indexes (wrap the precomputed order in a single Index)")
+	}
+	if err := rejectGraphOptions(&cfg, "sharded indexes", false); err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("spectrallpm: shard count %d < 1", shards)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.points != nil {
+		return buildShardedPoints(ctx, shards, &cfg)
+	}
+	return buildShardedGrid(ctx, shards, &cfg)
+}
+
+func buildShardedGrid(ctx context.Context, shards int, cfg *buildConfig) (*ShardedIndex, error) {
+	cells, err := shard.GridPlan(cfg.grid.Dims(), shards)
+	if err != nil {
+		return nil, fmt.Errorf("spectrallpm: %w", err)
+	}
+	// Congruent cells share one solve: a shard's spectral order depends
+	// only on its cell SHAPE (the default graph construction is the same
+	// translated subgrid, and the solve is deterministic in the seed), and
+	// GridPlan's proportional halving produces few distinct shapes — often
+	// exactly one. Each distinct shape is solved once, in parallel across
+	// shapes, and every congruent shard serves from the same immutable
+	// Index. This is where sharded build time collapses: S shards of an
+	// evenly split grid cost ONE solve of size N/S instead of S of them
+	// (and instead of the monolithic solve of size N), before worker
+	// parallelism multiplies the win across distinct shapes.
+	d := cfg.grid.D()
+	shapeKey := func(dims []int) string {
+		return fmt.Sprint(dims)
+	}
+	shapeAt := make(map[string]int)
+	var shapes [][]int
+	cellShape := make([]int, len(cells))
+	for i, c := range cells {
+		k := shapeKey(c.Dims)
+		s, ok := shapeAt[k]
+		if !ok {
+			s = len(shapes)
+			shapeAt[k] = s
+			shapes = append(shapes, c.Dims)
+		}
+		cellShape[i] = s
+	}
+	built := make([]*Index, len(shapes))
+	err = buildShardsParallel(ctx, len(shapes), cfg, func(ctx context.Context, i int, solver SolverOptions) error {
+		ix, err := Build(ctx,
+			WithGrid(shapes[i]...),
+			WithSolver(solver),
+			WithDegeneracy(cfg.degeneracy),
+			WithPageSize(cfg.pageSize))
+		if err != nil {
+			return err
+		}
+		built[i] = ix
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sx := &ShardedIndex{grid: cfg.grid, par: cfg.solver.Parallelism}
+	sx.shards = make([]*Index, len(cells))
+	for i, c := range cells {
+		sx.shards[i] = built[cellShape[i]]
+		lo := append([]int(nil), c.Origin...)
+		hi := make([]int, d)
+		for j := range hi {
+			hi[j] = c.Origin[j] + c.Dims[j] - 1
+		}
+		sx.origin = append(sx.origin, lo)
+		sx.lo = append(sx.lo, lo)
+		sx.hi = append(sx.hi, hi)
+	}
+	return finishSharded(sx, cfg.pageSize)
+}
+
+func buildShardedPoints(ctx context.Context, shards int, cfg *buildConfig) (*ShardedIndex, error) {
+	// Validate the point set and derive the global bounding grid exactly
+	// the way Build does, then partition the point graph by recursive
+	// spectral median cuts in bisection-tree order — consecutive parts are
+	// spectrally adjacent, so the block rank assignment below preserves
+	// locality across shard boundaries.
+	d := len(cfg.points[0])
+	dims := make([]int, d)
+	for i, p := range cfg.points {
+		if len(p) != d {
+			return nil, fmt.Errorf("spectrallpm: point %d has arity %d, want %d: %w", i, len(p), d, ErrDimensionMismatch)
+		}
+		for j, c := range p {
+			if c < 0 {
+				return nil, fmt.Errorf("spectrallpm: point %d has negative coordinate %d: %w", i, c, ErrDimensionMismatch)
+			}
+			if c+1 > dims[j] {
+				dims[j] = c + 1
+			}
+		}
+	}
+	grid, err := graph.NewGrid(dims...)
+	if err != nil {
+		return nil, err
+	}
+	if shards > len(cfg.points) {
+		return nil, fmt.Errorf("spectrallpm: shard count %d exceeds %d points", shards, len(cfg.points))
+	}
+	gr, err := graph.PointGraph(cfg.points)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	parts, err := partition.KWayOrdered(gr, shards, core.Options{Solver: cfg.solver, Degeneracy: cfg.degeneracy})
+	if err != nil {
+		return nil, err
+	}
+	sx := &ShardedIndex{grid: grid, points: true, par: cfg.solver.Parallelism}
+	sx.shards = make([]*Index, len(parts))
+	subsets := make([][][]int, len(parts))
+	for i, part := range parts {
+		subset := make([][]int, len(part))
+		for k, pid := range part {
+			subset[k] = cfg.points[pid]
+		}
+		subsets[i] = subset
+	}
+	err = buildShardsParallel(ctx, len(parts), cfg, func(ctx context.Context, i int, solver SolverOptions) error {
+		ix, err := Build(ctx,
+			WithPoints(subsets[i]),
+			WithSolver(solver),
+			WithDegeneracy(cfg.degeneracy),
+			WithPageSize(cfg.pageSize))
+		if err != nil {
+			return err
+		}
+		sx.shards[i] = ix
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range sx.shards {
+		lo, hi := pointBounds(subsets[i], d)
+		sx.origin = append(sx.origin, make([]int, d)) // points stay in global coordinates
+		sx.lo = append(sx.lo, lo)
+		sx.hi = append(sx.hi, hi)
+	}
+	return finishSharded(sx, cfg.pageSize)
+}
+
+// buildShardsParallel runs build(i) for every shard across a bounded worker
+// pool: min(shards, WithParallelism) concurrent builds, each granted an
+// equal share of the solver parallelism so the shard solves neither
+// serialize nor oversubscribe the machine. The first error (lowest shard
+// index) wins; ctx cancellation is observed before each shard starts and
+// between the build phases inside each shard's Build.
+func buildShardsParallel(ctx context.Context, shards int, cfg *buildConfig, build func(ctx context.Context, i int, solver SolverOptions) error) error {
+	par := cfg.solver.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	workers := par
+	if workers > shards {
+		workers = shards
+	}
+	solver := cfg.solver
+	solver.Parallelism = par / workers
+	if solver.Parallelism < 1 {
+		solver.Parallelism = 1
+	}
+	errs := make([]error, shards)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= shards || failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				if err := build(ctx, i, solver); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("spectrallpm: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// finishSharded assembles the cross-shard serving state: the cumulative
+// rank offsets that give shard i the global rank block [offset[i],
+// offset[i+1]) and the global pager over the concatenated record space.
+func finishSharded(sx *ShardedIndex, pageSize int) (*ShardedIndex, error) {
+	sx.offset = make([]int, len(sx.shards)+1)
+	for i, ix := range sx.shards {
+		sx.offset[i+1] = sx.offset[i] + ix.N()
+	}
+	pager, err := storage.NewPager(sx.offset[len(sx.shards)], pageSize)
+	if err != nil {
+		return nil, err
+	}
+	sx.pager = pager
+	return sx, nil
+}
+
+func pointBounds(pts [][]int, d int) (lo, hi []int) {
+	lo = append([]int(nil), pts[0]...)
+	hi = append([]int(nil), pts[0]...)
+	for _, p := range pts {
+		for j, c := range p {
+			if c < lo[j] {
+				lo[j] = c
+			}
+			if c > hi[j] {
+				hi[j] = c
+			}
+		}
+	}
+	return lo, hi
+}
+
+// NumShards returns the number of shards.
+func (sx *ShardedIndex) NumShards() int { return len(sx.shards) }
+
+// Shard returns shard i's Index (local coordinates for grid shards — see
+// ShardBounds for its placement). The Index must be treated as read-only.
+func (sx *ShardedIndex) Shard(i int) *Index { return sx.shards[i] }
+
+// ShardBounds returns shard i's inclusive bounding box in global
+// coordinates and its global rank block [offset, offset+records).
+func (sx *ShardedIndex) ShardBounds(i int) (lo, hi []int, offset, records int) {
+	return append([]int(nil), sx.lo[i]...), append([]int(nil), sx.hi[i]...),
+		sx.offset[i], sx.offset[i+1] - sx.offset[i]
+}
+
+// N returns the total number of indexed points across all shards.
+func (sx *ShardedIndex) N() int { return sx.offset[len(sx.shards)] }
+
+// Dims returns the per-dimension side lengths of the global grid (for
+// point-set indexes, the bounding box of all points).
+func (sx *ShardedIndex) Dims() []int { return append([]int(nil), sx.grid.Dims()...) }
+
+// D returns the number of dimensions.
+func (sx *ShardedIndex) D() int { return sx.grid.D() }
+
+// RecordsPerPage returns the page capacity of the global rank space.
+func (sx *ShardedIndex) RecordsPerPage() int { return sx.pager.RecordsPerPage() }
+
+// NumPages returns the number of pages of the global rank space.
+func (sx *ShardedIndex) NumPages() int { return sx.pager.NumPages() }
+
+// Rank returns the global 1-D position of the point with the given
+// coordinates: the owning shard's local rank plus the shard's rank offset.
+// Errors mirror Index.Rank.
+func (sx *ShardedIndex) Rank(coords ...int) (int, error) {
+	d := sx.grid.D()
+	if len(coords) != d {
+		return 0, fmt.Errorf("spectrallpm: coordinate arity %d, want %d: %w", len(coords), d, ErrDimensionMismatch)
+	}
+	dims := sx.grid.Dims()
+	for i, c := range coords {
+		if c < 0 || c >= dims[i] {
+			if !sx.points {
+				return 0, fmt.Errorf("spectrallpm: coordinate %d outside [0,%d): %w", c, dims[i], ErrDimensionMismatch)
+			}
+			return 0, fmt.Errorf("spectrallpm: point %v: %w", coords, ErrPointNotIndexed)
+		}
+	}
+	local := make([]int, d)
+	for i := range sx.shards {
+		if !boundsContain(sx.lo[i], sx.hi[i], coords) {
+			continue
+		}
+		for j, c := range coords {
+			local[j] = c - sx.origin[i][j]
+		}
+		r, err := sx.shards[i].Rank(local...)
+		if err != nil {
+			if sx.points && errors.Is(err, ErrPointNotIndexed) {
+				continue // another shard's bounding box may also cover it
+			}
+			return 0, err
+		}
+		return r + sx.offset[i], nil
+	}
+	// Grid shards tile the grid, so only point sets reach here.
+	return 0, fmt.Errorf("spectrallpm: point %v: %w", coords, ErrPointNotIndexed)
+}
+
+// Point returns the coordinates of the point at the given global rank. The
+// returned slice is freshly allocated. A rank outside [0, N) returns
+// ErrRankOutOfRange.
+func (sx *ShardedIndex) Point(rank int) ([]int, error) {
+	if rank < 0 || rank >= sx.N() {
+		return nil, fmt.Errorf("spectrallpm: rank %d outside [0,%d): %w", rank, sx.N(), ErrRankOutOfRange)
+	}
+	i := sort.SearchInts(sx.offset, rank+1) - 1
+	p, err := sx.shards[i].Point(rank - sx.offset[i])
+	if err != nil {
+		return nil, err
+	}
+	for j := range p {
+		p[j] += sx.origin[i][j]
+	}
+	return p, nil
+}
+
+func boundsContain(lo, hi, coords []int) bool {
+	for j, c := range coords {
+		if c < lo[j] || c > hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// validateBox mirrors Index.validateBox over the global grid: full-grid
+// sharded indexes require the box inside the grid with every side at least
+// 1; point-set sharded indexes require only the right arity.
+func (sx *ShardedIndex) validateBox(b Box) error {
+	d := sx.grid.D()
+	if len(b.Start) != d || len(b.Dims) != d {
+		return fmt.Errorf("spectrallpm: box arity %d/%d, want %d: %w", len(b.Start), len(b.Dims), d, ErrDimensionMismatch)
+	}
+	if sx.points {
+		return nil
+	}
+	dims := sx.grid.Dims()
+	for i, st := range b.Start {
+		if b.Dims[i] < 1 || st < 0 || st+b.Dims[i] > dims[i] {
+			return fmt.Errorf("spectrallpm: box %v exceeds grid %v: %w", b, dims, ErrDimensionMismatch)
+		}
+	}
+	return nil
+}
+
+// shardScanState is the pooled shell of one in-flight sharded Scan: the
+// copied box, clip scratch, the borrowed global-coordinate buffer, and the
+// prebuilt closures (the iterator and the per-shard inner yield) so a
+// steady-state sharded Scan allocates nothing. Like Index's scanState it
+// holds no rank scratch — each shard's engine acquires and releases its
+// own inside the iteration — so an unconsumed sequence strands nothing but
+// this small shell.
+type shardScanState struct {
+	sx      *ShardedIndex // owning index while a sequence is live; nil otherwise
+	yield   func(int, []int) bool
+	cur     int // shard being drained
+	start   []int
+	dims    []int
+	cstart  []int
+	cdims   []int
+	coords  []int
+	stopped bool
+	inner   func(int, []int) bool
+	seq     iter.Seq2[int, []int]
+}
+
+var shardScanPool sync.Pool
+
+func init() {
+	shardScanPool.New = newShardScanState
+}
+
+func newShardScanState() any {
+	s := &shardScanState{}
+	s.inner = func(r int, p []int) bool {
+		origin := s.sx.origin[s.cur]
+		for j, c := range p {
+			s.coords[j] = c + origin[j]
+		}
+		if !s.yield(r+s.sx.offset[s.cur], s.coords) {
+			s.stopped = true
+			return false
+		}
+		return true
+	}
+	s.seq = func(yield func(int, []int) bool) {
+		sx := s.sx
+		if sx == nil {
+			return // already consumed; see Index.Scan's contract
+		}
+		defer s.release()
+		s.yield = yield
+		s.stopped = false
+		// Shard rank blocks ascend with shard order, so draining the
+		// planner's shards in order emits global ranks already sorted — the
+		// k-way merge degenerates to concatenation on this path.
+		for i := range sx.shards {
+			if !shard.ClipBox(s.start, s.dims, sx.lo[i], sx.hi[i], s.cstart, s.cdims) {
+				continue
+			}
+			for j := range s.cstart {
+				s.cstart[j] -= sx.origin[i][j]
+			}
+			s.cur = i
+			if err := sx.shards[i].ScanInto(Box{Start: s.cstart, Dims: s.cdims}, s.inner); err != nil {
+				// The clipped box lies inside the shard by construction; a
+				// rejection here is a planner bug, not a query error.
+				panic(fmt.Sprintf("spectrallpm: sharded scan: shard %d rejected planned box: %v", i, err))
+			}
+			if s.stopped {
+				return
+			}
+		}
+	}
+	return s
+}
+
+func (s *shardScanState) release() {
+	s.sx = nil
+	s.yield = nil
+	shardScanPool.Put(s)
+}
+
+func (s *shardScanState) arm(sx *ShardedIndex, b Box) {
+	d := sx.grid.D()
+	if cap(s.start) < d {
+		s.start = make([]int, d)
+		s.dims = make([]int, d)
+		s.cstart = make([]int, d)
+		s.cdims = make([]int, d)
+		s.coords = make([]int, d)
+	}
+	s.start, s.dims = s.start[:d], s.dims[:d]
+	s.cstart, s.cdims = s.cstart[:d], s.cdims[:d]
+	s.coords = s.coords[:d]
+	copy(s.start, b.Start)
+	copy(s.dims, b.Dims)
+	s.sx = sx
+}
+
+// Scan streams the points of a box query in GLOBAL 1-D rank order,
+// consulting only the shards whose bounding boxes intersect the box. The
+// contract is identical to Index.Scan: the coords buffer is reused between
+// iterations, the sequence is single-use, an unconsumed sequence strands
+// no rank scratch, and steady-state iteration allocates nothing.
+func (sx *ShardedIndex) Scan(b Box) (iter.Seq2[int, []int], error) {
+	if err := sx.validateBox(b); err != nil {
+		return nil, err
+	}
+	s := shardScanPool.Get().(*shardScanState)
+	s.arm(sx, b)
+	return s.seq, nil
+}
+
+// ScanInto is Scan in callback form, sharing its iteration body — see
+// Index.ScanInto.
+func (sx *ShardedIndex) ScanInto(b Box, yield func(rank int, coords []int) bool) error {
+	seq, err := sx.Scan(b)
+	if err != nil {
+		return err
+	}
+	seq(yield)
+	return nil
+}
+
+// shardRankScratch is the pooled workspace of the sharded rank-assembly
+// path (Pages/QueryIO): per-shard clip scratch, the concatenation buffer
+// holding each intersected shard's global-rank segment, the stream views
+// handed to the merge, and the merged output.
+type shardRankScratch struct {
+	ranks   []int
+	tmp     []int
+	ends    []int
+	streams [][]int
+	cstart  []int
+	cdims   []int
+}
+
+var shardRankPool = sync.Pool{New: func() any { return new(shardRankScratch) }}
+
+func (ss *shardRankScratch) release() {
+	ss.ranks = ss.ranks[:0]
+	ss.tmp = ss.tmp[:0]
+	shardRankPool.Put(ss)
+}
+
+// appendBoxRanks appends the global ranks of the indexed points inside the
+// already-validated box to dst, in ascending global rank order: the
+// planner clips the box against each shard's bounds, intersected shards
+// answer locally, local ranks shift by the shard's offset, and the
+// per-shard streams k-way-merge (storage.MergeSortedAppend — in practice
+// the concatenation fast path, since shard rank blocks are disjoint and
+// ascending).
+func (sx *ShardedIndex) appendBoxRanks(dst []int, b Box, ss *shardRankScratch) []int {
+	d := sx.grid.D()
+	if cap(ss.cstart) < d {
+		ss.cstart = make([]int, d)
+		ss.cdims = make([]int, d)
+	}
+	ss.cstart, ss.cdims = ss.cstart[:d], ss.cdims[:d]
+	rs := rankScratchPool.Get().(*rankScratch)
+	defer rs.release()
+	ss.tmp = ss.tmp[:0]
+	ss.ends = ss.ends[:0]
+	for i := range sx.shards {
+		if !shard.ClipBox(b.Start, b.Dims, sx.lo[i], sx.hi[i], ss.cstart, ss.cdims) {
+			continue
+		}
+		for j := range ss.cstart {
+			ss.cstart[j] -= sx.origin[i][j]
+		}
+		n0 := len(ss.tmp)
+		ss.tmp = sx.shards[i].appendBoxRanks(ss.tmp, ss.cstart, ss.cdims, rs)
+		for j := n0; j < len(ss.tmp); j++ {
+			ss.tmp[j] += sx.offset[i]
+		}
+		ss.ends = append(ss.ends, len(ss.tmp))
+	}
+	// Build the stream views only after tmp stops growing — earlier
+	// appends may have reallocated it.
+	ss.streams = ss.streams[:0]
+	prev := 0
+	for _, e := range ss.ends {
+		ss.streams = append(ss.streams, ss.tmp[prev:e])
+		prev = e
+	}
+	return storage.MergeSortedAppend(dst, ss.streams)
+}
+
+// Pages returns the page-run plan of a box query over the GLOBAL rank
+// space — runs may span shard boundaries when adjacent shards both match,
+// which is exactly what the bisection-tree shard order arranges for.
+func (sx *ShardedIndex) Pages(b Box) ([]PageRun, error) {
+	return sx.PagesInto(b, nil)
+}
+
+// PagesInto is Pages appending to dst; with sufficient capacity it
+// performs zero steady-state heap allocations.
+func (sx *ShardedIndex) PagesInto(b Box, dst []PageRun) ([]PageRun, error) {
+	if err := sx.validateBox(b); err != nil {
+		return dst, err
+	}
+	ss := shardRankPool.Get().(*shardRankScratch)
+	defer ss.release()
+	ss.ranks = sx.appendBoxRanks(ss.ranks[:0], b, ss)
+	return sx.pager.RunsAppend(dst, ss.ranks)
+}
+
+// QueryIO returns the simulated I/O cost of a box query against the global
+// rank space. It allocates nothing in steady state.
+func (sx *ShardedIndex) QueryIO(b Box) (IOStats, error) {
+	if err := sx.validateBox(b); err != nil {
+		return IOStats{}, err
+	}
+	ss := shardRankPool.Get().(*shardRankScratch)
+	defer ss.release()
+	ss.ranks = sx.appendBoxRanks(ss.ranks[:0], b, ss)
+	return sx.pager.QueryIO(ss.ranks)
+}
+
+// QueryBatch answers one QueryIO per box, fanning the slice across the
+// index's parallelism — see Index.QueryBatch for the contract.
+func (sx *ShardedIndex) QueryBatch(boxes []Box) ([]IOStats, error) {
+	return runQueryBatch(boxes, sx.par, sx.QueryIO)
+}
+
+// runQueryBatch is the shared QueryBatch engine of Index and ShardedIndex:
+// positional results, a bounded worker pool (par <= 0 means GOMAXPROCS),
+// and first-bad-box (lowest index) error reporting on both the serial and
+// parallel paths.
+func runQueryBatch(boxes []Box, par int, queryIO func(Box) (IOStats, error)) ([]IOStats, error) {
+	stats := make([]IOStats, len(boxes))
+	if len(boxes) == 0 {
+		return stats, nil
+	}
+	workers := par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(boxes) {
+		workers = len(boxes)
+	}
+	if workers == 1 {
+		for i, b := range boxes {
+			var err error
+			if stats[i], err = queryIO(b); err != nil {
+				return nil, fmt.Errorf("spectrallpm: box %d: %w", i, err)
+			}
+		}
+		return stats, nil
+	}
+	errs := make([]error, len(boxes))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(boxes) {
+					return
+				}
+				stats[i], errs[i] = queryIO(boxes[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("spectrallpm: box %d: %w", i, err)
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,265 @@
+package spectrallpm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+)
+
+// The sharded serialization format: a newline-delimited JSON stream whose
+// first object is the header (format tag, version, global grid, page size,
+// and one metadata entry per shard) followed by each shard serialized in
+// the existing single-index version-1 format, in shard order — the
+// multi-shard codec frames the v1 codec rather than inventing a second
+// per-shard encoding. Serialization is deterministic and
+// WriteTo∘ReadSharded is the identity on the bytes.
+//
+// ReadSharded treats the file as adversarial: beyond each frame's own v1
+// validation it checks that the header and the frames agree (record
+// counts, page sizes, shard kind), that grid shards tile the declared
+// global grid exactly — pairwise-disjoint cells whose volumes sum to the
+// grid size — and that point shards stay inside the global bounding box
+// and never declare the same point twice across shards. Violations return
+// errors matching ErrCorruptIndex.
+const (
+	shardedFormat  = "spectrallpm-sharded-index"
+	shardedVersion = 1
+	// maxShardCount bounds the per-shard metadata an untrusted header can
+	// make the reader allocate and the O(shards²) tiling check it can make
+	// the reader run.
+	maxShardCount = 4096
+)
+
+// shardMetaV1 is one shard's entry in the sharded header.
+type shardMetaV1 struct {
+	// Origin places a grid shard's cell inside the global grid; absent for
+	// point shards, whose points carry global coordinates themselves.
+	Origin []int `json:"origin,omitempty"`
+	// Records is the shard's record count, which must match the framed
+	// shard index — it both documents the rank blocks (cumulative sums)
+	// and lets a reader detect mismatched or reordered frames.
+	Records int `json:"records"`
+}
+
+// shardedFileV1 is the version-1 sharded header.
+type shardedFileV1 struct {
+	Format         string        `json:"format"`
+	Version        int           `json:"version"`
+	Dims           []int         `json:"dims"`
+	RecordsPerPage int           `json:"records_per_page"`
+	Points         bool          `json:"points,omitempty"`
+	Shards         []shardMetaV1 `json:"shards"`
+}
+
+// WriteTo serializes the sharded index as a header line followed by each
+// shard in the single-index v1 format. It implements io.WriterTo.
+func (sx *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
+	h := shardedFileV1{
+		Format:         shardedFormat,
+		Version:        shardedVersion,
+		Dims:           sx.grid.Dims(),
+		RecordsPerPage: sx.pager.RecordsPerPage(),
+		Points:         sx.points,
+	}
+	for i, ix := range sx.shards {
+		m := shardMetaV1{Records: ix.N()}
+		if !sx.points {
+			m.Origin = sx.origin[i]
+		}
+		h.Shards = append(h.Shards, m)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		return 0, fmt.Errorf("spectrallpm: encode sharded index: %w", err)
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	for i, ix := range sx.shards {
+		n, err := ix.WriteTo(w)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("spectrallpm: shard %d: %w", i, err)
+		}
+	}
+	return total, nil
+}
+
+// ReadSharded loads a sharded index written by ShardedIndex.WriteTo,
+// validating the header, every shard frame (with ReadIndex's own
+// hardening), and the cross-shard invariants the serving plan relies on.
+// Shard rank blocks are reassigned cumulatively in frame order, exactly as
+// BuildSharded assigns them. Serving parallelism is not part of the
+// format: a reloaded index runs QueryBatch at GOMAXPROCS.
+func ReadSharded(r io.Reader) (*ShardedIndex, error) {
+	dec := json.NewDecoder(r)
+	var h shardedFileV1
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("spectrallpm: decode sharded index: %w", err)
+	}
+	if h.Format != shardedFormat {
+		return nil, fmt.Errorf("spectrallpm: not a sharded index file (format %q, want %q)", h.Format, shardedFormat)
+	}
+	if h.Version != shardedVersion {
+		return nil, fmt.Errorf("spectrallpm: unsupported sharded index version %d (this build reads version %d)", h.Version, shardedVersion)
+	}
+	if len(h.Shards) < 1 {
+		return nil, fmt.Errorf("spectrallpm: sharded index declares no shards: %w", ErrCorruptIndex)
+	}
+	if len(h.Shards) > maxShardCount {
+		return nil, fmt.Errorf("spectrallpm: sharded index declares %d shards (max %d): %w", len(h.Shards), maxShardCount, ErrCorruptIndex)
+	}
+	if h.RecordsPerPage < 1 {
+		return nil, fmt.Errorf("spectrallpm: records_per_page %d < 1: %w", h.RecordsPerPage, ErrCorruptIndex)
+	}
+	grid, err := graph.NewGrid(h.Dims...)
+	if err != nil {
+		return nil, fmt.Errorf("spectrallpm: sharded index dims: %w (%w)", err, ErrCorruptIndex)
+	}
+	// Record counts are bounded by the global grid before any frame is
+	// decoded: distinct points on the bounding grid cannot outnumber its
+	// cells, so the running total also cannot overflow.
+	total := 0
+	for i, m := range h.Shards {
+		if m.Records < 1 {
+			return nil, fmt.Errorf("spectrallpm: shard %d declares %d records: %w", i, m.Records, ErrCorruptIndex)
+		}
+		if m.Records > grid.Size()-total {
+			return nil, fmt.Errorf("spectrallpm: shard records exceed the %d-point global grid: %w", grid.Size(), ErrCorruptIndex)
+		}
+		total += m.Records
+	}
+	sx := &ShardedIndex{grid: grid, points: h.Points}
+	for i, m := range h.Shards {
+		var f indexFileV1
+		if err := dec.Decode(&f); err != nil {
+			return nil, fmt.Errorf("spectrallpm: shard %d: decode: %w", i, err)
+		}
+		ix, err := indexFromFile(&f)
+		if err != nil {
+			return nil, fmt.Errorf("spectrallpm: shard %d: %w", i, err)
+		}
+		if (ix.mapping == nil) != h.Points {
+			return nil, fmt.Errorf("spectrallpm: shard %d kind disagrees with header: %w", i, ErrCorruptIndex)
+		}
+		if ix.N() != m.Records {
+			return nil, fmt.Errorf("spectrallpm: shard %d holds %d records, header declares %d: %w", i, ix.N(), m.Records, ErrCorruptIndex)
+		}
+		if ix.RecordsPerPage() != h.RecordsPerPage {
+			return nil, fmt.Errorf("spectrallpm: shard %d page size %d disagrees with header %d: %w", i, ix.RecordsPerPage(), h.RecordsPerPage, ErrCorruptIndex)
+		}
+		lo, hi, origin, err := shardPlacement(grid, &m, ix, h.Points)
+		if err != nil {
+			return nil, fmt.Errorf("spectrallpm: shard %d: %w", i, err)
+		}
+		sx.shards = append(sx.shards, ix)
+		sx.origin = append(sx.origin, origin)
+		sx.lo = append(sx.lo, lo)
+		sx.hi = append(sx.hi, hi)
+	}
+	if h.Points {
+		if err := checkPointShardsDisjoint(grid, sx.shards); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := checkGridShardsTile(grid, sx, total); err != nil {
+			return nil, err
+		}
+	}
+	return finishSharded(sx, h.RecordsPerPage)
+}
+
+// shardPlacement derives one shard's bounding box and coordinate
+// translation from its header entry and its loaded index, validating it
+// against the global grid.
+func shardPlacement(grid *graph.Grid, m *shardMetaV1, ix *Index, points bool) (lo, hi, origin []int, err error) {
+	d := grid.D()
+	dims := grid.Dims()
+	shardDims := ix.grid.Dims()
+	if len(shardDims) != d {
+		return nil, nil, nil, fmt.Errorf("shard arity %d, global %d: %w", len(shardDims), d, ErrCorruptIndex)
+	}
+	if points {
+		if m.Origin != nil {
+			return nil, nil, nil, fmt.Errorf("point shard declares an origin: %w", ErrCorruptIndex)
+		}
+		for j, s := range shardDims {
+			if s > dims[j] {
+				return nil, nil, nil, fmt.Errorf("shard bounding grid %v exceeds global %v: %w", shardDims, dims, ErrCorruptIndex)
+			}
+		}
+		lo, hi = pointBounds(ix.pts, d)
+		return lo, hi, make([]int, d), nil
+	}
+	if len(m.Origin) != d {
+		return nil, nil, nil, fmt.Errorf("grid shard origin arity %d, want %d: %w", len(m.Origin), d, ErrCorruptIndex)
+	}
+	lo = append([]int(nil), m.Origin...)
+	hi = make([]int, d)
+	for j := range hi {
+		if lo[j] < 0 || lo[j]+shardDims[j] > dims[j] {
+			return nil, nil, nil, fmt.Errorf("shard cell %v+%v exceeds grid %v: %w", lo, shardDims, dims, ErrCorruptIndex)
+		}
+		hi[j] = lo[j] + shardDims[j] - 1
+	}
+	return lo, hi, lo, nil
+}
+
+// checkGridShardsTile verifies the loaded cells partition the global grid
+// exactly: volumes sum to the grid size and no two cells overlap. Together
+// those two facts imply a perfect tiling — every cell is covered exactly
+// once — which Rank and the query planner rely on.
+func checkGridShardsTile(grid *graph.Grid, sx *ShardedIndex, total int) error {
+	if total != grid.Size() {
+		return fmt.Errorf("spectrallpm: shards hold %d records, grid has %d points: %w", total, grid.Size(), ErrCorruptIndex)
+	}
+	for i := range sx.shards {
+		for j := i + 1; j < len(sx.shards); j++ {
+			overlap := true
+			for a := range sx.lo[i] {
+				if sx.lo[i][a] > sx.hi[j][a] || sx.lo[j][a] > sx.hi[i][a] {
+					overlap = false
+					break
+				}
+			}
+			if overlap {
+				return fmt.Errorf("spectrallpm: shards %d and %d overlap: %w", i, j, ErrCorruptIndex)
+			}
+		}
+	}
+	return nil
+}
+
+// checkPointShardsDisjoint rejects files where two shards declare the same
+// point — the planner would double-report it and Rank would be ambiguous.
+func checkPointShardsDisjoint(grid *graph.Grid, shards []*Index) error {
+	total := 0
+	for _, ix := range shards {
+		total += ix.N()
+	}
+	ids := make([]int, 0, total)
+	for _, ix := range shards {
+		for _, p := range ix.pts {
+			ids = append(ids, grid.ID(p))
+		}
+	}
+	slices.Sort(ids)
+	for k := 1; k < len(ids); k++ {
+		if ids[k] == ids[k-1] {
+			return fmt.Errorf("spectrallpm: the same point appears in two shards: %w", ErrCorruptIndex)
+		}
+	}
+	return nil
+}
+
+// Both codecs implement io.WriterTo.
+var (
+	_ io.WriterTo = (*ShardedIndex)(nil)
+	_ io.WriterTo = (*Index)(nil)
+)

@@ -1,0 +1,191 @@
+package spectrallpm_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"slices"
+	"strings"
+	"testing"
+
+	spectrallpm "github.com/spectral-lpm/spectrallpm"
+)
+
+// TestShardedRoundTripBitIdentical checks WriteTo -> ReadSharded -> WriteTo
+// reproduces the exact bytes for both shard kinds, and that the reloaded
+// index serves identically — the build/serve split for sharded servers.
+func TestShardedRoundTripBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	indexes := map[string]*spectrallpm.ShardedIndex{}
+	grid, err := spectrallpm.BuildSharded(ctx, 4,
+		spectrallpm.WithGrid(10, 8), spectrallpm.WithSeed(3), spectrallpm.WithPageSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexes["grid"] = grid
+	pts, err := spectrallpm.BuildSharded(ctx, 3,
+		spectrallpm.WithPoints([][]int{
+			{0, 0}, {0, 1}, {0, 2}, {1, 0}, {2, 0}, {5, 5}, {5, 6}, {6, 5}, {9, 9},
+		}), spectrallpm.WithSeed(2), spectrallpm.WithPageSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexes["points"] = pts
+	for name, sx := range indexes {
+		t.Run(name, func(t *testing.T) {
+			var a bytes.Buffer
+			n, err := sx.WriteTo(&a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(a.Len()) {
+				t.Fatalf("WriteTo reported %d bytes, wrote %d", n, a.Len())
+			}
+			loaded, err := spectrallpm.ReadSharded(bytes.NewReader(a.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b bytes.Buffer
+			if _, err := loaded.WriteTo(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Errorf("round trip not bit-identical:\n  a: %s\n  b: %s", a.Bytes(), b.Bytes())
+			}
+			if loaded.N() != sx.N() || loaded.NumShards() != sx.NumShards() {
+				t.Fatalf("loaded %d/%d, want %d/%d", loaded.N(), loaded.NumShards(), sx.N(), sx.NumShards())
+			}
+			// The loaded index serves the same global order.
+			for r := 0; r < sx.N(); r++ {
+				p, err := sx.Point(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := loaded.Rank(p...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != r {
+					t.Fatalf("loaded rank of %v = %d, want %d", p, got, r)
+				}
+			}
+			b0 := spectrallpm.Box{Start: []int{0, 0}, Dims: []int{6, 6}}
+			var want, got []int
+			if err := sx.ScanInto(b0, func(r int, _ []int) bool { want = append(want, r); return true }); err != nil {
+				t.Fatal(err)
+			}
+			if err := loaded.ScanInto(b0, func(r int, _ []int) bool { got = append(got, r); return true }); err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(got, want) {
+				t.Fatalf("loaded scan %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// shardedFileParts serializes a sharded grid index and splits it into its
+// newline-delimited frames for corruption tests. The 5x3 grid splits into
+// UNEQUAL cells ([3,3] with 9 records, then [2,3] with 6) so that
+// duplicating or swapping frames is detectable — equal-shaped frames would
+// describe a different but perfectly valid index.
+func shardedFileParts(t *testing.T) []string {
+	t.Helper()
+	sx, err := spectrallpm.BuildSharded(context.Background(), 2,
+		spectrallpm.WithGrid(5, 3), spectrallpm.WithPageSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parts := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(parts) != 3 {
+		t.Fatalf("expected header + 2 shards, got %d lines", len(parts))
+	}
+	if !strings.Contains(parts[0], `"origin":[0,0],"records":9`) || !strings.Contains(parts[0], `"origin":[3,0],"records":6`) {
+		t.Fatalf("unexpected header layout: %s", parts[0])
+	}
+	return parts
+}
+
+// TestReadShardedRejectsCorrupt drives the adversarial validation of the
+// multi-shard codec: every tampered file must fail with ErrCorruptIndex
+// (or a decode error), never load inconsistently or panic.
+func TestReadShardedRejectsCorrupt(t *testing.T) {
+	parts := shardedFileParts(t)
+	corrupt := map[string][]string{
+		"record count mismatch": {
+			strings.Replace(parts[0], `"records":9`, `"records":7`, 1), parts[1], parts[2]},
+		"records exceed grid": {
+			strings.Replace(parts[0], `"origin":[3,0],"records":6`, `"origin":[3,0],"records":60`, 1), parts[1], parts[2]},
+		"overlapping shards": {
+			strings.Replace(parts[0], `"origin":[3,0]`, `"origin":[0,0]`, 1), parts[1], parts[2]},
+		"cell outside grid": {
+			strings.Replace(parts[0], `"origin":[3,0]`, `"origin":[4,0]`, 1), parts[1], parts[2]},
+		"shard kind mismatch": {
+			strings.Replace(parts[0], `"shards":[`, `"points":true,"shards":[`, 1), parts[1], parts[2]},
+		"duplicated frame": {parts[0], parts[1], parts[1]},
+		"swapped frames":   {parts[0], parts[2], parts[1]},
+		"missing frame":    {parts[0], parts[1]},
+		"no shards": {
+			`{"format":"spectrallpm-sharded-index","version":1,"dims":[5,3],"records_per_page":4,"shards":[]}`},
+		"zero-record shard": {
+			strings.Replace(parts[0], `"origin":[0,0],"records":9`, `"origin":[0,0],"records":0`, 1), parts[1], parts[2]},
+		"bad page size": {
+			strings.Replace(parts[0], `"records_per_page":4`, `"records_per_page":0`, 1), parts[1], parts[2]},
+		"page size mismatch": {
+			strings.Replace(parts[0], `"records_per_page":4`, `"records_per_page":8`, 1), parts[1], parts[2]},
+		"bad dims": {
+			strings.Replace(parts[0], `"dims":[5,3]`, `"dims":[5,-3]`, 1), parts[1], parts[2]},
+		"origin arity": {
+			strings.Replace(parts[0], `"origin":[3,0]`, `"origin":[3]`, 1), parts[1], parts[2]},
+	}
+	for name, lines := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			_, err := spectrallpm.ReadSharded(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+			if err == nil {
+				t.Fatal("corrupt sharded file accepted")
+			}
+		})
+	}
+	// Sanity: the pristine file still loads and wrong-format/version tags
+	// are classified before any shard work.
+	if _, err := spectrallpm.ReadSharded(strings.NewReader(strings.Join(parts, "\n") + "\n")); err != nil {
+		t.Fatalf("pristine file rejected: %v", err)
+	}
+	if _, err := spectrallpm.ReadSharded(strings.NewReader(parts[1] + "\n")); err == nil {
+		t.Fatal("single-index file accepted as sharded")
+	}
+	future := strings.Replace(parts[0], `"version":1`, `"version":9`, 1)
+	if _, err := spectrallpm.ReadSharded(strings.NewReader(future + "\n" + parts[1] + "\n" + parts[2] + "\n")); err == nil {
+		t.Fatal("future version accepted")
+	}
+	tooMany := strings.NewReader(`{"format":"spectrallpm-sharded-index","version":1,"dims":[99999,99999],"records_per_page":4,"shards":[` +
+		strings.Repeat(`{"records":1,"origin":[0,0]},`, 5000) + `{"records":1,"origin":[0,0]}]}` + "\n")
+	if _, err := spectrallpm.ReadSharded(tooMany); !errors.Is(err, spectrallpm.ErrCorruptIndex) {
+		t.Fatalf("oversized shard count err = %v", err)
+	}
+}
+
+// TestReadShardedRejectsDuplicatePoints covers the point-kind cross-shard
+// invariant: the same point declared by two shards is corrupt.
+func TestReadShardedRejectsDuplicatePoints(t *testing.T) {
+	sx, err := spectrallpm.BuildSharded(context.Background(), 2,
+		spectrallpm.WithPoints([][]int{{0, 0}, {0, 1}, {3, 3}, {3, 4}}), spectrallpm.WithPageSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	// Duplicate one shard frame in place of the other (fixing the header's
+	// record counts to match, so only the cross-shard check can object).
+	dup := strings.Join([]string{lines[0], lines[1], lines[1]}, "\n") + "\n"
+	if _, err := spectrallpm.ReadSharded(strings.NewReader(dup)); !errors.Is(err, spectrallpm.ErrCorruptIndex) {
+		t.Fatalf("duplicate points err = %v", err)
+	}
+}
