@@ -6,17 +6,27 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'IndexServing|BoxQuery' -benchmem . | benchjson > BENCH_query.json
+//	go test -run '^$' -bench 'IndexServing|BoxQuery' -benchmem . | benchjson -baseline BENCH_query.json
 //
 // Standard columns become fixed fields (iterations, ns_per_op, bytes_per_op,
 // allocs_per_op); any extra b.ReportMetric pairs land in "metrics". Context
 // lines (goos/goarch/cpu/pkg) are carried through. Output is deterministic
 // for a given input: benchmarks keep input order and keys are sorted by
 // encoding/json.
+//
+// With -baseline FILE the fresh run is instead DIFFED against a previously
+// committed report: one line per benchmark with old/new ns/op and the
+// percentage delta (plus B/op and allocs/op changes when they moved), and
+// trailing lists of benchmarks only one side has. The diff is warn-only by
+// design — it always exits 0 unless the input cannot be parsed — so CI can
+// surface regressions in the job log without turning machine noise into
+// build failures.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -51,16 +61,103 @@ type report struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
 
 func main() {
+	baseline := flag.String("baseline", "", "committed report (e.g. BENCH_query.json) to diff the fresh run against instead of emitting JSON; deltas are warn-only")
+	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		diff(os.Stdout, base, rep)
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// loadReport reads a previously emitted JSON report.
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// gomaxprocsSuffix matches the "-8" style suffix `go test -bench` appends.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// diff prints a per-benchmark comparison of a fresh run against a committed
+// baseline. Names are matched exactly first, then with the -GOMAXPROCS
+// suffix stripped from the fresh side, the baseline side, and both — so a
+// suffix-free committed report lines up with a suffixed CI rerun (and an
+// 8-way report with a 4-way one). Exact-first ordering keeps a name whose
+// own tail looks like the suffix, e.g. rank-batch-64, from being eaten when
+// its exact partner exists; when only one side carries a machine suffix the
+// one-sided strips recover it (`rank-batch-64-4` → `rank-batch-64`).
+func diff(w io.Writer, baseline, fresh *report) {
+	baseExact := make(map[string]result, len(baseline.Benchmarks))
+	baseStripped := make(map[string]result, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		baseExact[b.Name] = b
+		baseStripped[gomaxprocsSuffix.ReplaceAllString(b.Name, "")] = b
+	}
+	matchedBase := make(map[string]bool)
+	var missing []string
+	fmt.Fprintf(w, "%-55s %14s %14s %8s\n", "benchmark (vs baseline)", "old ns/op", "new ns/op", "delta")
+	for _, b := range fresh.Benchmarks {
+		stripped := gomaxprocsSuffix.ReplaceAllString(b.Name, "")
+		old, ok := baseExact[b.Name]
+		if !ok {
+			old, ok = baseExact[stripped] // fresh suffixed, baseline not
+		}
+		if !ok {
+			old, ok = baseStripped[b.Name] // baseline suffixed, fresh not
+		}
+		if !ok {
+			old, ok = baseStripped[stripped] // both suffixed, different P
+		}
+		if !ok {
+			missing = append(missing, b.Name) // reported as new below
+			continue
+		}
+		matchedBase[old.Name] = true
+		delta := "n/a"
+		if old.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(b.NsPerOp-old.NsPerOp)/old.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-55s %14.4g %14.4g %8s", b.Name, old.NsPerOp, b.NsPerOp, delta)
+		// Memory columns print only when both sides reported them: a side
+		// that simply ran without -benchmem is not a regression.
+		if old.AllocsPerOp != nil && b.AllocsPerOp != nil && *old.AllocsPerOp != *b.AllocsPerOp {
+			fmt.Fprintf(w, "  allocs/op %g -> %g", *old.AllocsPerOp, *b.AllocsPerOp)
+		}
+		if old.BytesPerOp != nil && b.BytesPerOp != nil && *old.BytesPerOp != *b.BytesPerOp {
+			fmt.Fprintf(w, "  B/op %g -> %g", *old.BytesPerOp, *b.BytesPerOp)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(w, "new (not in baseline): %s\n", name)
+	}
+	for _, b := range baseline.Benchmarks {
+		if !matchedBase[b.Name] {
+			fmt.Fprintf(w, "missing from this run: %s\n", b.Name)
+		}
 	}
 }
 

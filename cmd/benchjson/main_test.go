@@ -42,6 +42,75 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestDiff(t *testing.T) {
+	two := 2.0
+	zero := 0.0
+	baseline := &report{Benchmarks: []result{
+		{Name: "BenchmarkIndexServing/rank", NsPerOp: 31.0, AllocsPerOp: &two},
+		{Name: "BenchmarkIndexServing/pages-8x8", NsPerOp: 650},
+		{Name: "BenchmarkGone/only-in-baseline", NsPerOp: 10},
+	}}
+	fresh := &report{Benchmarks: []result{
+		// -8 suffix on the fresh side must still match the bare baseline name.
+		{Name: "BenchmarkIndexServing/rank-8", NsPerOp: 15.5, AllocsPerOp: &zero},
+		{Name: "BenchmarkIndexServing/pages-8x8", NsPerOp: 1300},
+		{Name: "BenchmarkNew/only-in-run", NsPerOp: 5},
+	}}
+	var buf strings.Builder
+	diff(&buf, baseline, fresh)
+	out := buf.String()
+	for _, want := range []string{
+		"-50.0%",           // rank got 2x faster
+		"+100.0%",          // pages regressed 2x
+		"allocs/op 2 -> 0", // alloc delta surfaced
+		"new (not in baseline): BenchmarkNew/only-in-run",
+		"missing from this run: BenchmarkGone/only-in-baseline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffExactNameWins: a benchmark whose own name ends in -<digits>
+// (rank-batch-64) must not be confused with a suffix-stripped sibling when
+// the exact name is present on both sides.
+func TestDiffExactNameWins(t *testing.T) {
+	baseline := &report{Benchmarks: []result{
+		{Name: "BenchmarkIndexServing/rank-batch-64", NsPerOp: 100},
+	}}
+	fresh := &report{Benchmarks: []result{
+		{Name: "BenchmarkIndexServing/rank-batch-64", NsPerOp: 110},
+	}}
+	var buf strings.Builder
+	diff(&buf, baseline, fresh)
+	if !strings.Contains(buf.String(), "+10.0%") {
+		t.Errorf("exact-name match lost:\n%s", buf.String())
+	}
+}
+
+// TestDiffOneSidedSuffix: a suffix-free committed report (the usual shape
+// of BENCH_query.json) must line up with a suffixed CI rerun even for a
+// benchmark whose own name ends in -<digits> — stripping only the fresh
+// side recovers the pair that two-sided stripping would destroy.
+func TestDiffOneSidedSuffix(t *testing.T) {
+	baseline := &report{Benchmarks: []result{
+		{Name: "BenchmarkIndexServing/rank-batch-64", NsPerOp: 100},
+	}}
+	fresh := &report{Benchmarks: []result{
+		{Name: "BenchmarkIndexServing/rank-batch-64-4", NsPerOp: 150},
+	}}
+	var buf strings.Builder
+	diff(&buf, baseline, fresh)
+	out := buf.String()
+	if !strings.Contains(out, "+50.0%") {
+		t.Errorf("one-sided suffix match lost:\n%s", out)
+	}
+	if strings.Contains(out, "new (not in baseline)") || strings.Contains(out, "missing from this run") {
+		t.Errorf("matched benchmark misreported as new/missing:\n%s", out)
+	}
+}
+
 func TestParseRejectsMalformed(t *testing.T) {
 	if _, err := parse(strings.NewReader("BenchmarkX-8  12  34 ns/op stray\n")); err == nil {
 		t.Error("odd field count accepted")

@@ -213,6 +213,13 @@ func printServe(w io.Writer, cfg experiments.Config, serve serveConfig) error {
 			return err
 		}
 		reloadMS := float64(time.Since(reloadStart).Microseconds()) / 1e3
+		// Mark the analytic default-grid build path: a "spectral/cf" row
+		// was ordered in closed form with zero eigensolves (forcing
+		// -solver switches it back to an eigensolver row named plain
+		// "spectral").
+		if built.Solver() == spectrallpm.SolverClosedForm {
+			name += "/cf"
+		}
 		if err := serveRow(w, name, ix, buildMS, reloadMS, boxes, qside); err != nil {
 			return err
 		}

@@ -14,8 +14,10 @@ import (
 // The serialized index format: a single JSON object, one line, with a
 // format tag and an explicit version so servers can reject files from the
 // future. Version 1 carries the mapping name, the grid dimensions, the
-// connectivity/weights provenance of spectral orders, per-component λ₂,
-// the page size, the point set (point-set indexes only), and the rank
+// connectivity/weights/solver provenance of spectral orders ("solver" is
+// "closed-form" for the analytic default-grid path and absent for an
+// eigensolve — absence keeps pre-existing files byte-stable), per-component
+// λ₂, the page size, the point set (point-set indexes only), and the rank
 // permutation. Serialization is deterministic: the same index always
 // produces the same bytes, and WriteTo∘ReadIndex is the identity on those
 // bytes.
@@ -41,6 +43,7 @@ type indexFileV1 struct {
 	Connectivity   string    `json:"connectivity,omitempty"`
 	Weights        string    `json:"weights,omitempty"`
 	Affinity       int       `json:"affinity,omitempty"`
+	Solver         string    `json:"solver,omitempty"`
 	Lambda2        []float64 `json:"lambda2,omitempty"`
 	RecordsPerPage int       `json:"records_per_page"`
 	Points         *[][]int  `json:"points,omitempty"`
@@ -57,6 +60,7 @@ func (ix *Index) wireForm() indexFileV1 {
 		Connectivity:   ix.meta.connectivity,
 		Weights:        ix.meta.weights,
 		Affinity:       ix.meta.affinity,
+		Solver:         ix.meta.solver,
 		Lambda2:        ix.lambda2,
 		RecordsPerPage: ix.pager.RecordsPerPage(),
 	}
@@ -142,7 +146,7 @@ func indexFromFile(f *indexFileV1) (*Index, error) {
 		name:    f.Name,
 		grid:    grid,
 		lambda2: f.Lambda2,
-		meta:    provenance{connectivity: f.Connectivity, weights: f.Weights, affinity: f.Affinity},
+		meta:    provenance{connectivity: f.Connectivity, weights: f.Weights, affinity: f.Affinity, solver: f.Solver},
 	}
 	if f.Points != nil {
 		if err := loadPointSet(ix, grid, f); err != nil {

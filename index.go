@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/spectral-lpm/spectrallpm/internal/analytic"
 	"github.com/spectral-lpm/spectrallpm/internal/core"
 	"github.com/spectral-lpm/spectrallpm/internal/eigen"
 	"github.com/spectral-lpm/spectrallpm/internal/graph"
@@ -65,12 +66,19 @@ type Index struct {
 // a box query emits matches already sorted by rank.
 const pointTreeFanout = 16
 
+// SolverClosedForm is the Solver() provenance of a spectral grid index
+// whose order was computed analytically (zero eigensolves) — the automatic
+// fast path for default grids. An empty Solver() means an eigensolve (or a
+// non-spectral mapping, which runs no solve at all).
+const SolverClosedForm = "closed-form"
+
 // provenance records how the order was built, so a loaded index can report
 // (and re-serialize) its origin without recomputing anything.
 type provenance struct {
 	connectivity string // "orthogonal" | "diagonal" | "" (curve/rank mappings)
 	weights      string // "unit" | "custom" | ""
 	affinity     int    // number of affinity edges folded into the graph
+	solver       string // SolverClosedForm | "" (eigensolve or no solve)
 }
 
 // buildConfig accumulates Build's functional options.
@@ -279,26 +287,9 @@ func buildGridIndex(ctx context.Context, cfg *buildConfig) (*Index, error) {
 		}
 		ix.mapping = m
 	case cfg.name == "spectral":
-		gr := graph.GridGraphWeighted(cfg.grid, cfg.conn, cfg.weight)
-		for _, e := range cfg.affinity {
-			if err := gr.AddEdge(e.U, e.V, e.Weight); err != nil {
-				return nil, fmt.Errorf("spectrallpm: affinity edge: %w", err)
-			}
-		}
-		if err := ctx.Err(); err != nil {
+		if err := buildSpectralGrid(ctx, cfg, ix); err != nil {
 			return nil, err
 		}
-		res, err := core.SpectralOrder(gr, core.Options{Solver: cfg.solver, Degeneracy: cfg.degeneracy})
-		if err != nil {
-			return nil, err
-		}
-		m, err := order.FromRanks("spectral", cfg.grid, res.Rank)
-		if err != nil {
-			return nil, err
-		}
-		ix.mapping = m
-		ix.lambda2 = res.Lambda2
-		ix.meta = spectralProvenance(cfg)
 	default:
 		if err := rejectGraphOptions(cfg, "curve mappings", false); err != nil {
 			return nil, err
@@ -321,6 +312,72 @@ func buildGridIndex(ctx context.Context, cfg *buildConfig) (*Index, error) {
 	ix.pager = st.Pager()
 	ix.par = cfg.solver.Parallelism
 	return ix, nil
+}
+
+// buildSpectralGrid fills ix with the spectral order of the grid: the
+// closed-form engine when the request is exactly the paper's default
+// construction (see closedFormApplies), the eigensolver otherwise. Both
+// paths share the ordering semantics (internal/core's snapping, recursive
+// tie-breaking, and orientation) and the degenerate-eigenspace mixing
+// engine, so the closed form is pinned rank-for-rank to the solver.
+func buildSpectralGrid(ctx context.Context, cfg *buildConfig, ix *Index) error {
+	if closedFormApplies(cfg) {
+		ar, err := analytic.GridOrder(cfg.grid, cfg.solver.Seed)
+		if err == nil {
+			m, err := order.FromRanks("spectral", cfg.grid, ar.Rank)
+			if err != nil {
+				return err
+			}
+			ix.mapping = m
+			ix.lambda2 = []float64{ar.Lambda2}
+			ix.meta = spectralProvenance(cfg)
+			ix.meta.solver = SolverClosedForm
+			return nil
+		}
+		// Any closed-form refusal (e.g. more tied longest axes than the
+		// mixing cap) runs the eigensolver instead.
+	}
+	gr := graph.GridGraphWeighted(cfg.grid, cfg.conn, cfg.weight)
+	for _, e := range cfg.affinity {
+		if err := gr.AddEdge(e.U, e.V, e.Weight); err != nil {
+			return fmt.Errorf("spectrallpm: affinity edge: %w", err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	res, err := core.SpectralOrder(gr, core.Options{Solver: cfg.solver, Degeneracy: cfg.degeneracy})
+	if err != nil {
+		return err
+	}
+	m, err := order.FromRanks("spectral", cfg.grid, res.Rank)
+	if err != nil {
+		return err
+	}
+	ix.mapping = m
+	ix.lambda2 = res.Lambda2
+	ix.meta = spectralProvenance(cfg)
+	return nil
+}
+
+// closedFormApplies reports whether a grid build is exactly the paper's
+// default construction served by internal/analytic: orthogonal
+// connectivity, unit weights, no affinity edges, the balanced degeneracy
+// policy, and default solver semantics. Forcing any solver knob that could
+// change the numerics (WithSolverMethod, a custom tolerance or cutoff)
+// opts out and runs the requested eigensolver — which is also the escape
+// hatch the oracle tests use to compare the two paths. Seed feeds the
+// closed form's degenerate mixing exactly as it feeds the solver's;
+// Parallelism never changes results on either path.
+func closedFormApplies(cfg *buildConfig) bool {
+	s := cfg.solver
+	return cfg.conn == graph.Orthogonal &&
+		cfg.weight == nil &&
+		len(cfg.affinity) == 0 &&
+		cfg.degeneracy == core.DegeneracyBalanced &&
+		s.Method == eigen.MethodAuto &&
+		s.Tol == 0 && s.MaxIter == 0 && s.DenseCutoff == 0 && s.MultilevelCutoff == 0 &&
+		analytic.Applicable(cfg.grid)
 }
 
 // rejectGraphOptions fails builds that combine graph-shaping options with
@@ -497,6 +554,11 @@ func (ix *Index) D() int { return ix.grid.D() }
 // indexes.
 func (ix *Index) Lambda2() []float64 { return append([]float64(nil), ix.lambda2...) }
 
+// Solver reports how a spectral order was computed: SolverClosedForm for
+// the analytic default-grid fast path, "" for an eigensolve (or for
+// mappings that run no solve). The value persists through WriteTo/ReadIndex.
+func (ix *Index) Solver() string { return ix.meta.solver }
+
 // RecordsPerPage returns the page capacity backing Pages and QueryIO.
 func (ix *Index) RecordsPerPage() int { return ix.pager.RecordsPerPage() }
 
@@ -524,7 +586,10 @@ func (ix *Index) Points() [][]int {
 // Rank returns the 1-D position of the point with the given coordinates.
 // It never panics: a wrong arity or an out-of-grid coordinate returns
 // ErrDimensionMismatch (full-grid indexes), and a point absent from a
-// point-set index returns ErrPointNotIndexed.
+// point-set index returns ErrPointNotIndexed. Rank performs zero heap
+// allocations on success: no error path references the coords slice
+// directly (errPointNotIndexed formats a copy), so the compiler keeps the
+// variadic argument on the caller's stack.
 func (ix *Index) Rank(coords ...int) (int, error) {
 	d := ix.grid.D()
 	if len(coords) != d {
@@ -536,7 +601,7 @@ func (ix *Index) Rank(coords ...int) (int, error) {
 			if ix.mapping != nil {
 				return 0, fmt.Errorf("spectrallpm: coordinate %d outside [0,%d): %w", c, dims[i], ErrDimensionMismatch)
 			}
-			return 0, fmt.Errorf("spectrallpm: point %v: %w", coords, ErrPointNotIndexed)
+			return 0, errPointNotIndexed(coords)
 		}
 	}
 	id := ix.grid.ID(coords)
@@ -545,9 +610,17 @@ func (ix *Index) Rank(coords ...int) (int, error) {
 	}
 	i, ok := slices.BinarySearch(ix.idSorted, id)
 	if !ok {
-		return 0, fmt.Errorf("spectrallpm: point %v: %w", coords, ErrPointNotIndexed)
+		return 0, errPointNotIndexed(coords)
 	}
 	return ix.rank[ix.pidOf[i]], nil
+}
+
+// errPointNotIndexed formats the not-indexed error from a COPY of coords.
+// Passing the caller's slice to fmt directly would leak it to the heap and
+// cost the hot Rank path one allocation per call even on success — the
+// copy confines the allocation to the error branch.
+func errPointNotIndexed(coords []int) error {
+	return fmt.Errorf("spectrallpm: point %v: %w", append([]int(nil), coords...), ErrPointNotIndexed)
 }
 
 // Point returns the coordinates of the point at the given rank. The

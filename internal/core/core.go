@@ -25,8 +25,10 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/spectral-lpm/spectrallpm/internal/eigen"
@@ -54,8 +56,9 @@ type Result struct {
 	// vertex v.
 	Rank []int
 	// Fiedler holds each vertex's Fiedler-vector component (step 4's x_i),
-	// per component of the graph. Ties in these values are broken by
-	// vertex id to keep the order deterministic.
+	// per component of the graph, oriented so the order ascends with the
+	// values. Near-equal values form tie groups broken by the paper's
+	// recursive tie-breaking (see OrderByValues in tiebreak.go).
 	Fiedler []float64
 	// Lambda2 is λ₂ (the algebraic connectivity) of each connected
 	// component, in component order.
@@ -109,20 +112,94 @@ func SpectralOrder(g *graph.Graph, opt Options) (*Result, error) {
 		for i, v := range ids {
 			res.Fiedler[v] = vec[i]
 		}
-		ordered := append([]int(nil), ids...)
-		sort.SliceStable(ordered, func(a, b int) bool {
-			fa, fb := res.Fiedler[ordered[a]], res.Fiedler[ordered[b]]
-			if fa != fb {
-				return fa < fb
-			}
-			return ordered[a] < ordered[b]
+		// Canonical ordering (see tiebreak.go): snapped tie groups, the
+		// paper's recursive tie-breaking on each group, deterministic
+		// orientation. This is what makes the order a function of the
+		// spectrum instead of the solver's rounding.
+		vals := make([]float64, len(ids))
+		for i, v := range ids {
+			vals[i] = res.Fiedler[v]
+		}
+		// Tie groups with identical induced subgraphs share one recursive
+		// solve: the constant-Fiedler slabs of a rectangular grid are
+		// translation-congruent, so one slab's order serves all of them
+		// (the analytic engine memoizes the same way in slabRanks).
+		tieCache := map[string][]int{}
+		ordered, flipped, err := OrderByValues(ids, vals, func(group []int) ([]int, error) {
+			return resolveTieGroup(g, group, opt, tieCache)
 		})
+		if err != nil {
+			return nil, fmt.Errorf("core: tie-break on %d-vertex component: %w", len(comp), err)
+		}
+		if flipped {
+			for _, v := range comp {
+				res.Fiedler[v] = -res.Fiedler[v]
+			}
+		}
 		res.Order = append(res.Order, ordered...)
 	}
 	for r, v := range res.Order {
 		res.Rank[v] = r
 	}
 	return res, nil
+}
+
+// resolveTieGroup is the paper's recursive tie-breaking: the vertices of one
+// snapped tie group are ordered by Spectral LPM on the subgraph they induce.
+// On a rectangular grid the tied vertices are a slab perpendicular to the
+// longest axis and the recursion orders the slab as the (d−1)-dimensional
+// grid it is; on a balanced square mix the tied vertices are mutually
+// non-adjacent and the recursion degrades to singleton components in id
+// order. Termination: the group is a strict subset of its component
+// (OrderByValues handles the full-component case itself), so every level
+// strictly shrinks. cache maps a canonical subgraph-shape key to its local
+// order, so congruent groups (the M slabs of a rectangular grid, which
+// induce identical local subgraphs) pay for one solve, not M.
+func resolveTieGroup(g *graph.Graph, group []int, opt Options, cache map[string][]int) ([]int, error) {
+	if len(group) == 2 {
+		// Either possible induced subgraph orders a pair ascending by id:
+		// K₂'s deterministic fast path and two singleton components both
+		// emit the smaller id first. Balanced square grids produce ~N/2
+		// such pair groups, so skipping the Subgraph machinery here is the
+		// difference between a per-group map and nothing.
+		return group, nil
+	}
+	sub, sids, err := g.Subgraph(group)
+	if err != nil {
+		return nil, err
+	}
+	key := subgraphKey(sub)
+	local, ok := cache[key]
+	if !ok {
+		res, err := SpectralOrder(sub, opt)
+		if err != nil {
+			return nil, err
+		}
+		local = res.Order
+		cache[key] = local
+	}
+	out := make([]int, len(group))
+	for r, v := range local {
+		out[r] = sids[v]
+	}
+	return out, nil
+}
+
+// subgraphKey serializes a subgraph's structure (vertex count plus the
+// weighted edge list in Edges's deterministic iteration order) into a cache
+// key. Subgraph relabels vertices in ascending original-id order, so two
+// translation-congruent tie groups produce byte-identical keys — and
+// SpectralOrder is deterministic in (graph, options), so equal keys imply
+// equal local orders.
+func subgraphKey(g *graph.Graph) string {
+	buf := make([]byte, 0, 16+16*g.NumEdges())
+	buf = binary.AppendVarint(buf, int64(g.N()))
+	g.Edges(func(u, v int, w float64) {
+		buf = binary.AppendVarint(buf, int64(u))
+		buf = binary.AppendVarint(buf, int64(v))
+		buf = binary.AppendUvarint(buf, math.Float64bits(w))
+	})
+	return string(buf)
 }
 
 // ArrangementCost returns the paper's Theorem 1 objective for an arbitrary

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"math/rand"
 
 	"github.com/spectral-lpm/spectrallpm/internal/eigen"
 	"github.com/spectral-lpm/spectrallpm/internal/graph"
@@ -160,125 +159,9 @@ func fiedlerEigenspace(op eigen.Operator, n int, lambda2 float64, opt Options) (
 	}
 }
 
-// minimizeQuartic finds the unit vector x = Σ c_j basis_j minimizing
-// f(c) = Σ_{(u,v)∈E} w(u,v)·(x_u − x_v)⁴ by projected gradient descent on
-// the unit sphere in coefficient space, with deterministic restarts. m is
-// tiny (≤ 8), so this is cheap: each evaluation is O(|E|·m).
+// minimizeQuartic finds the unit eigenspace vector minimizing the quartic
+// edge objective Σ w·(x_u − x_v)⁴ through the shared basis-independent
+// engine (see quartic.go). m is tiny (≤ 8), so each evaluation is O(|E|·m).
 func minimizeQuartic(g *graph.Graph, basis [][]float64, seed int64) []float64 {
-	m := len(basis)
-	// Per-edge differences of each basis vector.
-	type edgeDiff struct {
-		w float64
-		d []float64
-	}
-	var edges []edgeDiff
-	g.Edges(func(u, v int, w float64) {
-		d := make([]float64, m)
-		for j, b := range basis {
-			d[j] = b[u] - b[v]
-		}
-		edges = append(edges, edgeDiff{w: w, d: d})
-	})
-
-	objective := func(c []float64) float64 {
-		var f float64
-		for _, e := range edges {
-			var delta float64
-			for j := range c {
-				delta += c[j] * e.d[j]
-			}
-			sq := delta * delta
-			f += e.w * sq * sq
-		}
-		return f
-	}
-	gradient := func(c, out []float64) {
-		la.Zero(out)
-		for _, e := range edges {
-			var delta float64
-			for j := range c {
-				delta += c[j] * e.d[j]
-			}
-			coef := 4 * e.w * delta * delta * delta
-			for j := range out {
-				out[j] += coef * e.d[j]
-			}
-		}
-	}
-
-	normalizeC := func(c []float64) {
-		if la.Normalize(c) == 0 {
-			c[0] = 1
-		}
-	}
-	descend := func(c []float64) ([]float64, float64) {
-		grad := make([]float64, m)
-		trial := make([]float64, m)
-		f := objective(c)
-		step := 0.5
-		for it := 0; it < 200 && step > 1e-12; it++ {
-			gradient(c, grad)
-			// Project the gradient onto the tangent space of the sphere.
-			la.Axpy(-la.Dot(grad, c), c, grad)
-			gn := la.Norm2(grad)
-			if gn < 1e-14*(1+f) {
-				break
-			}
-			la.Copy(trial, c)
-			la.Axpy(-step/gn, grad, trial)
-			normalizeC(trial)
-			if ft := objective(trial); ft < f {
-				la.Copy(c, trial)
-				f = ft
-				step *= 1.2
-			} else {
-				step *= 0.5
-			}
-		}
-		return c, f
-	}
-
-	rng := rand.New(rand.NewSource(seed + 12345))
-	var best []float64
-	bestF := math.Inf(1)
-	starts := [][]float64{make([]float64, m)}
-	for j := range starts[0] {
-		starts[0][j] = 1 // the all-mix start
-	}
-	for r := 0; r < 3+m; r++ {
-		c := make([]float64, m)
-		for j := range c {
-			c[j] = rng.NormFloat64()
-		}
-		starts = append(starts, c)
-	}
-	for _, c0 := range starts {
-		normalizeC(c0)
-		c, f := descend(c0)
-		if f < bestF {
-			bestF = f
-			best = append([]float64(nil), c...)
-		}
-	}
-	x := make([]float64, len(basis[0]))
-	for j, b := range basis {
-		la.Axpy(best[j], b, x)
-	}
-	la.Normalize(x)
-	// Deterministic sign: largest-magnitude entry positive.
-	var maxAbs, sign float64 = 0, 1
-	for _, v := range x {
-		if a := math.Abs(v); a > maxAbs {
-			maxAbs = a
-			if v < 0 {
-				sign = -1
-			} else {
-				sign = 1
-			}
-		}
-	}
-	if sign < 0 {
-		la.Scale(-1, x)
-	}
-	return x
+	return MixBalanced(newEdgeMixSpace(g, basis), seed)
 }

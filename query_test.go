@@ -328,3 +328,91 @@ func TestScanZeroAlloc(t *testing.T) {
 		t.Fatal("yield never ran")
 	}
 }
+
+// TestRankZeroAlloc pins Rank at zero heap allocations per call on every
+// index flavor. The historical 1 alloc/16 B per op (BENCH_query.json) was
+// the variadic coords slice escaping to the heap because the error paths
+// handed it to fmt; errPointNotIndexed now formats a copy, so the compiler
+// keeps the caller's argument on the stack.
+func TestRankZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	grid, err := spectrallpm.Build(context.Background(),
+		spectrallpm.WithGrid(16, 16), spectrallpm.WithMapping("hilbert"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := spectrallpm.Build(context.Background(),
+		spectrallpm.WithPoints([][]int{{0, 0}, {0, 1}, {3, 2}, {7, 7}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := spectrallpm.BuildSharded(context.Background(), 4,
+		spectrallpm.WithGrid(16, 16), spectrallpm.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fn := range map[string]func(){
+		"grid": func() {
+			if _, err := grid.Rank(3, 7); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"points": func() {
+			if _, err := points.Rank(3, 2); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"sharded": func() {
+			if _, err := sharded.Rank(9, 12); err != nil {
+				t.Fatal(err)
+			}
+		},
+	} {
+		if avg := testing.AllocsPerRun(100, fn); avg != 0 {
+			t.Errorf("%s Rank allocates %.1f per op, want 0", name, avg)
+		}
+	}
+}
+
+// TestScanRangeAllocsPinned documents and pins the small-box Scan cost
+// when consumed with a range statement (BENCH_query.json's scan-8x8 rows:
+// 3 allocs/40 B per op). The allocations are NOT in the library — the
+// iterator shell and rank scratch are pooled, and TestScanZeroAlloc shows
+// the same sequence consumed through a predeclared yield func is
+// allocation-free. They are the call site's: `for range seq` synthesizes a
+// fresh yield closure per loop and moves the locals it captures (here the
+// result counter) to the heap, which no callee can avoid. Serving loops
+// that care should predeclare the yield (or use ScanInto); this test pins
+// the range-form ceiling so a library regression underneath it still
+// surfaces.
+func TestScanRangeAllocsPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	ix, err := spectrallpm.Build(context.Background(),
+		spectrallpm.WithGrid(64, 64), spectrallpm.WithMapping("hilbert"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := spectrallpm.Box{Start: []int{10, 10}, Dims: []int{8, 8}}
+	n := 0
+	rangeForm := func() {
+		seq, err := ix.Scan(box)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n = 0
+		for range seq {
+			n++
+		}
+	}
+	rangeForm() // warm the pools
+	if n != 64 {
+		t.Fatalf("scan returned %d results", n)
+	}
+	if avg := testing.AllocsPerRun(50, rangeForm); avg > 3 {
+		t.Errorf("range-form Scan allocates %.1f per op, want <= 3 (the range statement's own closure)", avg)
+	}
+}

@@ -97,16 +97,18 @@ func buildShardedGrid(ctx context.Context, shards int, cfg *buildConfig) (*Shard
 	if err != nil {
 		return nil, fmt.Errorf("spectrallpm: %w", err)
 	}
-	// Congruent cells share one solve: a shard's spectral order depends
+	// Congruent cells share one build: a shard's spectral order depends
 	// only on its cell SHAPE (the default graph construction is the same
-	// translated subgrid, and the solve is deterministic in the seed), and
+	// translated subgrid, and the build is deterministic in the seed), and
 	// GridPlan's proportional halving produces few distinct shapes — often
-	// exactly one. Each distinct shape is solved once, in parallel across
+	// exactly one. Each distinct shape is built once, in parallel across
 	// shapes, and every congruent shard serves from the same immutable
-	// Index. This is where sharded build time collapses: S shards of an
-	// evenly split grid cost ONE solve of size N/S instead of S of them
-	// (and instead of the monolithic solve of size N), before worker
-	// parallelism multiplies the win across distinct shapes.
+	// Index. With the closed-form engine the per-shape build is no longer
+	// an eigensolve at all (default grids order analytically), so the
+	// sharing is mostly a memory win on this path — it still collapses S
+	// congruent shards onto one Index; it remains the build-time win
+	// whenever a shard falls back to the solver (forced method, custom
+	// tolerance).
 	d := cfg.grid.D()
 	shapeKey := func(dims []int) string {
 		return fmt.Sprint(dims)
@@ -348,7 +350,9 @@ func (sx *ShardedIndex) NumPages() int { return sx.pager.NumPages() }
 
 // Rank returns the global 1-D position of the point with the given
 // coordinates: the owning shard's local rank plus the shard's rank offset.
-// Errors mirror Index.Rank.
+// Errors mirror Index.Rank. Like Index.Rank it allocates nothing on
+// success: the shard-local translation lives in a fixed stack buffer up to
+// 8 dimensions and error paths never leak the coords slice.
 func (sx *ShardedIndex) Rank(coords ...int) (int, error) {
 	d := sx.grid.D()
 	if len(coords) != d {
@@ -360,10 +364,16 @@ func (sx *ShardedIndex) Rank(coords ...int) (int, error) {
 			if !sx.points {
 				return 0, fmt.Errorf("spectrallpm: coordinate %d outside [0,%d): %w", c, dims[i], ErrDimensionMismatch)
 			}
-			return 0, fmt.Errorf("spectrallpm: point %v: %w", coords, ErrPointNotIndexed)
+			return 0, errPointNotIndexed(coords)
 		}
 	}
-	local := make([]int, d)
+	var buf [8]int
+	local := buf[:]
+	if d > len(buf) {
+		local = make([]int, d)
+	} else {
+		local = local[:d]
+	}
 	for i := range sx.shards {
 		if !boundsContain(sx.lo[i], sx.hi[i], coords) {
 			continue
@@ -381,7 +391,7 @@ func (sx *ShardedIndex) Rank(coords ...int) (int, error) {
 		return r + sx.offset[i], nil
 	}
 	// Grid shards tile the grid, so only point sets reach here.
-	return 0, fmt.Errorf("spectrallpm: point %v: %w", coords, ErrPointNotIndexed)
+	return 0, errPointNotIndexed(coords)
 }
 
 // Point returns the coordinates of the point at the given global rank. The

@@ -39,6 +39,13 @@
 //
 // # Scaling
 //
+// Default grid builds (orthogonal connectivity, unit weights, no affinity,
+// balanced degeneracy — the paper's own construction) run no eigensolve at
+// all: Build computes the order in closed form from the grid Laplacian's
+// analytic eigensystem (internal/analytic) and records
+// "solver":"closed-form" provenance; Index.Solver reports it. Everything
+// below concerns the solver paths that remain.
+//
 // Options.Solver tunes the eigensolver. The default (MethodAuto) runs the
 // dense reference solver on small graphs, deflated inverse power iteration
 // in the mid range, and switches to a multilevel solver (heavy-edge-matching
