@@ -12,6 +12,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"testing"
 
@@ -738,6 +740,134 @@ func BenchmarkBoxQueryPointSweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// writeV2Bench persists an index in the v2 binary format under the
+// benchmark's temp dir and returns the file path.
+func writeV2Bench(b *testing.B, ix *spectrallpm.Index) string {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "index.slpm2")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ix.WriteToV2(f); err != nil {
+		f.Close()
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkMappedOpen measures open-to-first-query latency of the two
+// on-disk formats on a 1024x1024 closed-form spectral index (about a
+// million records). The v1 JSON reader must parse and materialize every
+// array before any query can run; OpenMapped checksums and validates the
+// v2 sections in place — no array is ever copied — and answers the first
+// query straight from the read-only mapping. The v1/v2 latency ratio is
+// attached to the v2 row as mmap_speedup.
+func BenchmarkMappedOpen(b *testing.B) {
+	const side = 1024
+	ix, err := spectrallpm.Build(context.Background(),
+		spectrallpm.WithGrid(side, side), spectrallpm.WithPageSize(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	box := spectrallpm.Box{Start: []int{100, 100}, Dims: []int{4, 4}}
+	var v1 bytes.Buffer
+	if _, err := ix.WriteTo(&v1); err != nil {
+		b.Fatal(err)
+	}
+	path := writeV2Bench(b, ix)
+	var v1ns, v2ns float64
+	b.Run("v1-read+query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rix, err := spectrallpm.ReadIndex(bytes.NewReader(v1.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rix.QueryIO(box); err != nil {
+				b.Fatal(err)
+			}
+		}
+		v1ns = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("v2-mmap+query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mx, err := spectrallpm.OpenMapped(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mx.QueryIO(box); err != nil {
+				b.Fatal(err)
+			}
+			if err := mx.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		v2ns = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		if v1ns > 0 && v2ns > 0 {
+			b.ReportMetric(v1ns/v2ns, "mmap_speedup")
+		}
+	})
+}
+
+// BenchmarkMappedServing runs the zero-alloc serving subset of
+// BenchmarkIndexServing on an index served in place from a read-only v2
+// mapping, so the borrowed-slice engines are tracked by the same perf gate
+// as the owned-slice ones. Steady state must stay at zero allocations per
+// query — the frame refactor's contract is that the engines cannot tell
+// borrowed storage from owned.
+func BenchmarkMappedServing(b *testing.B) {
+	built, err := spectrallpm.Build(context.Background(),
+		spectrallpm.WithGrid(256, 256), spectrallpm.WithMapping("hilbert"),
+		spectrallpm.WithPageSize(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := spectrallpm.OpenMapped(writeV2Bench(b, built))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	box := spectrallpm.Box{Start: []int{100, 100}, Dims: []int{16, 16}}
+	b.Run("scan-16x16@256", func(b *testing.B) {
+		b.ReportAllocs()
+		n := 0
+		yield := func(int, []int) bool { n++; return true }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n = 0
+			if err := ix.ScanInto(box, yield); err != nil {
+				b.Fatal(err)
+			}
+			if n != 256 {
+				b.Fatal("short scan")
+			}
+		}
+	})
+	b.Run("pages-16x16@256", func(b *testing.B) {
+		b.ReportAllocs()
+		var dst []spectrallpm.PageRun
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			dst, err = ix.PagesInto(box, dst[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("queryio-16x16@256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.QueryIO(box); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // buildPointIndexForBench assembles a point-set index from a serialized

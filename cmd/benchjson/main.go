@@ -17,10 +17,17 @@
 // With -baseline FILE the fresh run is instead DIFFED against a previously
 // committed report: one line per benchmark with old/new ns/op and the
 // percentage delta (plus B/op and allocs/op changes when they moved), and
-// trailing lists of benchmarks only one side has. The diff is warn-only by
-// design — it always exits 0 unless the input cannot be parsed — so CI can
-// surface regressions in the job log without turning machine noise into
-// build failures.
+// trailing lists of benchmarks only one side has. By default the diff is
+// warn-only — it exits 0 unless the input cannot be parsed — so regressions
+// surface in the job log without turning machine noise into build failures.
+//
+// Adding -gate turns the diff into a perf gate: the run fails (exit 1) when
+// a matched benchmark's ns/op regresses beyond -tolerance percent (default
+// 15; improvements always pass) or when its allocs/op increases at all —
+// allocation counts are deterministic, so ANY increase is a real
+// regression, not noise. Benchmarks present on only one side stay warnings:
+// a renamed or new benchmark must not fail the build, it must be
+// re-snapshotted.
 package main
 
 import (
@@ -61,7 +68,9 @@ type report struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
 
 func main() {
-	baseline := flag.String("baseline", "", "committed report (e.g. BENCH_query.json) to diff the fresh run against instead of emitting JSON; deltas are warn-only")
+	baseline := flag.String("baseline", "", "committed report (e.g. BENCH_query.json) to diff the fresh run against instead of emitting JSON; warn-only unless -gate")
+	gate := flag.Bool("gate", false, "with -baseline: exit 1 on ns/op regressions beyond -tolerance or on any allocs/op increase")
+	tolerance := flag.Float64("tolerance", 15, "with -gate: allowed ns/op regression in percent before the gate fails")
 	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
@@ -74,7 +83,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		diff(os.Stdout, base, rep)
+		violations := diff(os.Stdout, base, rep, *tolerance)
+		if *gate && len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: perf gate failed (%d violation(s)):\n", len(violations))
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			os.Exit(1)
+		}
 		return
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -109,7 +125,11 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 // own tail looks like the suffix, e.g. rank-batch-64, from being eaten when
 // its exact partner exists; when only one side carries a machine suffix the
 // one-sided strips recover it (`rank-batch-64-4` → `rank-batch-64`).
-func diff(w io.Writer, baseline, fresh *report) {
+//
+// The returned violations list what a gating caller should fail on: ns/op
+// regressions beyond tolerance percent and allocs/op increases of any size.
+// One-sided benchmarks are never violations.
+func diff(w io.Writer, baseline, fresh *report, tolerance float64) []string {
 	baseExact := make(map[string]result, len(baseline.Benchmarks))
 	baseStripped := make(map[string]result, len(baseline.Benchmarks))
 	for _, b := range baseline.Benchmarks {
@@ -117,7 +137,7 @@ func diff(w io.Writer, baseline, fresh *report) {
 		baseStripped[gomaxprocsSuffix.ReplaceAllString(b.Name, "")] = b
 	}
 	matchedBase := make(map[string]bool)
-	var missing []string
+	var missing, violations []string
 	fmt.Fprintf(w, "%-55s %14s %14s %8s\n", "benchmark (vs baseline)", "old ns/op", "new ns/op", "delta")
 	for _, b := range fresh.Benchmarks {
 		stripped := gomaxprocsSuffix.ReplaceAllString(b.Name, "")
@@ -138,13 +158,20 @@ func diff(w io.Writer, baseline, fresh *report) {
 		matchedBase[old.Name] = true
 		delta := "n/a"
 		if old.NsPerOp > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*(b.NsPerOp-old.NsPerOp)/old.NsPerOp)
+			pct := 100 * (b.NsPerOp - old.NsPerOp) / old.NsPerOp
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			if pct > tolerance {
+				violations = append(violations, fmt.Sprintf("%s: ns/op %+.1f%% (tolerance +%.0f%%)", b.Name, pct, tolerance))
+			}
 		}
 		fmt.Fprintf(w, "%-55s %14.4g %14.4g %8s", b.Name, old.NsPerOp, b.NsPerOp, delta)
 		// Memory columns print only when both sides reported them: a side
 		// that simply ran without -benchmem is not a regression.
 		if old.AllocsPerOp != nil && b.AllocsPerOp != nil && *old.AllocsPerOp != *b.AllocsPerOp {
 			fmt.Fprintf(w, "  allocs/op %g -> %g", *old.AllocsPerOp, *b.AllocsPerOp)
+			if *b.AllocsPerOp > *old.AllocsPerOp {
+				violations = append(violations, fmt.Sprintf("%s: allocs/op %g -> %g", b.Name, *old.AllocsPerOp, *b.AllocsPerOp))
+			}
 		}
 		if old.BytesPerOp != nil && b.BytesPerOp != nil && *old.BytesPerOp != *b.BytesPerOp {
 			fmt.Fprintf(w, "  B/op %g -> %g", *old.BytesPerOp, *b.BytesPerOp)
@@ -159,6 +186,7 @@ func diff(w io.Writer, baseline, fresh *report) {
 			fmt.Fprintf(w, "missing from this run: %s\n", b.Name)
 		}
 	}
+	return violations
 }
 
 // parse folds bench output into a report. Unrecognized lines (PASS, ok,

@@ -57,7 +57,7 @@ func TestDiff(t *testing.T) {
 		{Name: "BenchmarkNew/only-in-run", NsPerOp: 5},
 	}}
 	var buf strings.Builder
-	diff(&buf, baseline, fresh)
+	violations := diff(&buf, baseline, fresh, 15)
 	out := buf.String()
 	for _, want := range []string{
 		"-50.0%",           // rank got 2x faster
@@ -69,6 +69,40 @@ func TestDiff(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("diff output missing %q:\n%s", want, out)
 		}
+	}
+	// Exactly one gate violation: the 2x pages regression. The rank
+	// speedup, the alloc DECREASE, and the one-sided benchmarks must all
+	// pass the gate.
+	if len(violations) != 1 || !strings.Contains(violations[0], "pages-8x8") {
+		t.Errorf("violations = %v, want the pages-8x8 regression only", violations)
+	}
+}
+
+// TestDiffGateViolations pins the gate's edges: a regression inside
+// tolerance passes, one beyond it fails, and any allocs/op increase fails
+// regardless of its size or the timing delta.
+func TestDiffGateViolations(t *testing.T) {
+	zero, one := 0.0, 1.0
+	baseline := &report{Benchmarks: []result{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 100},
+		{Name: "BenchmarkC", NsPerOp: 100, AllocsPerOp: &zero},
+	}}
+	fresh := &report{Benchmarks: []result{
+		{Name: "BenchmarkA", NsPerOp: 114},                   // +14%: inside ±15%
+		{Name: "BenchmarkB", NsPerOp: 116},                   // +16%: beyond
+		{Name: "BenchmarkC", NsPerOp: 90, AllocsPerOp: &one}, // faster but now allocates
+	}}
+	var buf strings.Builder
+	violations := diff(&buf, baseline, fresh, 15)
+	if len(violations) != 2 {
+		t.Fatalf("violations = %v, want 2 (BenchmarkB ns/op, BenchmarkC allocs/op)", violations)
+	}
+	if !strings.Contains(violations[0], "BenchmarkB") || !strings.Contains(violations[0], "ns/op") {
+		t.Errorf("violation 0 = %q, want the BenchmarkB ns/op regression", violations[0])
+	}
+	if !strings.Contains(violations[1], "BenchmarkC") || !strings.Contains(violations[1], "allocs/op") {
+		t.Errorf("violation 1 = %q, want the BenchmarkC allocs/op increase", violations[1])
 	}
 }
 
@@ -83,7 +117,7 @@ func TestDiffExactNameWins(t *testing.T) {
 		{Name: "BenchmarkIndexServing/rank-batch-64", NsPerOp: 110},
 	}}
 	var buf strings.Builder
-	diff(&buf, baseline, fresh)
+	diff(&buf, baseline, fresh, 15)
 	if !strings.Contains(buf.String(), "+10.0%") {
 		t.Errorf("exact-name match lost:\n%s", buf.String())
 	}
@@ -101,7 +135,7 @@ func TestDiffOneSidedSuffix(t *testing.T) {
 		{Name: "BenchmarkIndexServing/rank-batch-64-4", NsPerOp: 150},
 	}}
 	var buf strings.Builder
-	diff(&buf, baseline, fresh)
+	diff(&buf, baseline, fresh, 15)
 	out := buf.String()
 	if !strings.Contains(out, "+50.0%") {
 		t.Errorf("one-sided suffix match lost:\n%s", out)

@@ -12,6 +12,11 @@
 //	lpm -mapping spectral -dims 16,16 -conn 8    # §4 eight-connectivity
 //	lpm -dims 64,64 -save order.lpmx             # build once...
 //	lpm -load order.lpmx                         # ...serve many times
+//	lpm -dims 64,64 -save order.lpmx -saveformat v1   # portable JSON instead
+//
+// -save writes the mmap-able v2 binary format by default; -saveformat v1
+// keeps the JSON interchange format. -load detects the format from the
+// file's leading bytes, serving v2 files zero-copy from a read-only map.
 //
 // Output columns: rank, vertex id, coordinates.
 package main
@@ -42,13 +47,14 @@ func main() {
 		solver   = flag.String("solver", "auto", "eigensolver: auto|exact|multilevel|inverse-power|lanczos|dense")
 		pageSize = flag.Int("pagesize", spectrallpm.DefaultRecordsPerPage, "records per storage page")
 		save     = flag.String("save", "", "write the built index to this file")
+		saveFmt  = flag.String("saveformat", "v2", "index file format for -save: v2 (mmap-able binary) or v1 (portable JSON); -load auto-detects")
 		load     = flag.String("load", "", "load a saved index instead of building (build flags like -mapping/-seed/-pagesize are ignored: the file's saved configuration wins)")
 	)
 	flag.Parse()
 	cfg := config{
 		mapping: *mapping, dims: *dims, points: *points, conn: *conn,
 		format: *format, seed: *seed, solver: *solver, pageSize: *pageSize,
-		save: *save, load: *load,
+		save: *save, saveFormat: *saveFmt, load: *load,
 	}
 	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "lpm: %v\n", err)
@@ -63,7 +69,8 @@ type config struct {
 	seed                  int64
 	solver                string
 	pageSize              int
-	save, load            string
+	save, saveFormat      string
+	load                  string
 }
 
 type row struct {
@@ -77,8 +84,11 @@ func run(w io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
+	// Loaded v2 indexes serve from a read-only file mapping; Close releases
+	// it (a no-op for built and v1-loaded indexes).
+	defer ix.Close()
 	if cfg.save != "" {
-		if err := saveIndex(ix, cfg.save); err != nil {
+		if err := saveIndex(ix, cfg.save, cfg.saveFormat); err != nil {
 			return err
 		}
 	}
@@ -122,12 +132,10 @@ func buildIndex(ctx context.Context, cfg config) (*spectrallpm.Index, error) {
 		if cfg.dims != "" || cfg.points != "" {
 			return nil, fmt.Errorf("-load serves a saved index as-is; it cannot be combined with -dims or -points (rebuild and -save instead)")
 		}
-		f, err := os.Open(cfg.load)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return spectrallpm.ReadIndex(f)
+		// OpenIndex sniffs the leading magic bytes: v2 files are served
+		// zero-copy from a read-only map, anything else falls back to the
+		// v1 JSON reader.
+		return spectrallpm.OpenIndex(cfg.load)
 	}
 	method, err := spectrallpm.ParseSolverMethod(cfg.solver)
 	if err != nil {
@@ -168,12 +176,20 @@ func buildIndex(ctx context.Context, cfg config) (*spectrallpm.Index, error) {
 	return spectrallpm.Build(ctx, opts...)
 }
 
-func saveIndex(ix *spectrallpm.Index, path string) error {
+func saveIndex(ix *spectrallpm.Index, path, format string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if _, err := ix.WriteTo(f); err != nil {
+	switch format {
+	case "", "v2": // the flag default; "" covers direct config construction
+		_, err = ix.WriteToV2(f)
+	case "v1":
+		_, err = ix.WriteTo(f)
+	default:
+		err = fmt.Errorf("unknown -saveformat %q (want v1 or v2)", format)
+	}
+	if err != nil {
 		f.Close()
 		return err
 	}

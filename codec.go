@@ -170,6 +170,7 @@ func indexFromFile(f *indexFileV1) (*Index, error) {
 		ix.store = st
 		ix.pager = st.Pager()
 	}
+	ix.initCore()
 	return ix, nil
 }
 

@@ -1,0 +1,23 @@
+package spectrallpm
+
+// Test-only bridges into the v2 decoders so the external test package can
+// drive the zero-copy (borrow=true) validation path on in-memory buffers
+// — the over-read and alignment hazards the fuzzer targets — without
+// round-tripping every input through a mapped file.
+
+func DecodeIndexV2ForTest(data []byte, borrow bool) (*Index, error) {
+	return decodeIndexV2(data, borrow)
+}
+
+func DecodeShardedV2ForTest(data []byte, borrow bool) (*ShardedIndex, error) {
+	return decodeShardedV2(data, borrow)
+}
+
+// SetV2ParallelCutoffForTest lowers the size threshold of the parallel
+// validation passes so small test frames exercise the goroutine-chunked
+// proofs; the returned func restores the default.
+func SetV2ParallelCutoffForTest(n int) (restore func()) {
+	old := v2ParallelCutoff
+	v2ParallelCutoff = n
+	return func() { v2ParallelCutoff = old }
+}

@@ -7,7 +7,6 @@ import (
 	"slices"
 	"sort"
 	"strings"
-	"sync"
 
 	"github.com/spectral-lpm/spectrallpm/internal/analytic"
 	"github.com/spectral-lpm/spectrallpm/internal/core"
@@ -15,6 +14,7 @@ import (
 	"github.com/spectral-lpm/spectrallpm/internal/graph"
 	"github.com/spectral-lpm/spectrallpm/internal/order"
 	"github.com/spectral-lpm/spectrallpm/internal/rtree"
+	"github.com/spectral-lpm/spectrallpm/internal/serve"
 	"github.com/spectral-lpm/spectrallpm/internal/storage"
 )
 
@@ -58,7 +58,9 @@ type Index struct {
 	pager   *storage.Pager
 	lambda2 []float64 // per-component λ₂; nil for curve/rank mappings
 	meta    provenance
-	par     int // serving parallelism (QueryBatch workers); 0 = GOMAXPROCS
+	par     int          // serving parallelism (QueryBatch workers); 0 = GOMAXPROCS
+	core    serve.Core   // the shared serving core all query methods delegate to
+	closeFn func() error // unmaps a mapped index; nil for owned indexes
 }
 
 // pointTreeFanout is the node capacity of the rank-order packed R-tree
@@ -311,6 +313,7 @@ func buildGridIndex(ctx context.Context, cfg *buildConfig) (*Index, error) {
 	ix.store = st
 	ix.pager = st.Pager()
 	ix.par = cfg.solver.Parallelism
+	ix.initCore()
 	return ix, nil
 }
 
@@ -476,6 +479,7 @@ func buildPointIndex(ctx context.Context, cfg *buildConfig) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	ix.initCore()
 	return ix, nil
 }
 
@@ -659,119 +663,22 @@ func (ix *Index) RankBatch(coords [][]int, dst []int) ([]int, error) {
 	return dst, nil
 }
 
-// rankScratch is the pooled heavy workspace of one box query: the rank
-// buffer (which grows to the box's result volume) and the rectangle and
-// point-id scratch of the point-set R-tree probe. It is acquired only for
-// the duration of the work that needs it — inside PagesInto/QueryIO, or
-// inside a Scan sequence's single iteration — and returned on the way out,
-// so an obtained-but-never-iterated Scan sequence can never strand rank
-// scratch (the bug the buffer-reuse contract documents).
-type rankScratch struct {
-	ranks []int
-	pids  []int
-	min   []int
-	max   []int
-}
+// indexEngine adapts one Index to the serving core's Engine (see
+// internal/serve): the single-index frame provider over either the grid
+// store's run-merge engine or the point-set R-tree. All serving bodies —
+// Scan/ScanInto/Pages/PagesInto/QueryIO/QueryBatch — live in the core;
+// the engine contributes only box validation, rank materialization, and
+// rank→coordinate translation.
+type indexEngine struct{ ix *Index }
 
-var rankScratchPool = sync.Pool{New: func() any { return new(rankScratch) }}
-
-// scanState is the pooled lightweight shell of one in-flight Scan/ScanInto:
-// the validated box copied into reusable buffers, the borrowed coordinate
-// buffer the iteration yields, and a prebuilt iterator closure so a
-// steady-state Scan performs zero heap allocations. The shell holds no rank
-// scratch — that is acquired lazily from rankScratchPool on first (and
-// only) iteration, so abandoning an unconsumed sequence costs at most this
-// few-words shell to the garbage collector, never a grown rank buffer.
-type scanState struct {
-	ix     *Index // owning index while a Scan sequence is live; nil otherwise
-	start  []int  // box copy: callers may reuse their Box slices immediately
-	dims   []int
-	coords []int
-	seq    iter.Seq2[int, []int]
-}
-
-var scanPool sync.Pool
-
-// The pool's New is assigned in init because the iterator closure it builds
-// refers back to scanPool (via release) — a package-level literal would be
-// an initialization cycle.
-func init() {
-	scanPool.New = newScanState
-}
-
-func newScanState() any {
-	s := &scanState{}
-	s.seq = func(yield func(int, []int) bool) {
-		ix := s.ix
-		if ix == nil {
-			// The sequence was already consumed (it is single-use); the
-			// state may belong to another query by now.
-			return
-		}
-		// The box was validated by Scan, so materializing the ranks cannot
-		// fail; doing it here instead of in Scan means an unconsumed
-		// sequence never checks rank scratch out of the pool.
-		rs := rankScratchPool.Get().(*rankScratch)
-		rs.ranks = ix.appendBoxRanks(rs.ranks[:0], s.start, s.dims, rs)
-		defer s.release(rs)
-		if ix.mapping != nil {
-			verts := ix.mapping.Verts()
-			for _, r := range rs.ranks {
-				if !yield(r, ix.grid.Coords(verts[r], s.coords)) {
-					return
-				}
-			}
-			return
-		}
-		for _, r := range rs.ranks {
-			copy(s.coords, ix.pts[ix.vert[r]])
-			if !yield(r, s.coords) {
-				return
-			}
-		}
-	}
-	return s
-}
-
-// release retires a consumed sequence: the heavy scratch and the shell both
-// return to their pools, and the shell is disarmed so a (forbidden) second
-// iteration yields nothing instead of replaying stale ranks.
-func (s *scanState) release(rs *rankScratch) {
-	rs.release()
-	s.ix = nil
-	scanPool.Put(s)
-}
-
-func (rs *rankScratch) release() {
-	rs.ranks = rs.ranks[:0]
-	rankScratchPool.Put(rs)
-}
-
-// arm readies the shell for a d-dimensional query over the given box,
-// copying the box so the caller's slices are free for reuse the moment Scan
-// returns.
-func (s *scanState) arm(ix *Index, b Box, d int) {
-	if cap(s.start) < d {
-		s.start = make([]int, d)
-		s.dims = make([]int, d)
-	}
-	s.start, s.dims = s.start[:d], s.dims[:d]
-	copy(s.start, b.Start)
-	copy(s.dims, b.Dims)
-	if cap(s.coords) < d {
-		s.coords = make([]int, d)
-	}
-	s.coords = s.coords[:d]
-	s.ix = ix
-}
-
-// validateBox checks a box against the index at request time, before any
+// CheckBox checks a box against the index at request time, before any
 // scratch is acquired or work scheduled: full-grid indexes require the box
 // to lie inside the grid with every side at least 1 (ErrDimensionMismatch
 // otherwise); point-set indexes require only the right arity — any extent
 // is allowed and only indexed points match (empty sides simply match
 // nothing).
-func (ix *Index) validateBox(b Box) error {
+func (e indexEngine) CheckBox(b Box) error {
+	ix := e.ix
 	if ix.store != nil {
 		return ix.store.CheckBox(b)
 	}
@@ -780,6 +687,100 @@ func (ix *Index) validateBox(b Box) error {
 		return fmt.Errorf("spectrallpm: box arity %d/%d, want %d: %w", len(b.Start), len(b.Dims), d, ErrDimensionMismatch)
 	}
 	return nil
+}
+
+// AppendBoxRanks appends the sorted ranks of the indexed points inside the
+// already-validated box [start, start+dims) to dst. Full-grid indexes
+// delegate to the storage engine's run-merge; point-set indexes probe the
+// rank-order packed R-tree (matches stream out in ascending rank because
+// leaves hold consecutive rank runs). sc supplies rectangle and point-id
+// scratch for the probe.
+func (e indexEngine) AppendBoxRanks(dst []int, start, dims []int, sc *serve.Scratch) []int {
+	ix := e.ix
+	if ix.store != nil {
+		// The box passed CheckBox, so the engine cannot reject it.
+		return ix.store.AppendValidatedBoxRanks(dst, start, dims)
+	}
+	for _, w := range dims {
+		if w < 1 {
+			return dst // empty box matches nothing
+		}
+	}
+	if ix.rt == nil {
+		return dst // empty point set (loadable via ReadIndex)
+	}
+	d := ix.grid.D()
+	if cap(sc.Min) < d {
+		sc.Min = make([]int, d)
+		sc.Max = make([]int, d)
+	}
+	sc.Min, sc.Max = sc.Min[:d], sc.Max[:d]
+	for i := range start {
+		sc.Min[i] = start[i]
+		sc.Max[i] = start[i] + dims[i] - 1
+	}
+	sc.Pids, _ = ix.rt.SearchAppend(rtree.Rect{Min: sc.Min, Max: sc.Max}, sc.Pids[:0])
+	for _, pid := range sc.Pids {
+		dst = append(dst, ix.rank[pid])
+	}
+	return dst
+}
+
+// EmitCoords yields (rank, coords) for each rank, translating through the
+// mapping's inverse permutation (grids) or the point table (point sets)
+// into the reused coords buffer.
+func (e indexEngine) EmitCoords(ranks []int, coords []int, yield func(int, []int) bool) {
+	ix := e.ix
+	if ix.mapping != nil {
+		verts := ix.mapping.Verts()
+		for _, r := range ranks {
+			if !yield(r, ix.grid.Coords(verts[r], coords)) {
+				return
+			}
+		}
+		return
+	}
+	for _, r := range ranks {
+		copy(coords, ix.pts[ix.vert[r]])
+		if !yield(r, coords) {
+			return
+		}
+	}
+}
+
+func (e indexEngine) Pager() *storage.Pager { return e.ix.pager }
+func (e indexEngine) D() int                { return e.ix.grid.D() }
+func (e indexEngine) Parallelism() int      { return e.ix.par }
+
+// initCore arms the shared serving core — the last step of every Index
+// construction path (Build, ReadIndex, OpenMapped).
+func (ix *Index) initCore() {
+	ix.core = serve.NewCore(indexEngine{ix})
+}
+
+// coordsAt fills dst (len D) with the coordinates of the point at rank r —
+// the translation step shared with the sharded engine, which adds the
+// shard origin afterwards.
+func (ix *Index) coordsAt(r int, dst []int) {
+	if ix.mapping != nil {
+		ix.grid.Coords(ix.mapping.Verts()[r], dst)
+		return
+	}
+	copy(dst, ix.pts[ix.vert[r]])
+}
+
+// Close releases the mapped byte region backing an index opened with
+// OpenMapped. After Close the index must not be used: its frame slices
+// point into the unmapped region. For built, read, or materialized indexes
+// Close is a no-op. Close is idempotent but not goroutine-safe against
+// in-flight queries — quiesce serving first.
+func (ix *Index) Close() error {
+	c := ix.closeFn
+	ix.closeFn = nil
+	if c == nil {
+		return nil
+	}
+	return c()
 }
 
 // Scan streams the points of an axis-aligned box query in 1-D rank order —
@@ -801,12 +802,7 @@ func (ix *Index) validateBox(b Box) error {
 // collector reclaims. Scan performs no steady-state heap allocations;
 // ScanInto offers the same contract in callback form.
 func (ix *Index) Scan(b Box) (iter.Seq2[int, []int], error) {
-	if err := ix.validateBox(b); err != nil {
-		return nil, err
-	}
-	s := scanPool.Get().(*scanState)
-	s.arm(ix, b, ix.grid.D())
-	return s.seq, nil
+	return ix.core.Scan(b)
 }
 
 // ScanInto is Scan in callback form: yield is called once per matching
@@ -814,52 +810,27 @@ func (ix *Index) Scan(b Box) (iter.Seq2[int, []int], error) {
 // passed to yield is reused between calls — copy it if it must survive.
 // ScanInto is the allocation-free core of the scanning path.
 func (ix *Index) ScanInto(b Box, yield func(rank int, coords []int) bool) error {
-	// The prebuilt sequence consumes and releases the state — Scan and
-	// ScanInto share one iteration body that cannot drift.
-	seq, err := ix.Scan(b)
-	if err != nil {
-		return err
-	}
-	seq(yield)
-	return nil
+	return ix.core.ScanInto(b, yield)
 }
 
 // Pages returns the page-run plan of a box query: the distinct pages
 // holding results, grouped into maximal contiguous runs sorted by start
 // page — the sequential reads an I/O-aware executor would issue.
 func (ix *Index) Pages(b Box) ([]PageRun, error) {
-	return ix.PagesInto(b, nil)
+	return ix.core.PagesInto(b, nil)
 }
 
 // PagesInto is Pages appending to dst, so a serving loop can reuse one plan
 // buffer across queries; with sufficient capacity it performs zero
 // steady-state heap allocations.
 func (ix *Index) PagesInto(b Box, dst []PageRun) ([]PageRun, error) {
-	if ix.store != nil {
-		return ix.store.BoxRunsAppend(dst, b)
-	}
-	if err := ix.validateBox(b); err != nil {
-		return dst, err
-	}
-	rs := rankScratchPool.Get().(*rankScratch)
-	defer rs.release()
-	rs.ranks = ix.appendBoxRanks(rs.ranks[:0], b.Start, b.Dims, rs)
-	return ix.pager.RunsAppend(dst, rs.ranks)
+	return ix.core.PagesInto(b, dst)
 }
 
 // QueryIO returns the simulated I/O cost of a box query (distinct pages,
 // seeks, scan span). It allocates nothing in steady state.
 func (ix *Index) QueryIO(b Box) (IOStats, error) {
-	if ix.store != nil {
-		return ix.store.BoxQueryIO(b)
-	}
-	if err := ix.validateBox(b); err != nil {
-		return IOStats{}, err
-	}
-	rs := rankScratchPool.Get().(*rankScratch)
-	defer rs.release()
-	rs.ranks = ix.appendBoxRanks(rs.ranks[:0], b.Start, b.Dims, rs)
-	return ix.pager.QueryIO(rs.ranks)
+	return ix.core.QueryIO(b)
 }
 
 // QueryBatch answers one QueryIO per box, fanning the slice across the
@@ -868,42 +839,5 @@ func (ix *Index) QueryIO(b Box) (IOStats, error) {
 // box (lowest index) reports its error and discards the batch, under both
 // the serial and the parallel worker paths.
 func (ix *Index) QueryBatch(boxes []Box) ([]IOStats, error) {
-	return runQueryBatch(boxes, ix.par, ix.QueryIO)
-}
-
-// appendBoxRanks appends the sorted ranks of the indexed points inside the
-// already-validated box [start, start+dims) to dst. Full-grid indexes
-// delegate to the storage engine's run-merge; point-set indexes probe the
-// rank-order packed R-tree (matches stream out in ascending rank because
-// leaves hold consecutive rank runs). rs supplies rectangle and point-id
-// scratch for the probe.
-func (ix *Index) appendBoxRanks(dst []int, start, dims []int, rs *rankScratch) []int {
-	if ix.store != nil {
-		// The box passed validateBox, so the engine cannot reject it.
-		dst, _ = ix.store.BoxRanksAppend(dst, Box{Start: start, Dims: dims})
-		return dst
-	}
-	for _, w := range dims {
-		if w < 1 {
-			return dst // empty box matches nothing
-		}
-	}
-	if ix.rt == nil {
-		return dst // empty point set (loadable via ReadIndex)
-	}
-	d := ix.grid.D()
-	if cap(rs.min) < d {
-		rs.min = make([]int, d)
-		rs.max = make([]int, d)
-	}
-	rs.min, rs.max = rs.min[:d], rs.max[:d]
-	for i := range start {
-		rs.min[i] = start[i]
-		rs.max[i] = start[i] + dims[i] - 1
-	}
-	rs.pids, _ = ix.rt.SearchAppend(rtree.Rect{Min: rs.min, Max: rs.max}, rs.pids[:0])
-	for _, pid := range rs.pids {
-		dst = append(dst, ix.rank[pid])
-	}
-	return dst
+	return ix.core.QueryBatch(boxes)
 }

@@ -74,6 +74,18 @@ func FromRanks(name string, g *graph.Grid, rank []int) (*Mapping, error) {
 	return &Mapping{name: name, grid: g, rank: append([]int(nil), rank...), vert: vert}, nil
 }
 
+// FromValidated wraps a rank permutation and its precomputed inverse
+// WITHOUT copying or re-validating — the zero-copy path for mapped index
+// frames whose codec has already proven the two slices are inverse
+// permutations over the grid. The mapping adopts the slices; callers must
+// never modify them afterwards (mapped slices are read-only anyway).
+func FromValidated(name string, g *graph.Grid, rank, vert []int) (*Mapping, error) {
+	if len(rank) != g.Size() || len(vert) != g.Size() {
+		return nil, fmt.Errorf("order: rank/vert lengths %d/%d, grid size %d: %w", len(rank), len(vert), g.Size(), errs.ErrDimensionMismatch)
+	}
+	return &Mapping{name: name, grid: g, rank: rank, vert: vert}, nil
+}
+
 // FromCurve ranks the grid's points by their index on curve c, compacting
 // when the curve's cube is larger than the grid. The curve must have the
 // grid's dimensionality and sides at least as large as the grid's.

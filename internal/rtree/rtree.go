@@ -5,6 +5,15 @@
 // packed, sweep-packed, ...); window queries report both the matching
 // points and the number of nodes visited, so different pack orders can be
 // compared by their query I/O.
+//
+// The tree is stored flat: a packed tree's SHAPE is fully determined by
+// (n, fanout) — leaf i always holds order positions [i*fanout, (i+1)*fanout)
+// and internal node i at level l always parents children [i*fanout,
+// (i+1)*fanout) of level l-1 — so the only state worth keeping (or
+// persisting) is the per-node bounding rectangles, laid out level by level
+// in one []int64, plus the flat point coordinates and the leaf order. All
+// three slices may be borrowed from a read-only mapped region (see
+// FromParts); the walk itself never follows a pointer and never allocates.
 package rtree
 
 import (
@@ -59,31 +68,64 @@ func (r Rect) Area() int64 {
 	return v
 }
 
-// expand grows r to cover o in place.
-func (r *Rect) expand(o Rect) {
-	for i := range r.Min {
-		if o.Min[i] < r.Min[i] {
-			r.Min[i] = o.Min[i]
-		}
-		if o.Max[i] > r.Max[i] {
-			r.Max[i] = o.Max[i]
-		}
-	}
-}
-
-type node struct {
-	rect     Rect
-	children []*node // nil for leaves
-	points   []int   // point indices for leaves
-}
-
-// Tree is a static packed R-tree. Build one with Pack.
+// Tree is a static packed R-tree over flat storage. Build one with Pack
+// (owned slices) or reassemble one with FromParts (borrowed slices).
 type Tree struct {
-	root     *node
-	points   [][]int
-	fanout   int
-	numNodes int
-	height   int
+	coords []int // n*d flat point coordinates: point p at coords[p*d:(p+1)*d]
+	d      int
+	n      int
+	ord    []int // leaf order: ord[k] = index of the k-th point in the linear order
+	fanout int
+	// rects holds every node's MBR as d mins then d maxes, leaves first,
+	// then each internal level bottom-up: the node with flat index k
+	// occupies rects[k*2d:(k+1)*2d].
+	rects []int64
+	// levelOff[l] is the flat index of the first node of level l (level 0 =
+	// leaves); levelCnt[l] its node count. The top level has one node.
+	levelOff []int
+	levelCnt []int
+}
+
+// levelCounts returns the per-level node counts of a packed tree over n
+// entries: ceil(n/f) leaves, then ceil-divided by f per level up to a
+// single root.
+func levelCounts(n, fanout int) []int {
+	counts := []int{(n + fanout - 1) / fanout}
+	for counts[len(counts)-1] > 1 {
+		c := counts[len(counts)-1]
+		counts = append(counts, (c+fanout-1)/fanout)
+	}
+	return counts
+}
+
+// checkPack validates the shared Pack/FromParts inputs.
+func checkPack(n, d, fanout int, ord []int) error {
+	if n == 0 {
+		return fmt.Errorf("rtree: no points")
+	}
+	if fanout < 2 {
+		return fmt.Errorf("rtree: fanout %d < 2", fanout)
+	}
+	if len(ord) != n {
+		return fmt.Errorf("rtree: order length %d, points %d", len(ord), n)
+	}
+	if d < 1 {
+		return fmt.Errorf("rtree: dimension %d < 1", d)
+	}
+	return nil
+}
+
+// newShape lays out the flat level structure (no rects yet).
+func newShape(coords []int, d, n int, ord []int, fanout int) *Tree {
+	t := &Tree{coords: coords, d: d, n: n, ord: ord, fanout: fanout}
+	t.levelCnt = levelCounts(n, fanout)
+	t.levelOff = make([]int, len(t.levelCnt))
+	off := 0
+	for l, c := range t.levelCnt {
+		t.levelOff[l] = off
+		off += c
+	}
+	return t
 }
 
 // Pack bulk-loads an R-tree: points are grouped into leaves of `fanout`
@@ -91,18 +133,16 @@ type Tree struct {
 // the k-th point in the linear order), then levels of MBRs are built
 // bottom-up, fanout-at-a-time. This is exactly how Hilbert-packed R-trees
 // are built; passing a spectral order yields the spectral-packed variant.
+// The point coordinates are copied into owned flat storage.
 func Pack(points [][]int, ord []int, fanout int) (*Tree, error) {
 	n := len(points)
-	if n == 0 {
-		return nil, fmt.Errorf("rtree: no points")
+	var d int
+	if n > 0 {
+		d = len(points[0])
 	}
-	if fanout < 2 {
-		return nil, fmt.Errorf("rtree: fanout %d < 2", fanout)
+	if err := checkPack(n, d, fanout, ord); err != nil {
+		return nil, err
 	}
-	if len(ord) != n {
-		return nil, fmt.Errorf("rtree: order length %d, points %d", len(ord), n)
-	}
-	d := len(points[0])
 	seen := make([]bool, n)
 	for _, idx := range ord {
 		if idx < 0 || idx >= n || seen[idx] {
@@ -110,63 +150,148 @@ func Pack(points [][]int, ord []int, fanout int) (*Tree, error) {
 		}
 		seen[idx] = true
 	}
+	coords := make([]int, n*d)
 	for i, p := range points {
 		if len(p) != d {
 			return nil, fmt.Errorf("rtree: point %d arity %d, want %d", i, len(p), d)
 		}
+		copy(coords[i*d:], p)
 	}
-
-	t := &Tree{points: points, fanout: fanout}
-	// Build leaves over consecutive runs of the order.
-	var level []*node
-	for start := 0; start < n; start += fanout {
-		end := start + fanout
-		if end > n {
-			end = n
-		}
-		leaf := &node{points: append([]int(nil), ord[start:end]...)}
-		leaf.rect = pointRect(points[leaf.points[0]])
-		for _, idx := range leaf.points[1:] {
-			leaf.rect.expand(pointRect(points[idx]))
-		}
-		level = append(level, leaf)
-		t.numNodes++
-	}
-	t.height = 1
-	// Build internal levels.
-	for len(level) > 1 {
-		var next []*node
-		for start := 0; start < len(level); start += fanout {
-			end := start + fanout
-			if end > len(level) {
-				end = len(level)
-			}
-			in := &node{children: append([]*node(nil), level[start:end]...)}
-			in.rect = cloneRect(in.children[0].rect)
-			for _, c := range in.children[1:] {
-				in.rect.expand(c.rect)
-			}
-			next = append(next, in)
-			t.numNodes++
-		}
-		level = next
-		t.height++
-	}
-	t.root = level[0]
+	t := newShape(coords, d, n, ord, fanout)
+	t.rects = make([]int64, t.NumNodes()*2*d)
+	t.fillRects(nil)
 	return t, nil
 }
 
+// FromParts reassembles a packed tree from its flat components — the
+// mapped-open path of the v2 codec. coords is the n*d flat coordinate
+// array, ord the leaf order (typically the rank→point permutation), and
+// rects the persisted per-node MBRs; all three may be borrowed from a
+// read-only mapped region and are adopted without copying. ord must
+// already be validated as a permutation by the caller. The persisted rects
+// are verified value-for-value against a bottom-up recomputation — a
+// mismatch (a corrupted or hand-edited file) returns an error rather than
+// serving wrong query results.
+func FromParts(coords []int, d int, ord []int, fanout int, rects []int64) (*Tree, error) {
+	n := len(ord)
+	if err := checkPack(n, d, fanout, ord); err != nil {
+		return nil, err
+	}
+	if len(coords) != n*d {
+		return nil, fmt.Errorf("rtree: %d flat coordinates for %d points of dimension %d", len(coords), n, d)
+	}
+	t := newShape(coords, d, n, ord, fanout)
+	if len(rects) != t.NumNodes()*2*d {
+		return nil, fmt.Errorf("rtree: %d rect values, want %d", len(rects), t.NumNodes()*2*d)
+	}
+	t.rects = rects
+	if !t.fillRects(rects) {
+		return nil, fmt.Errorf("rtree: persisted rectangles disagree with points")
+	}
+	return t, nil
+}
+
+// fillRects computes every node's MBR bottom-up. With check == nil the
+// values are written into t.rects (Pack); otherwise each computed value is
+// compared against check in place and the first disagreement returns false
+// (FromParts verification, which never writes to the borrowed slice).
+func (t *Tree) fillRects(check []int64) bool {
+	d := t.d
+	emit := func(node int, mbr []int64) bool {
+		at := t.rects[node*2*d : (node+1)*2*d]
+		if check == nil {
+			copy(at, mbr)
+			return true
+		}
+		for i, v := range mbr {
+			if at[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	mbr := make([]int64, 2*d)
+	// Leaves: MBR over each run of fanout points in leaf order.
+	for leaf := 0; leaf < t.levelCnt[0]; leaf++ {
+		lo := leaf * t.fanout
+		hi := min(lo+t.fanout, t.n)
+		for j := 0; j < d; j++ {
+			mn, mx := int64(t.coords[t.ord[lo]*d+j]), int64(t.coords[t.ord[lo]*d+j])
+			for k := lo + 1; k < hi; k++ {
+				c := int64(t.coords[t.ord[k]*d+j])
+				if c < mn {
+					mn = c
+				}
+				if c > mx {
+					mx = c
+				}
+			}
+			mbr[j], mbr[d+j] = mn, mx
+		}
+		if !emit(t.levelOff[0]+leaf, mbr) {
+			return false
+		}
+	}
+	// Internal levels: MBR over each run of fanout child rects.
+	for l := 1; l < len(t.levelCnt); l++ {
+		childOff := t.levelOff[l-1]
+		for node := 0; node < t.levelCnt[l]; node++ {
+			lo := node * t.fanout
+			hi := min(lo+t.fanout, t.levelCnt[l-1])
+			for j := 0; j < d; j++ {
+				first := t.rects[(childOff+lo)*2*d:]
+				mn, mx := first[j], first[d+j]
+				for k := lo + 1; k < hi; k++ {
+					cr := t.rects[(childOff+k)*2*d:]
+					if cr[j] < mn {
+						mn = cr[j]
+					}
+					if cr[d+j] > mx {
+						mx = cr[d+j]
+					}
+				}
+				mbr[j], mbr[d+j] = mn, mx
+			}
+			if !emit(t.levelOff[l]+node, mbr) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Height returns the number of levels (leaves = 1).
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int { return len(t.levelCnt) }
 
 // NumNodes returns the total node count.
-func (t *Tree) NumNodes() int { return t.numNodes }
+func (t *Tree) NumNodes() int {
+	total := 0
+	for _, c := range t.levelCnt {
+		total += c
+	}
+	return total
+}
 
 // Fanout returns the maximum entries per node.
 func (t *Tree) Fanout() int { return t.fanout }
 
+// Rects returns the flat per-node MBR storage, leaves first then each
+// level bottom-up — the bytes the v2 codec persists. Read-only.
+func (t *Tree) Rects() []int64 { return t.rects }
+
+// rootIndex returns the flat index of the single top-level node.
+func (t *Tree) rootIndex() int { return t.levelOff[len(t.levelOff)-1] }
+
 // Bounds returns the root MBR.
-func (t *Tree) Bounds() Rect { return cloneRect(t.root.rect) }
+func (t *Tree) Bounds() Rect {
+	at := t.rects[t.rootIndex()*2*t.d:]
+	r := Rect{Min: make([]int, t.d), Max: make([]int, t.d)}
+	for j := 0; j < t.d; j++ {
+		r.Min[j] = int(at[j])
+		r.Max[j] = int(at[t.d+j])
+	}
+	return r
+}
 
 // Search returns the indices of points inside the query window plus the
 // number of tree nodes visited — the I/O cost proxy used to compare pack
@@ -181,12 +306,12 @@ func (t *Tree) Search(q Rect) (results []int, nodesVisited int) {
 // bulk-load permutation, so a tree packed on a rank order emits matches in
 // ascending rank. The walk itself performs no heap allocation.
 func (t *Tree) SearchAppend(q Rect, dst []int) ([]int, int) {
-	if len(q.Min) != len(t.points[0]) {
-		panic(fmt.Sprintf("rtree: query arity %d, want %d", len(q.Min), len(t.points[0])))
+	if len(q.Min) != t.d {
+		panic(fmt.Sprintf("rtree: query arity %d, want %d", len(q.Min), t.d))
 	}
 	s := searcher{t: t, q: q, dst: dst}
-	if q.Intersects(t.root.rect) {
-		s.walk(t.root)
+	if s.intersects(t.rootIndex()) {
+		s.walk(len(t.levelCnt)-1, 0)
 	}
 	return s.dst, s.visited
 }
@@ -200,27 +325,39 @@ type searcher struct {
 	visited int
 }
 
-func (s *searcher) walk(n *node) {
+// intersects tests the query window against the node at flat index k.
+func (s *searcher) intersects(k int) bool {
+	d := s.t.d
+	at := s.t.rects[k*2*d:]
+	for j := 0; j < d; j++ {
+		if int64(s.q.Max[j]) < at[j] || at[d+j] < int64(s.q.Min[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// walk visits node i of the given level (the node was already tested
+// against the query).
+func (s *searcher) walk(level, i int) {
 	s.visited++
-	if n.points != nil {
-		for _, idx := range n.points {
-			if s.q.ContainsPoint(s.t.points[idx]) {
+	t := s.t
+	if level == 0 {
+		lo := i * t.fanout
+		hi := min(lo+t.fanout, t.n)
+		for _, idx := range t.ord[lo:hi] {
+			if s.q.ContainsPoint(t.coords[idx*t.d : (idx+1)*t.d]) {
 				s.dst = append(s.dst, idx)
 			}
 		}
 		return
 	}
-	for _, c := range n.children {
-		if s.q.Intersects(c.rect) {
-			s.walk(c)
+	lo := i * t.fanout
+	hi := min(lo+t.fanout, t.levelCnt[level-1])
+	childOff := t.levelOff[level-1]
+	for c := lo; c < hi; c++ {
+		if s.intersects(childOff + c) {
+			s.walk(level-1, c)
 		}
 	}
-}
-
-func pointRect(p []int) Rect {
-	return Rect{Min: append([]int(nil), p...), Max: append([]int(nil), p...)}
-}
-
-func cloneRect(r Rect) Rect {
-	return Rect{Min: append([]int(nil), r.Min...), Max: append([]int(nil), r.Max...)}
 }

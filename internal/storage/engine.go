@@ -46,24 +46,21 @@ type rankLayout struct {
 	rows []uint64
 }
 
-func newRankLayout(g *graph.Grid, rank []int) *rankLayout {
+// newRankLayout wraps an existing frame — owned or borrowed — without
+// computing anything: the frame's Rows already hold the packed presorted
+// entries (BuildRows builds them for owned frames; mapped frames borrow
+// and are validated by CheckRows at open).
+func newRankLayout(g *graph.Grid, f Frame) *rankLayout {
 	rowLen := g.RowLen()
-	colBits := uint(bits.Len(uint(rowLen - 1)))
-	l := &rankLayout{
+	colBits := RowColBits(rowLen)
+	return &rankLayout{
 		grid:    g,
-		rank:    rank,
+		rank:    f.Rank,
 		rowLen:  rowLen,
 		colBits: colBits,
 		colMask: 1<<colBits - 1,
+		rows:    f.Rows,
 	}
-	l.rows = make([]uint64, g.Size())
-	for id, r := range rank {
-		l.rows[id] = uint64(r)<<colBits | uint64(id%rowLen)
-	}
-	for base := 0; base < len(l.rows); base += rowLen {
-		slices.Sort(l.rows[base : base+rowLen])
-	}
-	return l
 }
 
 // boxScratch is the pooled per-query workspace: slab cursors and the merge

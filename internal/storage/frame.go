@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"slices"
+	"sync"
+
+	"github.com/spectral-lpm/spectrallpm/internal/errs"
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+)
+
+// Frame is the flat, position-independent serving state of one grid
+// mapping: the rank array (by vertex id), its inverse (by rank), and the
+// packed per-row rank|col layout the box engine consults. The slices may
+// be owned (built in memory by NewStore) or borrowed from a read-only
+// mapped byte region (the v2 codec's zero-copy open path) — the engines
+// only ever read them, so the two cases serve identically and neither
+// allocates in steady state.
+type Frame struct {
+	// Rank holds rank[vertex id] — the mapping's flat permutation.
+	Rank []int
+	// Vert holds vert[rank] — the inverse permutation the scan path
+	// indexes directly.
+	Vert []int
+	// Rows holds one packed entry rank<<colBits|col per grid cell, each
+	// grid row's entries sorted ascending — exactly BuildRows(grid, Rank).
+	Rows []uint64
+}
+
+// RowColBits returns the number of low bits a packed row entry devotes to
+// the column for a grid with the given row length — shared by the builder,
+// the engine, and the codec's validation so the packing cannot drift.
+func RowColBits(rowLen int) uint {
+	return uint(bits.Len(uint(rowLen - 1)))
+}
+
+// BuildRows materializes the packed rank-ordered row layout for a rank
+// permutation over the grid: one rank<<colBits|col entry per cell, each
+// row's entries sorted ascending (ranks are unique, so sorting packed
+// entries sorts by rank). These are the bytes the v2 codec persists, so a
+// mapped open can borrow the layout instead of re-sorting every row.
+func BuildRows(g *graph.Grid, rank []int) []uint64 {
+	rowLen := g.RowLen()
+	colBits := RowColBits(rowLen)
+	rows := make([]uint64, g.Size())
+	for id, r := range rank {
+		rows[id] = uint64(r)<<colBits | uint64(id%rowLen)
+	}
+	for base := 0; base < len(rows); base += rowLen {
+		slices.Sort(rows[base : base+rowLen])
+	}
+	return rows
+}
+
+// checkRowsParallelCutoff is the entry count below which CheckRows stays
+// serial; goroutine fan-out only pays for itself on large mapped frames.
+// A var so tests can lower it to drive the parallel path on small grids.
+var checkRowsParallelCutoff = 1 << 17
+
+// CheckRows verifies that rows is exactly BuildRows(g, rank) without
+// materializing a reference copy: every row must hold rowLen strictly
+// ascending entries whose columns stay in range and whose packed rank
+// agrees with the rank array at the reconstructed cell. Strict ascent plus
+// agreement pins the bytes completely — the borrowed layout of a mapped
+// index cannot smuggle in a single out-of-place entry. The pass allocates
+// nothing and reads each entry once; rows are independent, so large
+// layouts split the grid rows across goroutines (the lowest failing row
+// block reports, keeping errors deterministic).
+func CheckRows(g *graph.Grid, rank []int, rows []uint64) error {
+	rowLen := g.RowLen()
+	if len(rows) != g.Size() {
+		return fmt.Errorf("storage: row layout holds %d entries, grid has %d cells: %w", len(rows), g.Size(), errs.ErrCorruptIndex)
+	}
+	numRows := len(rows) / rowLen
+	workers := runtime.GOMAXPROCS(0)
+	if workers > numRows {
+		workers = numRows
+	}
+	if workers <= 1 || len(rows) < checkRowsParallelCutoff {
+		return checkRowsRange(g, rank, rows, 0, numRows)
+	}
+	errsByChunk := make([]error, workers)
+	chunk := (numRows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= numRows {
+			break
+		}
+		hi := min(lo+chunk, numRows)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errsByChunk[w] = checkRowsRange(g, rank, rows, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errsByChunk {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkRowsRange runs the CheckRows proof over grid rows [rowLo, rowHi).
+func checkRowsRange(g *graph.Grid, rank []int, rows []uint64, rowLo, rowHi int) error {
+	rowLen := g.RowLen()
+	colBits := RowColBits(rowLen)
+	colMask := uint64(1)<<colBits - 1
+	for base := rowLo * rowLen; base < rowHi*rowLen; base += rowLen {
+		prev := uint64(0)
+		for i, e := range rows[base : base+rowLen] {
+			if i > 0 && e <= prev {
+				return fmt.Errorf("storage: row layout not strictly ascending at entry %d: %w", base+i, errs.ErrCorruptIndex)
+			}
+			prev = e
+			col := e & colMask
+			if col >= uint64(rowLen) {
+				return fmt.Errorf("storage: row layout column %d outside row of %d: %w", col, rowLen, errs.ErrCorruptIndex)
+			}
+			id := base + int(col)
+			if want := uint64(rank[id])<<colBits | col; e != want {
+				return fmt.Errorf("storage: row layout disagrees with rank at cell %d: %w", id, errs.ErrCorruptIndex)
+			}
+		}
+	}
+	return nil
+}

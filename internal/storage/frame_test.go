@@ -1,0 +1,69 @@
+package storage
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/errs"
+	"github.com/spectral-lpm/spectrallpm/internal/graph"
+)
+
+// identityRank returns the row-major identity permutation for the grid.
+func identityRank(g *graph.Grid) []int {
+	rank := make([]int, g.Size())
+	for i := range rank {
+		rank[i] = i
+	}
+	return rank
+}
+
+// TestCheckRowsParallelMatchesSerial drives the goroutine-chunked CheckRows
+// path (by lowering the cutoff) against the serial one on both a valid
+// layout and every class of corruption the proof rejects, so the parallel
+// split cannot change what the check accepts. Running under -race also
+// proves the chunks share nothing.
+func TestCheckRowsParallelMatchesSerial(t *testing.T) {
+	// 12 is not a power of two, so the packed column field (4 bits) can
+	// hold values past the row length and the out-of-range arm is
+	// reachable.
+	g := graph.MustGrid(12, 12)
+	rank := identityRank(g)
+	// A nontrivial permutation: reverse order.
+	for i := range rank {
+		rank[i] = g.Size() - 1 - i
+	}
+	rows := BuildRows(g, rank)
+
+	old := checkRowsParallelCutoff
+	checkRowsParallelCutoff = 1
+	defer func() { checkRowsParallelCutoff = old }()
+	// Force real fan-out even on single-CPU hosts.
+	oldProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(oldProcs)
+
+	if err := CheckRows(g, rank, rows); err != nil {
+		t.Fatalf("parallel CheckRows rejects a valid layout: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(rs []uint64)
+	}{
+		{"swap-breaks-ascent", func(rs []uint64) { rs[0], rs[1] = rs[1], rs[0] }},
+		{"rank-disagrees", func(rs []uint64) { rs[len(rs)-1] ^= 1 << 32 }},
+		{"column-out-of-range", func(rs []uint64) { rs[len(rs)/2] |= 0xff }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			bad := append([]uint64(nil), rows...)
+			m.mut(bad)
+			err := CheckRows(g, rank, bad)
+			if !errors.Is(err, errs.ErrCorruptIndex) {
+				t.Fatalf("parallel CheckRows accepted %s: %v", m.name, err)
+			}
+		})
+	}
+	if err := CheckRows(g, rank, rows[:len(rows)-1]); !errors.Is(err, errs.ErrCorruptIndex) {
+		t.Fatalf("short layout accepted: %v", err)
+	}
+}

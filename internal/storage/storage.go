@@ -202,13 +202,31 @@ type Store struct {
 	layout  *rankLayout
 }
 
-// NewStore lays the mapping's grid points on pages in rank order.
+// NewStore lays the mapping's grid points on pages in rank order, building
+// an owned frame (the packed row layout is computed here).
 func NewStore(m *order.Mapping, recordsPerPage int) (*Store, error) {
+	f := Frame{Rank: m.Ranks(), Vert: m.Verts()}
+	f.Rows = BuildRows(m.Grid(), f.Rank)
+	return NewStoreFromFrame(m, f, recordsPerPage)
+}
+
+// NewStoreFromFrame attaches a store to an existing frame without
+// rebuilding the row layout — the zero-copy open path for indexes whose
+// frame is borrowed from a read-only mapped region. The frame must be
+// internally consistent (rank a permutation, rows exactly BuildRows of
+// rank); the codec validates borrowed frames before they reach here.
+func NewStoreFromFrame(m *order.Mapping, f Frame, recordsPerPage int) (*Store, error) {
 	p, err := NewPager(m.N(), recordsPerPage)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{mapping: m, pager: p, layout: newRankLayout(m.Grid(), m.Ranks())}, nil
+	return &Store{mapping: m, pager: p, layout: newRankLayout(m.Grid(), f)}, nil
+}
+
+// Frame returns the store's flat serving state — the slices the v2 codec
+// persists. The slices must be treated as read-only.
+func (s *Store) Frame() Frame {
+	return Frame{Rank: s.layout.rank, Vert: s.mapping.Verts(), Rows: s.layout.rows}
 }
 
 // Mapping returns the underlying mapping.
@@ -249,10 +267,18 @@ func (s *Store) BoxRanksAppend(dst []int, b workload.Box) ([]int, error) {
 	if err := s.checkBox(b); err != nil {
 		return dst, err
 	}
+	return s.AppendValidatedBoxRanks(dst, b.Start, b.Dims), nil
+}
+
+// AppendValidatedBoxRanks appends the ascending ranks of the cells inside
+// a box that already passed CheckBox, skipping re-validation — the hot
+// path of serving cores that validate once at request time. All scratch is
+// pooled; with sufficient dst capacity it allocates nothing.
+func (s *Store) AppendValidatedBoxRanks(dst []int, start, dims []int) []int {
 	sc := boxScratchPool.Get().(*boxScratch)
-	dst = s.layout.appendBoxRanks(dst, b.Start, b.Dims, sc)
+	dst = s.layout.appendBoxRanks(dst, start, dims, sc)
 	boxScratchPool.Put(sc)
-	return dst, nil
+	return dst
 }
 
 // BoxQueryIO returns the I/O cost of an axis-aligned box query without

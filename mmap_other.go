@@ -1,0 +1,14 @@
+//go:build !unix
+
+package spectrallpm
+
+import (
+	"fmt"
+	"os"
+)
+
+const mmapSupported = false
+
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	return nil, nil, fmt.Errorf("spectrallpm: memory mapping unsupported on this platform")
+}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package spectrallpm
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the OpenMapped fast path; non-unix builds fall back
+// to the materializing reader.
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only and returns the region plus its
+// unmap closure.
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/spectral-lpm/spectrallpm/internal/core"
 	"github.com/spectral-lpm/spectrallpm/internal/graph"
 	"github.com/spectral-lpm/spectrallpm/internal/partition"
+	"github.com/spectral-lpm/spectrallpm/internal/serve"
 	"github.com/spectral-lpm/spectrallpm/internal/shard"
 	"github.com/spectral-lpm/spectrallpm/internal/storage"
 )
@@ -34,14 +35,16 @@ import (
 // global rank order. A ShardedIndex is immutable after BuildSharded or
 // ReadSharded returns and safe for concurrent use without locking.
 type ShardedIndex struct {
-	grid   *graph.Grid // global bounding grid
-	shards []*Index
-	origin [][]int // per-shard coordinate translation (all zeros for point shards)
-	lo, hi [][]int // per-shard inclusive bounding box in global coordinates
-	offset []int   // len(shards)+1: shard i owns global ranks [offset[i], offset[i+1])
-	pager  *storage.Pager
-	points bool
-	par    int // serving parallelism (QueryBatch workers); 0 = GOMAXPROCS
+	grid    *graph.Grid // global bounding grid
+	shards  []*Index
+	origin  [][]int // per-shard coordinate translation (all zeros for point shards)
+	lo, hi  [][]int // per-shard inclusive bounding box in global coordinates
+	offset  []int   // len(shards)+1: shard i owns global ranks [offset[i], offset[i+1])
+	pager   *storage.Pager
+	points  bool
+	par     int          // serving parallelism (QueryBatch workers); 0 = GOMAXPROCS
+	core    serve.Core   // the shared serving core all query methods delegate to
+	closeFn func() error // unmaps a mapped index; nil for owned indexes
 }
 
 // BuildSharded builds a ShardedIndex over shards shards: it plans the
@@ -299,6 +302,7 @@ func finishSharded(sx *ShardedIndex, pageSize int) (*ShardedIndex, error) {
 		return nil, err
 	}
 	sx.pager = pager
+	sx.initCore()
 	return sx, nil
 }
 
@@ -441,99 +445,123 @@ func (sx *ShardedIndex) validateBox(b Box) error {
 	return nil
 }
 
-// shardScanState is the pooled shell of one in-flight sharded Scan: the
-// copied box, clip scratch, the borrowed global-coordinate buffer, and the
-// prebuilt closures (the iterator and the per-shard inner yield) so a
-// steady-state sharded Scan allocates nothing. Like Index's scanState it
-// holds no rank scratch — each shard's engine acquires and releases its
-// own inside the iteration — so an unconsumed sequence strands nothing but
-// this small shell.
-type shardScanState struct {
-	sx      *ShardedIndex // owning index while a sequence is live; nil otherwise
-	yield   func(int, []int) bool
-	cur     int // shard being drained
-	start   []int
-	dims    []int
-	cstart  []int
-	cdims   []int
-	coords  []int
-	stopped bool
-	inner   func(int, []int) bool
-	seq     iter.Seq2[int, []int]
-}
+// shardEngine adapts a ShardedIndex to the serving core's Engine (see
+// internal/serve): the composite frame provider that plans a box against
+// the shard bounds, gathers per-shard rank streams through the same
+// single-index engine the shards serve with, and merges them into global
+// rank order. The serving bodies live in the core — shard.go keeps only
+// the planning and translation that is genuinely sharding-specific.
+type shardEngine struct{ sx *ShardedIndex }
 
-var shardScanPool sync.Pool
-
-func init() {
-	shardScanPool.New = newShardScanState
-}
-
-func newShardScanState() any {
-	s := &shardScanState{}
-	s.inner = func(r int, p []int) bool {
-		origin := s.sx.origin[s.cur]
-		for j, c := range p {
-			s.coords[j] = c + origin[j]
-		}
-		if !s.yield(r+s.sx.offset[s.cur], s.coords) {
-			s.stopped = true
-			return false
-		}
-		return true
-	}
-	s.seq = func(yield func(int, []int) bool) {
-		sx := s.sx
-		if sx == nil {
-			return // already consumed; see Index.Scan's contract
-		}
-		defer s.release()
-		s.yield = yield
-		s.stopped = false
-		// Shard rank blocks ascend with shard order, so draining the
-		// planner's shards in order emits global ranks already sorted — the
-		// k-way merge degenerates to concatenation on this path.
-		for i := range sx.shards {
-			if !shard.ClipBox(s.start, s.dims, sx.lo[i], sx.hi[i], s.cstart, s.cdims) {
-				continue
-			}
-			for j := range s.cstart {
-				s.cstart[j] -= sx.origin[i][j]
-			}
-			s.cur = i
-			if err := sx.shards[i].ScanInto(Box{Start: s.cstart, Dims: s.cdims}, s.inner); err != nil {
-				// The clipped box lies inside the shard by construction; a
-				// rejection here is a planner bug, not a query error.
-				panic(fmt.Sprintf("spectrallpm: sharded scan: shard %d rejected planned box: %v", i, err))
-			}
-			if s.stopped {
-				return
-			}
-		}
-	}
-	return s
-}
-
-func (s *shardScanState) release() {
-	s.sx = nil
-	s.yield = nil
-	shardScanPool.Put(s)
-}
-
-func (s *shardScanState) arm(sx *ShardedIndex, b Box) {
+// CheckBox mirrors the single-index validation over the global grid:
+// full-grid sharded indexes require the box inside the grid with every
+// side at least 1; point-set sharded indexes require only the right arity.
+func (e shardEngine) CheckBox(b Box) error {
+	sx := e.sx
 	d := sx.grid.D()
-	if cap(s.start) < d {
-		s.start = make([]int, d)
-		s.dims = make([]int, d)
-		s.cstart = make([]int, d)
-		s.cdims = make([]int, d)
-		s.coords = make([]int, d)
+	if len(b.Start) != d || len(b.Dims) != d {
+		return fmt.Errorf("spectrallpm: box arity %d/%d, want %d: %w", len(b.Start), len(b.Dims), d, ErrDimensionMismatch)
 	}
-	s.start, s.dims = s.start[:d], s.dims[:d]
-	s.cstart, s.cdims = s.cstart[:d], s.cdims[:d]
-	s.coords = s.coords[:d]
-	copy(s.start, b.Start)
-	copy(s.dims, b.Dims)
-	s.sx = sx
+	if sx.points {
+		return nil
+	}
+	dims := sx.grid.Dims()
+	for i, st := range b.Start {
+		if b.Dims[i] < 1 || st < 0 || st+b.Dims[i] > dims[i] {
+			return fmt.Errorf("spectrallpm: box %v exceeds grid %v: %w", b, dims, ErrDimensionMismatch)
+		}
+	}
+	return nil
+}
+
+// AppendBoxRanks appends the global ranks of the indexed points inside the
+// already-validated box to dst, in ascending global rank order: the
+// planner clips the box against each shard's bounds, intersected shards
+// answer locally through the single-index engine, local ranks shift by the
+// shard's offset, and the per-shard streams k-way-merge
+// (storage.MergeSortedAppend — in practice the concatenation fast path,
+// since shard rank blocks are disjoint and ascending). The planner's clip
+// and concatenation scratch fields are disjoint from the fields the
+// per-shard engines use, so one Scratch serves both levels.
+func (e shardEngine) AppendBoxRanks(dst []int, start, dims []int, sc *serve.Scratch) []int {
+	sx := e.sx
+	d := sx.grid.D()
+	if cap(sc.CStart) < d {
+		sc.CStart = make([]int, d)
+		sc.CDims = make([]int, d)
+	}
+	sc.CStart, sc.CDims = sc.CStart[:d], sc.CDims[:d]
+	sc.Tmp = sc.Tmp[:0]
+	sc.Ends = sc.Ends[:0]
+	for i := range sx.shards {
+		if !shard.ClipBox(start, dims, sx.lo[i], sx.hi[i], sc.CStart, sc.CDims) {
+			continue
+		}
+		for j := range sc.CStart {
+			sc.CStart[j] -= sx.origin[i][j]
+		}
+		n0 := len(sc.Tmp)
+		sc.Tmp = indexEngine{sx.shards[i]}.AppendBoxRanks(sc.Tmp, sc.CStart, sc.CDims, sc)
+		for j := n0; j < len(sc.Tmp); j++ {
+			sc.Tmp[j] += sx.offset[i]
+		}
+		sc.Ends = append(sc.Ends, len(sc.Tmp))
+	}
+	// Build the stream views only after Tmp stops growing — earlier
+	// appends may have reallocated it.
+	sc.Streams = sc.Streams[:0]
+	prev := 0
+	for _, end := range sc.Ends {
+		sc.Streams = append(sc.Streams, sc.Tmp[prev:end])
+		prev = end
+	}
+	return storage.MergeSortedAppend(dst, sc.Streams)
+}
+
+// EmitCoords translates ascending GLOBAL ranks to global coordinates: the
+// owning shard advances monotonically with the ranks (shard rank blocks
+// ascend with shard order), so one forward cursor replaces a per-record
+// binary search; the shard translates locally and the origin shifts the
+// result into global coordinates in place.
+func (e shardEngine) EmitCoords(ranks []int, coords []int, yield func(int, []int) bool) {
+	sx := e.sx
+	cur := 0
+	for _, r := range ranks {
+		for r >= sx.offset[cur+1] {
+			cur++
+		}
+		sx.shards[cur].coordsAt(r-sx.offset[cur], coords)
+		origin := sx.origin[cur]
+		for j := range coords {
+			coords[j] += origin[j]
+		}
+		if !yield(r, coords) {
+			return
+		}
+	}
+}
+
+func (e shardEngine) Pager() *storage.Pager { return e.sx.pager }
+func (e shardEngine) D() int                { return e.sx.grid.D() }
+func (e shardEngine) Parallelism() int      { return e.sx.par }
+
+// initCore arms the shared serving core — the last step of finishSharded
+// on every construction path (BuildSharded, ReadSharded, OpenMappedSharded).
+func (sx *ShardedIndex) initCore() {
+	sx.core = serve.NewCore(shardEngine{sx})
+}
+
+// Close releases the mapped byte region backing a sharded index opened
+// with OpenMappedSharded (all shard frames share one mapping). After Close
+// the index and its shards must not be used. No-op for built or
+// materialized indexes; idempotent.
+func (sx *ShardedIndex) Close() error {
+	c := sx.closeFn
+	sx.closeFn = nil
+	if c == nil {
+		return nil
+	}
+	return c()
 }
 
 // Scan streams the points of a box query in GLOBAL 1-D rank order,
@@ -542,172 +570,36 @@ func (s *shardScanState) arm(sx *ShardedIndex, b Box) {
 // iterations, the sequence is single-use, an unconsumed sequence strands
 // no rank scratch, and steady-state iteration allocates nothing.
 func (sx *ShardedIndex) Scan(b Box) (iter.Seq2[int, []int], error) {
-	if err := sx.validateBox(b); err != nil {
-		return nil, err
-	}
-	s := shardScanPool.Get().(*shardScanState)
-	s.arm(sx, b)
-	return s.seq, nil
+	return sx.core.Scan(b)
 }
 
 // ScanInto is Scan in callback form, sharing its iteration body — see
 // Index.ScanInto.
 func (sx *ShardedIndex) ScanInto(b Box, yield func(rank int, coords []int) bool) error {
-	seq, err := sx.Scan(b)
-	if err != nil {
-		return err
-	}
-	seq(yield)
-	return nil
-}
-
-// shardRankScratch is the pooled workspace of the sharded rank-assembly
-// path (Pages/QueryIO): per-shard clip scratch, the concatenation buffer
-// holding each intersected shard's global-rank segment, the stream views
-// handed to the merge, and the merged output.
-type shardRankScratch struct {
-	ranks   []int
-	tmp     []int
-	ends    []int
-	streams [][]int
-	cstart  []int
-	cdims   []int
-}
-
-var shardRankPool = sync.Pool{New: func() any { return new(shardRankScratch) }}
-
-func (ss *shardRankScratch) release() {
-	ss.ranks = ss.ranks[:0]
-	ss.tmp = ss.tmp[:0]
-	shardRankPool.Put(ss)
-}
-
-// appendBoxRanks appends the global ranks of the indexed points inside the
-// already-validated box to dst, in ascending global rank order: the
-// planner clips the box against each shard's bounds, intersected shards
-// answer locally, local ranks shift by the shard's offset, and the
-// per-shard streams k-way-merge (storage.MergeSortedAppend — in practice
-// the concatenation fast path, since shard rank blocks are disjoint and
-// ascending).
-func (sx *ShardedIndex) appendBoxRanks(dst []int, b Box, ss *shardRankScratch) []int {
-	d := sx.grid.D()
-	if cap(ss.cstart) < d {
-		ss.cstart = make([]int, d)
-		ss.cdims = make([]int, d)
-	}
-	ss.cstart, ss.cdims = ss.cstart[:d], ss.cdims[:d]
-	rs := rankScratchPool.Get().(*rankScratch)
-	defer rs.release()
-	ss.tmp = ss.tmp[:0]
-	ss.ends = ss.ends[:0]
-	for i := range sx.shards {
-		if !shard.ClipBox(b.Start, b.Dims, sx.lo[i], sx.hi[i], ss.cstart, ss.cdims) {
-			continue
-		}
-		for j := range ss.cstart {
-			ss.cstart[j] -= sx.origin[i][j]
-		}
-		n0 := len(ss.tmp)
-		ss.tmp = sx.shards[i].appendBoxRanks(ss.tmp, ss.cstart, ss.cdims, rs)
-		for j := n0; j < len(ss.tmp); j++ {
-			ss.tmp[j] += sx.offset[i]
-		}
-		ss.ends = append(ss.ends, len(ss.tmp))
-	}
-	// Build the stream views only after tmp stops growing — earlier
-	// appends may have reallocated it.
-	ss.streams = ss.streams[:0]
-	prev := 0
-	for _, e := range ss.ends {
-		ss.streams = append(ss.streams, ss.tmp[prev:e])
-		prev = e
-	}
-	return storage.MergeSortedAppend(dst, ss.streams)
+	return sx.core.ScanInto(b, yield)
 }
 
 // Pages returns the page-run plan of a box query over the GLOBAL rank
 // space — runs may span shard boundaries when adjacent shards both match,
 // which is exactly what the bisection-tree shard order arranges for.
 func (sx *ShardedIndex) Pages(b Box) ([]PageRun, error) {
-	return sx.PagesInto(b, nil)
+	return sx.core.PagesInto(b, nil)
 }
 
 // PagesInto is Pages appending to dst; with sufficient capacity it
 // performs zero steady-state heap allocations.
 func (sx *ShardedIndex) PagesInto(b Box, dst []PageRun) ([]PageRun, error) {
-	if err := sx.validateBox(b); err != nil {
-		return dst, err
-	}
-	ss := shardRankPool.Get().(*shardRankScratch)
-	defer ss.release()
-	ss.ranks = sx.appendBoxRanks(ss.ranks[:0], b, ss)
-	return sx.pager.RunsAppend(dst, ss.ranks)
+	return sx.core.PagesInto(b, dst)
 }
 
 // QueryIO returns the simulated I/O cost of a box query against the global
 // rank space. It allocates nothing in steady state.
 func (sx *ShardedIndex) QueryIO(b Box) (IOStats, error) {
-	if err := sx.validateBox(b); err != nil {
-		return IOStats{}, err
-	}
-	ss := shardRankPool.Get().(*shardRankScratch)
-	defer ss.release()
-	ss.ranks = sx.appendBoxRanks(ss.ranks[:0], b, ss)
-	return sx.pager.QueryIO(ss.ranks)
+	return sx.core.QueryIO(b)
 }
 
 // QueryBatch answers one QueryIO per box, fanning the slice across the
 // index's parallelism — see Index.QueryBatch for the contract.
 func (sx *ShardedIndex) QueryBatch(boxes []Box) ([]IOStats, error) {
-	return runQueryBatch(boxes, sx.par, sx.QueryIO)
-}
-
-// runQueryBatch is the shared QueryBatch engine of Index and ShardedIndex:
-// positional results, a bounded worker pool (par <= 0 means GOMAXPROCS),
-// and first-bad-box (lowest index) error reporting on both the serial and
-// parallel paths.
-func runQueryBatch(boxes []Box, par int, queryIO func(Box) (IOStats, error)) ([]IOStats, error) {
-	stats := make([]IOStats, len(boxes))
-	if len(boxes) == 0 {
-		return stats, nil
-	}
-	workers := par
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(boxes) {
-		workers = len(boxes)
-	}
-	if workers == 1 {
-		for i, b := range boxes {
-			var err error
-			if stats[i], err = queryIO(b); err != nil {
-				return nil, fmt.Errorf("spectrallpm: box %d: %w", i, err)
-			}
-		}
-		return stats, nil
-	}
-	errs := make([]error, len(boxes))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(boxes) {
-					return
-				}
-				stats[i], errs[i] = queryIO(boxes[i])
-			}
-		}()
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("spectrallpm: box %d: %w", i, err)
-		}
-	}
-	return stats, nil
+	return sx.core.QueryBatch(boxes)
 }

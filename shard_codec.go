@@ -154,7 +154,7 @@ func ReadSharded(r io.Reader) (*ShardedIndex, error) {
 		if ix.RecordsPerPage() != h.RecordsPerPage {
 			return nil, fmt.Errorf("spectrallpm: shard %d page size %d disagrees with header %d: %w", i, ix.RecordsPerPage(), h.RecordsPerPage, ErrCorruptIndex)
 		}
-		lo, hi, origin, err := shardPlacement(grid, &m, ix, h.Points)
+		lo, hi, origin, err := shardPlacement(grid, m.Origin, ix, h.Points)
 		if err != nil {
 			return nil, fmt.Errorf("spectrallpm: shard %d: %w", i, err)
 		}
@@ -176,9 +176,10 @@ func ReadSharded(r io.Reader) (*ShardedIndex, error) {
 }
 
 // shardPlacement derives one shard's bounding box and coordinate
-// translation from its header entry and its loaded index, validating it
-// against the global grid.
-func shardPlacement(grid *graph.Grid, m *shardMetaV1, ix *Index, points bool) (lo, hi, origin []int, err error) {
+// translation from its declared origin (nil for point shards) and its
+// loaded index, validating it against the global grid. Shared by the v1
+// and v2 sharded readers.
+func shardPlacement(grid *graph.Grid, declaredOrigin []int, ix *Index, points bool) (lo, hi, origin []int, err error) {
 	d := grid.D()
 	dims := grid.Dims()
 	shardDims := ix.grid.Dims()
@@ -186,7 +187,7 @@ func shardPlacement(grid *graph.Grid, m *shardMetaV1, ix *Index, points bool) (l
 		return nil, nil, nil, fmt.Errorf("shard arity %d, global %d: %w", len(shardDims), d, ErrCorruptIndex)
 	}
 	if points {
-		if m.Origin != nil {
+		if declaredOrigin != nil {
 			return nil, nil, nil, fmt.Errorf("point shard declares an origin: %w", ErrCorruptIndex)
 		}
 		for j, s := range shardDims {
@@ -197,10 +198,10 @@ func shardPlacement(grid *graph.Grid, m *shardMetaV1, ix *Index, points bool) (l
 		lo, hi = pointBounds(ix.pts, d)
 		return lo, hi, make([]int, d), nil
 	}
-	if len(m.Origin) != d {
-		return nil, nil, nil, fmt.Errorf("grid shard origin arity %d, want %d: %w", len(m.Origin), d, ErrCorruptIndex)
+	if len(declaredOrigin) != d {
+		return nil, nil, nil, fmt.Errorf("grid shard origin arity %d, want %d: %w", len(declaredOrigin), d, ErrCorruptIndex)
 	}
-	lo = append([]int(nil), m.Origin...)
+	lo = append([]int(nil), declaredOrigin...)
 	hi = make([]int, d)
 	for j := range hi {
 		if lo[j] < 0 || lo[j]+shardDims[j] > dims[j] {

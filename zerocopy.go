@@ -1,0 +1,55 @@
+package spectrallpm
+
+import (
+	"strconv"
+	"unsafe"
+)
+
+// The v2 codec's zero-copy path reinterprets little-endian 64-bit sections
+// of a read-only byte region as []int/[]uint64/[]int64 without decoding.
+// That is only a reinterpretation — not a conversion — when the host's int
+// is 64 bits wide and its byte order is little-endian; every other host
+// (and any unaligned buffer) falls back to the materializing decoder, so
+// the format stays portable while common hardware serves straight from the
+// page cache.
+
+// hostMappable reports whether flat v2 sections can be served in place on
+// this host.
+var hostMappable = strconv.IntSize == 64 && hostLittleEndian()
+
+func hostLittleEndian() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// aligned8 reports whether the slice's backing array starts on an 8-byte
+// boundary — mmap regions always do (page-aligned), heap buffers almost
+// always do, and the v2 format keeps every section at an 8-aligned offset,
+// so a single check of the region base covers all sections.
+func aligned8(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}
+
+// viewUint64s reinterprets b (length a multiple of 8, 8-aligned) in place.
+func viewUint64s(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// viewInts reinterprets b in place; values written as uint64(int64(v)).
+func viewInts(b []byte) []int {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// viewInt64s reinterprets b in place.
+func viewInt64s(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
