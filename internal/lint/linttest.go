@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// RunFixture is the analysistest-style harness: it loads the fixture
+// package at testdata/src/<name>, runs the analyzer over it, and matches
+// every diagnostic against the `// want "regexp"` comments in the fixture
+// files. A line may carry several want clauses (each must match a distinct
+// diagnostic on that line); a diagnostic with no want, or a want with no
+// diagnostic, fails the test.
+func RunFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("lint: cannot locate test source directory")
+	}
+	lintDir := filepath.Dir(thisFile)
+	fixtureDir := filepath.Join(lintDir, "testdata", "src", name)
+	moduleDir := filepath.Dir(filepath.Dir(lintDir)) // internal/lint -> module root
+
+	pkg, err := LoadDir(moduleDir, fixtureDir, name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Position.Filename || w.line != d.Position.Line {
+				continue
+			}
+			if !w.re.MatchString(d.Message) {
+				continue
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.Position.Filename), d.Position.Line, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("no diagnostic matched want %q at %s:%d", w.re, filepath.Base(w.file), w.line)
+		}
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`want (` + "`[^`]*`" + `|"(?:[^"\\]|\\.)*")`)
+
+// collectWants parses every `// want "..."` (or backquoted) clause in the
+// fixture package.
+func collectWants(t *testing.T, pkg *Package) []want {
+	t.Helper()
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pat := m[1]
+					if pat[0] == '"' {
+						unq, err := unquote(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want clause %s: %v", pos.Filename, pos.Line, pat, err)
+						}
+						pat = unq
+					} else {
+						pat = strings.Trim(pat, "`")
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+func unquote(s string) (string, error) {
+	var out strings.Builder
+	body := s[1 : len(s)-1]
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' {
+			i++
+			if i >= len(body) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+		}
+		out.WriteByte(body[i])
+	}
+	return out.String(), nil
+}

@@ -1,0 +1,322 @@
+// Package loading for the analyzers, built on the standard toolchain
+// alone. The canonical driver for go/analysis-style checkers is
+// golang.org/x/tools/go/packages, but this module is dependency-free by
+// policy, so the loader reimplements the slice of it the analyzers need:
+//
+//   - `go list -deps -export -json` names every package, its files, and —
+//     for dependencies — the compiler's export data in the build cache.
+//   - Dependencies are imported through go/importer's gc reader pointed at
+//     that export data (the same bytes the compiler itself consumes), so
+//     cross-package types are exact without typechecking the world.
+//   - The packages under analysis are parsed and typechecked from source
+//     in dependency order (go list's -deps output is topologically
+//     sorted), in-package test files included, so analyzers see test code.
+//     External test packages (package foo_test) are checked against the
+//     test-augmented package, exactly as the compiler builds them.
+//
+// The result is a types.Info-complete view of every package the
+// multichecker targets, produced offline from a cold cache in a few
+// seconds.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path ("..._test" suffix for external test
+	// packages).
+	PkgPath string
+	// Dir is the directory holding the package's files.
+	Dir string
+	// Fset positions every file in the load.
+	Fset *token.FileSet
+	// Files holds the parsed syntax, in-package test files included.
+	Files []*ast.File
+	// Types and Info are the typechecker's output for exactly Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	Standard     bool
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	TestImports  []string
+	XTestImports []string
+}
+
+// loader resolves imports for source-typechecked packages from compiler
+// export data; the cache carries at most the one test-augmented package an
+// external test package is being checked against (mixing source-checked
+// and export-data views of the same package would split its type
+// identities).
+type loader struct {
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	cache   map[string]*types.Package
+	gc      types.Importer
+}
+
+func newLoader(fset *token.FileSet) *loader {
+	l := &loader{
+		fset:    fset,
+		exports: make(map[string]string),
+		cache:   make(map[string]*types.Package),
+	}
+	l.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return l
+}
+
+// Import resolves one import path: source-checked targets first, then
+// export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	return l.gc.Import(path)
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w", strings.Join(args, " "), err)
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load typechecks the packages matching patterns (run from dir, a
+// directory inside the module) and returns them ready for analysis.
+// When tests is true, in-package test files are folded into their package
+// and external test packages are loaded as their own entries.
+func Load(dir string, patterns []string, tests bool) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targetSet := make(map[string]*listedPackage, len(targets))
+	testImports := make(map[string]bool)
+	for _, t := range targets {
+		targetSet[t.ImportPath] = t
+		if tests {
+			for _, imp := range t.TestImports {
+				testImports[imp] = true
+			}
+			for _, imp := range t.XTestImports {
+				testImports[imp] = true
+			}
+		}
+	}
+
+	// One -deps listing covers the non-test dependency graph; a second
+	// sweeps in whatever the test files add (mostly "testing" and friends).
+	deps, err := goList(dir, append([]string{"-deps", "-export", "-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool, len(deps))
+	for _, d := range deps {
+		known[d.ImportPath] = true
+	}
+	var extra []string
+	for imp := range testImports {
+		if !known[imp] && imp != "C" && imp != "unsafe" {
+			extra = append(extra, imp)
+		}
+	}
+	if len(extra) > 0 {
+		sort.Strings(extra)
+		more, err := goList(dir, append([]string{"-deps", "-export", "-json"}, extra...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range more {
+			if !known[m.ImportPath] {
+				known[m.ImportPath] = true
+				deps = append(deps, m)
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	ld := newLoader(fset)
+	var out []*Package
+	// Register every export file first: the test-dependency sweep appends
+	// entries after the targets, and a target typechecked mid-list must
+	// already see them.
+	for _, d := range deps {
+		if d.Export != "" {
+			ld.exports[d.ImportPath] = d.Export
+		}
+	}
+	// -deps output is topologically sorted (dependencies first), so every
+	// source-checked target lands in the cache before its importers need it.
+	for _, d := range deps {
+		t, isTarget := targetSet[d.ImportPath]
+		if !isTarget || d.Standard {
+			continue
+		}
+		files := t.GoFiles
+		if tests {
+			files = append(append([]string{}, t.GoFiles...), t.TestGoFiles...)
+		}
+		pkg, err := ld.check(t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+		if tests && len(t.XTestGoFiles) > 0 {
+			// The external test package must see the test-augmented package
+			// (in-package test helpers included), which only the source check
+			// has; everything else resolves from export data so that all
+			// other targets share one consistent type universe. The cache
+			// entry is scoped to this one check.
+			ld.cache[t.ImportPath] = pkg.Types
+			xpkg, err := ld.check(t.ImportPath+"_test", t.Dir, t.XTestGoFiles)
+			delete(ld.cache, t.ImportPath)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xpkg)
+		}
+	}
+	return out, nil
+}
+
+// LoadDir typechecks the .go files of a single directory as one package —
+// the fixture path of the analysis tests. moduleDir anchors `go list` so
+// fixture imports of module-internal packages resolve; pkgPath names the
+// resulting package.
+func LoadDir(moduleDir, fixtureDir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", fixtureDir)
+	}
+
+	fset := token.NewFileSet()
+	ld := newLoader(fset)
+	// Parse first to learn the fixture's imports, then resolve them (and
+	// their transitive dependencies) to export data in one go list call.
+	var syntax []*ast.File
+	importSet := make(map[string]bool)
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(fixtureDir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p != "unsafe" && p != "C" {
+				importSet[p] = true
+			}
+		}
+	}
+	if len(importSet) > 0 {
+		var imps []string
+		for p := range importSet {
+			imps = append(imps, p)
+		}
+		sort.Strings(imps)
+		deps, err := goList(moduleDir, append([]string{"-deps", "-export", "-json"}, imps...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range deps {
+			if d.Export != "" {
+				ld.exports[d.ImportPath] = d.Export
+			}
+		}
+	}
+	return ld.checkParsed(pkgPath, fixtureDir, syntax)
+}
+
+// check parses and typechecks one package from its file names.
+func (l *loader) check(pkgPath, dir string, fileNames []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	return l.checkParsed(pkgPath, dir, syntax)
+}
+
+// checkParsed typechecks already-parsed syntax as one package.
+func (l *loader) checkParsed(pkgPath, dir string, syntax []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(pkgPath, l.fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typechecking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   syntax,
+		Types:   pkg,
+		Info:    info,
+	}, nil
+}

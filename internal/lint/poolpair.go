@@ -1,0 +1,526 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolPair flags sync.Pool.Get calls whose value can leave the function
+// without reaching a Put. A leaked pooled scratch buffer is not a memory
+// leak the GC cares about — it is a throughput leak: the pool refills with
+// fresh allocations and the zero-alloc serving contract quietly becomes
+// one-alloc-per-query (the class of bug PR 4 fixed by hand).
+//
+// The analysis is a conservative walk of the function's statement
+// structure. A gotten value is considered released on a path when that
+// path (or a defer) executes:
+//
+//   - pool.Put(v), for any sync.Pool-typed receiver
+//   - v.Release() / v.Close() / v.Free() — the repo's pooled types wrap
+//     their own Put
+//   - a call to a same-package function marked //lpm:ownsscratch with v
+//     as an argument (ownership documented at the callee)
+//
+// Same-package wrapper functions marked //lpm:poolget (e.g. a typed
+// GetScratch() around pool.Get) count as Gets themselves, so callers of
+// the wrapper are held to the same pairing contract.
+//
+// Handing the value off — returning it, storing it into a field, map,
+// slice, or channel, capturing it in a function literal, or passing it to
+// an unmarked function — ends tracking without a report: the analyzer
+// only flags paths where the value provably dies in scope un-Put.
+// Reading THROUGH the value (v.buf, len(v.ranks), v[i], a method call on
+// v) is not a hand-off: scratch values are used exactly that way between
+// Get and Put, and tracking must survive those uses to be worth having.
+var PoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc: "flags sync.Pool.Get results that do not reach a Put (or a documented owner) " +
+		"on every return path, turning pooled-scratch leaks into review-time diagnostics",
+	Run: runPoolPair,
+}
+
+func runPoolPair(pass *Pass) {
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		// Function literals are analyzed as their own bodies: a Get inside a
+		// closure must be Put inside it (or handed off from it).
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					analyzePoolBody(pass, fn.Body, decls)
+				}
+			case *ast.FuncLit:
+				analyzePoolBody(pass, fn.Body, decls)
+			}
+			return true
+		})
+	}
+}
+
+// poolGet describes one tracked Get in a body.
+type poolGet struct {
+	obj  types.Object // the variable holding the gotten value
+	pos  ast.Node     // the Get call, for reporting
+	stmt ast.Stmt     // the statement performing the Get
+}
+
+// analyzePoolBody finds the Gets at the top level of one function-like
+// body (not inside nested literals — those get their own analysis) and
+// path-checks each.
+func analyzePoolBody(pass *Pass, body *ast.BlockStmt, decls map[types.Object]*ast.FuncDecl) {
+	var gets []poolGet
+	var walkStmts func(stmts []ast.Stmt)
+	var findInStmt func(s ast.Stmt)
+	findInStmt = func(s ast.Stmt) {
+		// Look for v := pool.Get() / v := pool.Get().(*T) assignments, and
+		// bare pool.Get() expression statements (a pointless Get that drops
+		// the value on the floor — always a leak).
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return
+			}
+			call := poolGetCall(pass, st.Rhs[0], decls)
+			if call == nil {
+				return
+			}
+			id, ok := ast.Unparen(st.Lhs[0]).(*ast.Ident)
+			if !ok {
+				return // stored straight into a field/map/slice: a hand-off
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "sync.Pool.Get result discarded; the pooled value can never be Put back")
+				return
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj != nil {
+				gets = append(gets, poolGet{obj: obj, pos: call, stmt: s})
+			}
+		case *ast.ExprStmt:
+			if call := poolGetCall(pass, st.X, decls); call != nil {
+				pass.Reportf(call.Pos(), "sync.Pool.Get result discarded; the pooled value can never be Put back")
+			}
+		}
+	}
+	walkStmts = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			findInStmt(s)
+			switch st := s.(type) {
+			case *ast.BlockStmt:
+				walkStmts(st.List)
+			case *ast.IfStmt:
+				walkStmts(st.Body.List)
+				if st.Else != nil {
+					walkStmts([]ast.Stmt{st.Else})
+				}
+			case *ast.ForStmt:
+				walkStmts(st.Body.List)
+			case *ast.RangeStmt:
+				walkStmts(st.Body.List)
+			case *ast.SwitchStmt:
+				walkStmts(st.Body.List)
+			case *ast.TypeSwitchStmt:
+				walkStmts(st.Body.List)
+			case *ast.SelectStmt:
+				walkStmts(st.Body.List)
+			case *ast.CaseClause:
+				walkStmts(st.Body)
+			case *ast.CommClause:
+				walkStmts(st.Body)
+			case *ast.LabeledStmt:
+				walkStmts([]ast.Stmt{st.Stmt})
+			}
+		}
+	}
+	walkStmts(body.List)
+
+	for _, g := range gets {
+		pc := &poolChecker{pass: pass, obj: g.obj, decls: decls, get: g}
+		st := pc.checkStmts(body.List, stateBefore)
+		if st == stateLive && !pc.deferReleased {
+			// Control can fall off the end of the body with the value live.
+			pass.Reportf(body.Rbrace, "sync.Pool.Get value %q not Put on the fall-through return path", g.obj.Name())
+		}
+	}
+}
+
+// poolGetCall returns the underlying Get call of e — either a direct
+// pool.Get() (unwrapping a type assertion pool.Get().(*T)) or a call to a
+// same-package wrapper marked //lpm:poolget — or nil.
+func poolGetCall(pass *Pass, e ast.Expr, decls map[types.Object]*ast.FuncDecl) *ast.CallExpr {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if fd := calleeFuncDecl(pass, call, decls); fd != nil && funcMarked(fd, "lpm:poolget") {
+		return call
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" || len(call.Args) != 0 {
+		return nil
+	}
+	if !isSyncPool(pass, sel.X) {
+		return nil
+	}
+	return call
+}
+
+// isSyncPool reports whether e's type is sync.Pool or *sync.Pool.
+func isSyncPool(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	return isNamed(tv.Type, "sync", "Pool")
+}
+
+// Tracking states of the gotten value along one path.
+type poolState int
+
+const (
+	stateBefore   poolState = iota // the Get has not executed yet
+	stateLive                      // gotten, not yet released
+	stateReleased                  // Put / released / handed off
+)
+
+// poolChecker walks one function body checking one gotten value.
+type poolChecker struct {
+	pass          *Pass
+	obj           types.Object
+	decls         map[types.Object]*ast.FuncDecl
+	get           poolGet
+	deferReleased bool // a defer releases the value on every exit
+}
+
+// checkStmts advances the state through a statement list, reporting
+// returns that exit with the value live. The returned state is the merge
+// of all fall-through paths.
+func (pc *poolChecker) checkStmts(stmts []ast.Stmt, st poolState) poolState {
+	for _, s := range stmts {
+		st = pc.checkStmt(s, st)
+	}
+	return st
+}
+
+func (pc *poolChecker) checkStmt(s ast.Stmt, st poolState) poolState {
+	if s == pc.get.stmt {
+		return stateLive
+	}
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			if pc.mentionsObj(r) {
+				return stateReleased // returned to the caller: ownership moves
+			}
+		}
+		if st == stateLive && !pc.deferReleased {
+			pc.pass.Reportf(x.Pos(), "sync.Pool.Get value %q not Put on this return path", pc.obj.Name())
+		}
+		return st
+	case *ast.DeferStmt:
+		if pc.callReleases(x.Call) || pc.funcLitReleases(x.Call) {
+			pc.deferReleased = true
+		} else if pc.mentionsNode(x.Call) {
+			return stateReleased // deferred hand-off we cannot see through
+		}
+		return st
+	case *ast.GoStmt:
+		if pc.mentionsNode(x.Call) {
+			return stateReleased // handed to a goroutine
+		}
+		return st
+	case *ast.ExprStmt:
+		return pc.checkExprStmt(x, st)
+	case *ast.AssignStmt:
+		// Storing the value itself anywhere (another variable, a field, a
+		// map, a slice) hands it off; assignments that merely read through
+		// it (n := len(v.buf), v.buf = v.buf[:0]) keep tracking alive.
+		for _, r := range x.Rhs {
+			if pc.escapes(r) {
+				return stateReleased
+			}
+		}
+		return st
+	case *ast.IfStmt:
+		thenSt := pc.checkStmts(x.Body.List, st)
+		elseSt := st
+		if x.Else != nil {
+			elseSt = pc.checkStmt(x.Else, st)
+		}
+		return mergePoolStates(thenSt, elseSt, x.Body, x.Else)
+	case *ast.BlockStmt:
+		return pc.checkStmts(x.List, st)
+	case *ast.ForStmt:
+		pc.checkStmts(x.Body.List, st)
+		return st // the body may run zero times
+	case *ast.RangeStmt:
+		pc.checkStmts(x.Body.List, st)
+		return st
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return pc.checkSwitch(s, st)
+	case *ast.CaseClause:
+		return pc.checkStmts(x.Body, st)
+	case *ast.CommClause:
+		return pc.checkStmts(x.Body, st)
+	case *ast.LabeledStmt:
+		return pc.checkStmt(x.Stmt, st)
+	}
+	// Any other statement mentioning the value (a send, a call in a weird
+	// position) conservatively hands it off.
+	if pc.mentionsNode(s) {
+		return stateReleased
+	}
+	return st
+}
+
+// checkExprStmt handles a plain call statement: a release moves to
+// released; any other call mentioning the value is a hand-off.
+func (pc *poolChecker) checkExprStmt(x *ast.ExprStmt, st poolState) poolState {
+	call, ok := ast.Unparen(x.X).(*ast.CallExpr)
+	if !ok {
+		if pc.mentionsNode(x) {
+			return stateReleased
+		}
+		return st
+	}
+	if pc.callReleases(call) {
+		return stateReleased
+	}
+	if pc.escapes(call) {
+		return stateReleased // the value itself handed to some callee
+	}
+	return st
+}
+
+// escapes reports whether e passes or stores the tracked value ITSELF —
+// v as a bare argument or operand, &v, v captured by a function literal —
+// as opposed to reading through it (v.f, v[i], *v, len(v.buf)), which
+// keeps tracking alive. Method calls v.m(...) count as reads: the repo's
+// release methods are recognized by name in callReleases instead.
+func (pc *poolChecker) escapes(e ast.Expr) bool {
+	found := false
+	var walk func(ast.Expr)
+	skipBase := func(base ast.Expr) {
+		// Projections through v read it; anything else recurses.
+		if id, ok := ast.Unparen(base).(*ast.Ident); ok && pc.pass.Info.Uses[id] == pc.obj {
+			return
+		}
+		walk(base)
+	}
+	walk = func(e ast.Expr) {
+		if found || e == nil {
+			return
+		}
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if pc.pass.Info.Uses[x] == pc.obj {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			skipBase(x.X)
+		case *ast.IndexExpr:
+			skipBase(x.X)
+			walk(x.Index)
+		case *ast.SliceExpr:
+			skipBase(x.X)
+			walk(x.Low)
+			walk(x.High)
+			walk(x.Max)
+		case *ast.StarExpr:
+			skipBase(x.X)
+		case *ast.CallExpr:
+			// The Fun is deliberately skipped: v.m(...) is a read of v, and
+			// release methods are handled by callReleases.
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *ast.UnaryExpr:
+			walk(x.X)
+		case *ast.BinaryExpr:
+			walk(x.X)
+			walk(x.Y)
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				walk(el)
+			}
+		case *ast.KeyValueExpr:
+			walk(x.Value)
+		case *ast.TypeAssertExpr:
+			walk(x.X)
+		case *ast.FuncLit:
+			// Captured by a closure: the closure owns it now.
+			ast.Inspect(x.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && pc.pass.Info.Uses[id] == pc.obj {
+					found = true
+				}
+				return !found
+			})
+		}
+	}
+	walk(e)
+	return found
+}
+
+// checkSwitch merges all case paths of a switch/select. Without a default
+// (or empty case list) the whole statement may be skipped, so the entry
+// state stays reachable.
+func (pc *poolChecker) checkSwitch(s ast.Stmt, st poolState) poolState {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		body = x.Body
+	case *ast.TypeSwitchStmt:
+		body = x.Body
+	case *ast.SelectStmt:
+		body = x.Body
+	}
+	merged := poolState(-1)
+	for _, c := range body.List {
+		var caseBody []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			caseBody = cc.Body
+			if cc.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			caseBody = cc.Body
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		cs := pc.checkStmts(caseBody, st)
+		if merged < 0 {
+			merged = cs
+		} else if cs != merged {
+			merged = minPoolState(cs, merged)
+		}
+	}
+	if merged < 0 || !hasDefault {
+		return st
+	}
+	return merged
+}
+
+// mergePoolStates joins an if's branches: both-released (or one branch
+// terminating) stays released; otherwise the weaker state wins.
+func mergePoolStates(thenSt, elseSt poolState, thenBody *ast.BlockStmt, elseStmt ast.Stmt) poolState {
+	if terminates(thenBody.List) {
+		return elseSt
+	}
+	if elseStmt != nil {
+		if blk, ok := elseStmt.(*ast.BlockStmt); ok && terminates(blk.List) {
+			return thenSt
+		}
+	}
+	return minPoolState(thenSt, elseSt)
+}
+
+func minPoolState(a, b poolState) poolState {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// terminates reports whether a statement list always transfers control out
+// (return, panic, os.Exit-free approximation: return and panic only).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callReleases reports whether the call releases the tracked value:
+// pool.Put(v), v.Release()/Close()/Free(), or a //lpm:ownsscratch callee
+// taking v.
+func (pc *poolChecker) callReleases(call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// pool.Put(v)
+		if sel.Sel.Name == "Put" && isSyncPool(pc.pass, sel.X) {
+			for _, a := range call.Args {
+				if pc.isObjExpr(a) {
+					return true
+				}
+			}
+		}
+		// v.Release() and friends
+		switch sel.Sel.Name {
+		case "Release", "Close", "Free":
+			if pc.isObjExpr(sel.X) {
+				return true
+			}
+		}
+	}
+	// marked owner callee
+	if fd := calleeFuncDecl(pc.pass, call, pc.decls); fd != nil && funcMarked(fd, "lpm:ownsscratch") {
+		for _, a := range call.Args {
+			if pc.isObjExpr(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcLitReleases reports whether a deferred func literal's body releases
+// the value (defer func() { pool.Put(v) }()).
+func (pc *poolChecker) funcLitReleases(call *ast.CallExpr) bool {
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	released := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && pc.callReleases(c) {
+			released = true
+		}
+		return !released
+	})
+	return released
+}
+
+// isObjExpr reports whether e is (a paren of) an identifier bound to the
+// tracked object.
+func (pc *poolChecker) isObjExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pc.pass.Info.Uses[id] == pc.obj
+}
+
+// mentionsObj reports whether the expression references the tracked
+// object anywhere.
+func (pc *poolChecker) mentionsObj(e ast.Expr) bool { return pc.mentionsNode(e) }
+
+func (pc *poolChecker) mentionsNode(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && pc.pass.Info.Uses[id] == pc.obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,95 @@
+// Package allocfree exercises the //lpm:allocfree contract checker.
+package allocfree
+
+import "sync"
+
+type scratch struct {
+	ranks []int
+	bits  []uint64
+}
+
+func (s *scratch) reset() {}
+
+type parseError struct{}
+
+func (*parseError) Error() string { return "parse" }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+func sink(v any) {}
+
+func run() {}
+
+// hot is annotated and full of violations, one per line.
+//
+//lpm:allocfree
+func hot(dst []int, n int) {
+	m := make([]int, n) // want "make allocates"
+	s := new(scratch)   // want "new allocates"
+	lit := []int{1, 2}  // want "slice literal allocates"
+	kv := map[int]int{} // want "map literal allocates"
+	ptr := &scratch{}   // want "composite literal escapes"
+	f := func() {}      // want "function literal may capture"
+	go run()            // want "go statement allocates"
+	b := []byte("x")    // want `string -> \[\]byte conversion`
+	str := string(b)    // want `\[\]byte -> string conversion`
+	msg := str + "!"    // want "string concatenation allocates"
+	sink(n)             // want "boxes into interface"
+	var box any = n     // want "boxes into interface"
+	box = msg           // want "boxes into interface"
+	mv := s.reset       // want "method value"
+	m = append(m, 1)    // want "append into m"
+	_, _, _, _, _, _ = lit, kv, ptr, f, box, mv
+	_ = dst
+}
+
+// warm is annotated and uses only the allowed idioms.
+//
+//lpm:allocfree
+func warm(sc *scratch, dst []int, words int) []int {
+	if cap(sc.bits) < words {
+		sc.bits = make([]uint64, words) // cap-guarded growth is the idiom
+	}
+	dst = append(dst, len(sc.bits)) // caller-provided storage
+	out := dst[:0]
+	out = append(out, 1) // derived from caller storage
+	return out
+}
+
+// pooled is annotated; pool.Get storage counts as caller-provided.
+//
+//lpm:allocfree
+func pooled(n int) int {
+	v := pool.Get().(*scratch)
+	v.ranks = append(v.ranks, n)
+	total := len(v.ranks)
+	pool.Put(v) // *scratch is pointer-shaped: no boxing into Put's any
+	return total
+}
+
+// coldPath is annotated but deliberately allocates on its error branch.
+//
+//lpm:allocfree
+func coldPath(ok bool) error {
+	if !ok {
+		//lpm:allocok — error path, never hit while serving
+		return &parseError{}
+	}
+	return nil
+}
+
+// pointerShaped is annotated; pointer-shaped values convert to interfaces
+// without allocating.
+//
+//lpm:allocfree
+func pointerShaped(s *scratch, err error) {
+	sink(s)
+	sink(err)
+	var e error = err
+	_ = e
+}
+
+// unmarked allocates freely: no annotation, no reports.
+func unmarked(n int) []int {
+	return append(make([]int, 0, n), n)
+}

@@ -1,0 +1,47 @@
+// Package borrowwrite exercises the borrowwrite analyzer against the real
+// storage.Frame type, whose Rank/Vert/Rows slices may be views into a
+// read-only mmap region.
+package borrowwrite
+
+import "github.com/spectral-lpm/spectrallpm/internal/storage"
+
+func writesDirect(f *storage.Frame) {
+	f.Rank[0] = 1 // want "write through borrowed frame slice"
+	f.Vert[1] = 2 // want "write through borrowed frame slice"
+	f.Rows[2] = 3 // want "write through borrowed frame slice"
+	f.Rank[0]++   // want "write through borrowed frame slice"
+}
+
+func rebinds(f *storage.Frame) {
+	f.Rank = nil // want "write through borrowed frame slice"
+}
+
+func aliases(f *storage.Frame) {
+	r := f.Rank
+	r[0] = 1 // want "write through borrowed frame slice"
+	s := r[1:]
+	s[0] = 2 // want "write through borrowed frame slice"
+}
+
+func builtins(f *storage.Frame, dst []int) {
+	_ = append(f.Rank, 1) // want "append mutates borrowed frame slice"
+	copy(f.Vert, dst)     // want "copy mutates borrowed frame slice"
+	clear(f.Rows)         // want "clear mutates borrowed frame slice"
+	copy(dst, f.Rank)     // reading the frame as a copy source is fine
+}
+
+func readsOnly(f *storage.Frame) int {
+	x := f.Rank[0] + f.Vert[1]
+	return x + int(f.Rows[2])
+}
+
+// owner constructs its frame from freshly allocated slices, so writing
+// through it cannot hit a mapped region.
+//
+//lpm:ownsframe — frame built locally from owned slices
+func owner() storage.Frame {
+	var f storage.Frame
+	f.Rank = make([]int, 4)
+	f.Rank[0] = 7
+	return f
+}

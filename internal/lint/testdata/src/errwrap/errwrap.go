@@ -1,0 +1,48 @@
+// Package errwrap exercises the sentinel wrap/compare analyzer against
+// the real internal/errs sentinels.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/spectral-lpm/spectrallpm/internal/errs"
+)
+
+// ErrLocal is a package-level sentinel of this package; the same rules
+// apply to it.
+var ErrLocal = errors.New("local boom")
+
+func wraps(err error, n int) error {
+	if errors.Is(err, errs.ErrCorruptIndex) {
+		return fmt.Errorf("open index %d: %w", n, errs.ErrCorruptIndex)
+	}
+	return nil
+}
+
+func formatsV(n int) error {
+	return fmt.Errorf("frame %d: %v", n, errs.ErrCorruptIndex) // want "formatted with %v instead of %w"
+}
+
+func formatsS() error {
+	return fmt.Errorf("bad rank: %s", errs.ErrRankOutOfRange) // want "formatted with %s instead of %w"
+}
+
+func compares(err error) bool {
+	if err == errs.ErrUnknownMapping { // want "use errors.Is"
+		return true
+	}
+	return err != errs.ErrNotPermutation // want "use errors.Is"
+}
+
+func comparesLocal(err error) bool {
+	return err == ErrLocal // want "use errors.Is"
+}
+
+func comparesOK(err error) bool {
+	if errs.ErrCorruptIndex == nil { // sentinel vs nil stays quiet
+		return false
+	}
+	//lpm:cmpok — identity check intentional: asserting the exact value
+	return err == errs.ErrDimensionMismatch
+}

@@ -1,0 +1,54 @@
+// Package maporder exercises the map-iteration-order analyzer. This file
+// is named codec_* so it falls inside the analyzer's file scope.
+package maporder
+
+import (
+	"slices"
+	"sort"
+)
+
+func emitUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "randomized order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sideEffects(m map[string]int) int {
+	n := 0
+	for k := range m { // want "randomized order"
+		n += len(k)
+	}
+	return n
+}
+
+func drainSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func drainSortedValues(m map[string]int) ([]string, []int) {
+	var keys []string
+	var vals []int
+	for k, v := range m {
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	slices.Sort(keys)
+	sort.Ints(vals)
+	return keys, vals
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	//lpm:orderok — addition is commutative, order cannot show in the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

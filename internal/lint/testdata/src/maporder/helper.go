@@ -1,0 +1,11 @@
+// This file's name matches none of the codec/shard/query prefixes, so the
+// analyzer leaves its map ranges alone.
+package maporder
+
+func countAll(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

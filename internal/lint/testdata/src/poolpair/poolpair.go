@@ -1,0 +1,119 @@
+// Package poolpair exercises the sync.Pool Get/Put pairing analyzer.
+package poolpair
+
+import "sync"
+
+type scratch struct {
+	buf []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+var sink *scratch
+
+func leakOnReturn(n int) int {
+	v := pool.Get().(*scratch)
+	if n == 0 {
+		return 0 // want "not Put on this return path"
+	}
+	pool.Put(v)
+	return len(v.buf)
+}
+
+func leakFallThrough() {
+	v := pool.Get().(*scratch)
+	v.buf = v.buf[:0]
+} // want "not Put on the fall-through return path"
+
+func discarded() {
+	pool.Get()     // want "result discarded"
+	_ = pool.Get() // want "result discarded"
+}
+
+func branchLeak(n int) {
+	v := pool.Get().(*scratch)
+	if n > 0 {
+		return // want "not Put on this return path"
+	}
+	pool.Put(v)
+}
+
+func branchPut(n int) {
+	v := pool.Get().(*scratch)
+	if n > 0 {
+		pool.Put(v)
+		return
+	}
+	pool.Put(v)
+}
+
+func deferred() []byte {
+	v := pool.Get().(*scratch)
+	defer pool.Put(v)
+	return append([]byte(nil), v.buf...)
+}
+
+func deferredLit() {
+	v := pool.Get().(*scratch)
+	defer func() { pool.Put(v) }()
+	v.buf = v.buf[:0]
+}
+
+// sortedScratch returns the pooled value itself: ownership moves to the
+// caller, so no report here.
+func sortedScratch() *scratch {
+	v := pool.Get().(*scratch)
+	v.buf = v.buf[:0]
+	return v
+}
+
+// release documents that it owns (and Puts) its argument.
+//
+//lpm:ownsscratch — puts s back into the pool
+func release(s *scratch) {
+	pool.Put(s)
+}
+
+func viaOwner() {
+	v := pool.Get().(*scratch)
+	v.buf = append(v.buf[:0], 1)
+	release(v)
+}
+
+func viaDeferredOwner() int {
+	v := pool.Get().(*scratch)
+	defer release(v)
+	return len(v.buf)
+}
+
+// getScratch is the typed wrapper around pool.Get; callers inherit the
+// pairing obligation.
+//
+//lpm:poolget — pair every call with release
+func getScratch() *scratch {
+	return pool.Get().(*scratch)
+}
+
+func wrapperLeak(n int) {
+	v := getScratch()
+	if n > 0 {
+		return // want "not Put on this return path"
+	}
+	release(v)
+}
+
+func wrapperPaired() int {
+	v := getScratch()
+	n := len(v.buf)
+	release(v)
+	return n
+}
+
+// handOff stores the value where another owner can reach it; tracking
+// ends without a report.
+func handOff() {
+	v := getScratch()
+	stash(v)
+}
+
+func stash(s *scratch) { sink = s }

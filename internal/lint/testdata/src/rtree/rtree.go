@@ -1,0 +1,28 @@
+// Package rtree stands in for the real R-tree package: the guarded flats
+// (coords/ord/rects) are unexported, so only the defining package can
+// touch them, and the analyzer keys on the package-path suffix.
+package rtree
+
+type Tree struct {
+	coords []int
+	ord    []int
+	rects  []int
+}
+
+func (t *Tree) mutate(i int) {
+	t.coords[i] = 1 // want "write through borrowed frame slice"
+	t.ord[i]++      // want "write through borrowed frame slice"
+	clear(t.rects)  // want "clear mutates borrowed frame slice"
+}
+
+func (t *Tree) read(i int) int {
+	return t.coords[i] + t.ord[i] + t.rects[i]
+}
+
+// pack allocates the flats it fills, like the real Pack.
+//
+//lpm:ownsframe — flats allocated locally below
+func (t *Tree) pack(n int) {
+	t.rects = make([]int, n)
+	t.rects[0] = 1
+}
