@@ -30,7 +30,9 @@ func goldenIndexes(t *testing.T) map[string]*spectrallpm.Index {
 }
 
 func TestIndexGoldenFormat(t *testing.T) {
-	for name, ix := range goldenIndexes(t) {
+	golden := goldenIndexes(t)
+	for _, name := range sortedKeys(golden) {
+		ix := golden[name]
 		t.Run(name, func(t *testing.T) {
 			path := filepath.Join("testdata", name)
 			var buf bytes.Buffer
@@ -70,7 +72,8 @@ func TestIndexRoundTripBitIdentical(t *testing.T) {
 		spectrallpm.WithAffinity(spectrallpm.AffinityEdge{U: 0, V: 24, Weight: 5}))
 	indexes["points_l"] = buildTestIndex(t,
 		spectrallpm.WithPoints([][]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {2, 0}}), spectrallpm.WithSeed(2))
-	for name, ix := range indexes {
+	for _, name := range sortedKeys(indexes) {
+		ix := indexes[name]
 		t.Run(name, func(t *testing.T) {
 			var a bytes.Buffer
 			if _, err := ix.WriteTo(&a); err != nil {
@@ -117,7 +120,8 @@ func TestReadIndexRejectsMalformed(t *testing.T) {
 		"bad dims":      `{"format":"spectrallpm-index","version":1,"name":"x","dims":[0],"records_per_page":1,"rank":[]}`,
 		"bad page size": `{"format":"spectrallpm-index","version":1,"name":"x","dims":[2],"records_per_page":0,"rank":[0,1]}`,
 	}
-	for name, data := range cases {
+	for _, name := range sortedKeys(cases) {
+		data := cases[name]
 		t.Run(name, func(t *testing.T) {
 			if _, err := spectrallpm.ReadIndex(strings.NewReader(data)); err == nil {
 				t.Error("malformed index accepted")
@@ -219,7 +223,8 @@ func TestReadIndexHardening(t *testing.T) {
 		"excess lambda2 points": `{"format":"spectrallpm-index","version":1,"name":"spectral","dims":[1,2],"records_per_page":1,"lambda2":[1,1,1],"points":[[0,0],[0,1]],"rank":[0,1]}`,
 		"negative lambda2":      `{"format":"spectrallpm-index","version":1,"name":"spectral","dims":[2],"records_per_page":1,"lambda2":[-0.5],"rank":[0,1]}`,
 	}
-	for name, data := range cases {
+	for _, name := range sortedKeys(cases) {
+		data := cases[name]
 		t.Run(name, func(t *testing.T) {
 			_, err := spectrallpm.ReadIndex(strings.NewReader(data))
 			if err == nil {

@@ -93,7 +93,8 @@ func TestIndexV2GoldenFormat(t *testing.T) {
 		"index_v2_points_k2.golden": buildTestIndex(t,
 			spectrallpm.WithPoints([][]int{{0, 0}, {0, 1}}), spectrallpm.WithPageSize(2)),
 	}
-	for name, ix := range golden {
+	for _, name := range sortedKeys(golden) {
+		ix := golden[name]
 		t.Run(name, func(t *testing.T) {
 			path := filepath.Join("testdata", name)
 			var buf bytes.Buffer
@@ -126,7 +127,9 @@ func TestIndexV2GoldenFormat(t *testing.T) {
 // exact same bytes (including a second generation from the mapped form,
 // which proves the borrowed frame carries every bit the writer needs).
 func TestIndexV2RoundTrip(t *testing.T) {
-	for name, ix := range v2TestIndexes(t) {
+	indexes := v2TestIndexes(t)
+	for _, name := range sortedKeys(indexes) {
+		ix := indexes[name]
 		t.Run(name, func(t *testing.T) {
 			var a bytes.Buffer
 			if _, err := ix.WriteToV2(&a); err != nil {
@@ -181,14 +184,17 @@ func TestCrossVersionV1ToV2(t *testing.T) {
 		}
 		cases[filepath.Base(path)] = data
 	}
-	for name, ix := range v2TestIndexes(t) {
+	v2indexes := v2TestIndexes(t)
+	for _, name := range sortedKeys(v2indexes) {
+		ix := v2indexes[name]
 		var buf bytes.Buffer
 		if _, err := ix.WriteTo(&buf); err != nil {
 			t.Fatal(err)
 		}
 		cases[name] = buf.Bytes()
 	}
-	for name, v1bytes := range cases {
+	for _, name := range sortedKeys(cases) {
+		v1bytes := cases[name]
 		t.Run(name, func(t *testing.T) {
 			v1, err := spectrallpm.ReadIndex(bytes.NewReader(v1bytes))
 			if err != nil {
@@ -226,7 +232,9 @@ func TestShardedV2RoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, sx := range map[string]*spectrallpm.ShardedIndex{"grid": grid, "points": points} {
+	sharded := map[string]*spectrallpm.ShardedIndex{"grid": grid, "points": points}
+	for _, name := range sortedKeys(sharded) {
+		sx := sharded[name]
 		t.Run(name, func(t *testing.T) {
 			var v1 bytes.Buffer
 			if _, err := sx.WriteTo(&v1); err != nil {
@@ -303,7 +311,9 @@ func TestOpenIndexAutoDetect(t *testing.T) {
 	f.Close()
 	v2path := writeV2File(t, ix)
 
-	for name, path := range map[string]string{"v1": v1path, "v2": v2path} {
+	byVersion := map[string]string{"v1": v1path, "v2": v2path}
+	for _, name := range sortedKeys(byVersion) {
+		path := byVersion[name]
 		got, err := spectrallpm.OpenIndex(path)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -365,7 +375,8 @@ func TestOpenMappedRejectsCorrupt(t *testing.T) {
 		"empty file":           {},
 		"sharded magic, short": []byte(("SLPMSX2\n")),
 	}
-	for name, data := range cases {
+	for _, name := range sortedKeys(cases) {
+		data := cases[name]
 		t.Run(name, func(t *testing.T) {
 			path := filepath.Join(t.TempDir(), "bad.slpm2")
 			if err := os.WriteFile(path, data, 0o644); err != nil {
@@ -527,7 +538,8 @@ func TestMappedScanZeroAlloc(t *testing.T) {
 			}
 		},
 	}
-	for name, fn := range paths {
+	for _, name := range sortedKeys(paths) {
+		fn := paths[name]
 		fn() // warm the pools
 		if avg := testing.AllocsPerRun(50, fn); avg != 0 {
 			t.Errorf("mapped %s allocates %.1f per op in steady state, want 0", name, avg)
@@ -588,7 +600,8 @@ func TestMappedShardedScanZeroAlloc(t *testing.T) {
 			}
 		},
 	}
-	for name, fn := range paths {
+	for _, name := range sortedKeys(paths) {
+		fn := paths[name]
 		fn() // warm the pools
 		if avg := testing.AllocsPerRun(50, fn); avg != 0 {
 			t.Errorf("mapped sharded %s allocates %.1f per op in steady state, want 0", name, avg)

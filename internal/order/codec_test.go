@@ -2,6 +2,7 @@ package order
 
 import (
 	"bytes"
+	"sort"
 	"strings"
 	"testing"
 
@@ -44,7 +45,13 @@ func TestMappingDecodeRejectsCorruptInput(t *testing.T) {
 		"non-permutation": `{"name":"x","dims":[2,2],"rank":[0,1,2,2]}`,
 		"rank range":      `{"name":"x","dims":[2,2],"rank":[0,1,2,9]}`,
 	}
-	for name, in := range cases {
+	names := make([]string, 0, len(cases))
+	for name := range cases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		in := cases[name]
 		t.Run(name, func(t *testing.T) {
 			if _, err := Decode(strings.NewReader(in)); err == nil {
 				t.Errorf("corrupt input accepted: %s", in)

@@ -1,0 +1,15 @@
+package spectrallpm_test
+
+import "sort"
+
+// sortedKeys returns m's keys sorted, so table-driven loops iterate
+// deterministically — Go randomizes map range order, and the maporder
+// analyzer (internal/lint) keeps codec/shard/query files honest about it.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -316,9 +316,11 @@ func TestScanZeroAlloc(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for name, fn := range map[string]func(){
+	paths := map[string]func(){
 		"Scan": scan, "ScanInto": scanInto, "PagesInto": pages, "QueryIO": queryIO,
-	} {
+	}
+	for _, name := range sortedKeys(paths) {
+		fn := paths[name]
 		fn() // warm the pools
 		if avg := testing.AllocsPerRun(50, fn); avg != 0 {
 			t.Errorf("%s allocates %.1f per op in steady state, want 0", name, avg)
@@ -353,7 +355,7 @@ func TestRankZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, fn := range map[string]func(){
+	ranks := map[string]func(){
 		"grid": func() {
 			if _, err := grid.Rank(3, 7); err != nil {
 				t.Fatal(err)
@@ -369,7 +371,9 @@ func TestRankZeroAlloc(t *testing.T) {
 				t.Fatal(err)
 			}
 		},
-	} {
+	}
+	for _, name := range sortedKeys(ranks) {
+		fn := ranks[name]
 		if avg := testing.AllocsPerRun(100, fn); avg != 0 {
 			t.Errorf("%s Rank allocates %.1f per op, want 0", name, avg)
 		}

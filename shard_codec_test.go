@@ -31,7 +31,8 @@ func TestShardedRoundTripBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	indexes["points"] = pts
-	for name, sx := range indexes {
+	for _, name := range sortedKeys(indexes) {
+		sx := indexes[name]
 		t.Run(name, func(t *testing.T) {
 			var a bytes.Buffer
 			n, err := sx.WriteTo(&a)
@@ -142,7 +143,8 @@ func TestReadShardedRejectsCorrupt(t *testing.T) {
 		"origin arity": {
 			strings.Replace(parts[0], `"origin":[3,0]`, `"origin":[3]`, 1), parts[1], parts[2]},
 	}
-	for name, lines := range corrupt {
+	for _, name := range sortedKeys(corrupt) {
+		lines := corrupt[name]
 		t.Run(name, func(t *testing.T) {
 			_, err := spectrallpm.ReadSharded(strings.NewReader(strings.Join(lines, "\n") + "\n"))
 			if err == nil {

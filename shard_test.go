@@ -312,7 +312,8 @@ func TestBuildShardedRejects(t *testing.T) {
 		"no domain":     {},
 		"both domains":  {grid, spectrallpm.WithPoints([][]int{{0, 0}})},
 	}
-	for name, opts := range cases {
+	for _, name := range sortedKeys(cases) {
+		opts := cases[name]
 		if _, err := spectrallpm.BuildSharded(ctx, 2, opts...); err == nil {
 			t.Errorf("%s accepted", name)
 		}
@@ -363,7 +364,9 @@ func TestShardedScanZeroAlloc(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for name, fn := range map[string]func(){"Scan": scan, "PagesInto": pages, "QueryIO": queryIO} {
+	paths := map[string]func(){"Scan": scan, "PagesInto": pages, "QueryIO": queryIO}
+	for _, name := range sortedKeys(paths) {
+		fn := paths[name]
 		fn() // warm the pools
 		if avg := testing.AllocsPerRun(50, fn); avg != 0 {
 			t.Errorf("sharded %s allocates %.1f per op in steady state, want 0", name, avg)
