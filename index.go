@@ -594,15 +594,19 @@ func (ix *Index) Points() [][]int {
 // allocations on success: no error path references the coords slice
 // directly (errPointNotIndexed formats a copy), so the compiler keeps the
 // variadic argument on the caller's stack.
+//
+//lpm:allocfree — error branches excepted, as the doc above states.
 func (ix *Index) Rank(coords ...int) (int, error) {
 	d := ix.grid.D()
 	if len(coords) != d {
+		//lpm:allocok — error branch; success never reaches it.
 		return 0, fmt.Errorf("spectrallpm: coordinate arity %d, want %d: %w", len(coords), d, ErrDimensionMismatch)
 	}
 	dims := ix.grid.Dims()
 	for i, c := range coords {
 		if c < 0 || c >= dims[i] {
 			if ix.mapping != nil {
+				//lpm:allocok — error branch; success never reaches it.
 				return 0, fmt.Errorf("spectrallpm: coordinate %d outside [0,%d): %w", c, dims[i], ErrDimensionMismatch)
 			}
 			return 0, errPointNotIndexed(coords)
@@ -645,6 +649,8 @@ func (ix *Index) Point(rank int) ([]int, error) {
 // the extended slice. The first bad point aborts the batch with the same
 // errors Rank returns; the returned slice is still dst's backing buffer
 // (contents unspecified), so reuse keeps working after an error.
+//
+//lpm:allocfree — with sufficient dst capacity, nothing reaches the heap.
 func (ix *Index) RankBatch(coords [][]int, dst []int) ([]int, error) {
 	if cap(dst)-len(dst) < len(coords) {
 		grown := make([]int, len(dst), len(dst)+len(coords))
@@ -677,6 +683,8 @@ type indexEngine struct{ ix *Index }
 // otherwise); point-set indexes require only the right arity — any extent
 // is allowed and only indexed points match (empty sides simply match
 // nothing).
+//
+//lpm:allocfree — the rejection branch excepted.
 func (e indexEngine) CheckBox(b Box) error {
 	ix := e.ix
 	if ix.store != nil {
@@ -684,6 +692,7 @@ func (e indexEngine) CheckBox(b Box) error {
 	}
 	d := ix.grid.D()
 	if len(b.Start) != d || len(b.Dims) != d {
+		//lpm:allocok — error branch; a valid box never reaches it.
 		return fmt.Errorf("spectrallpm: box arity %d/%d, want %d: %w", len(b.Start), len(b.Dims), d, ErrDimensionMismatch)
 	}
 	return nil
@@ -695,6 +704,8 @@ func (e indexEngine) CheckBox(b Box) error {
 // rank-order packed R-tree (matches stream out in ascending rank because
 // leaves hold consecutive rank runs). sc supplies rectangle and point-id
 // scratch for the probe.
+//
+//lpm:allocfree
 func (e indexEngine) AppendBoxRanks(dst []int, start, dims []int, sc *serve.Scratch) []int {
 	ix := e.ix
 	if ix.store != nil {
@@ -729,6 +740,8 @@ func (e indexEngine) AppendBoxRanks(dst []int, start, dims []int, sc *serve.Scra
 // EmitCoords yields (rank, coords) for each rank, translating through the
 // mapping's inverse permutation (grids) or the point table (point sets)
 // into the reused coords buffer.
+//
+//lpm:allocfree
 func (e indexEngine) EmitCoords(ranks []int, coords []int, yield func(int, []int) bool) {
 	ix := e.ix
 	if ix.mapping != nil {
@@ -761,6 +774,8 @@ func (ix *Index) initCore() {
 // coordsAt fills dst (len D) with the coordinates of the point at rank r —
 // the translation step shared with the sharded engine, which adds the
 // shard origin afterwards.
+//
+//lpm:allocfree
 func (ix *Index) coordsAt(r int, dst []int) {
 	if ix.mapping != nil {
 		ix.grid.Coords(ix.mapping.Verts()[r], dst)
@@ -801,6 +816,8 @@ func (ix *Index) Close() error {
 // strands no pooled rank buffers — it holds only a small shell the garbage
 // collector reclaims. Scan performs no steady-state heap allocations;
 // ScanInto offers the same contract in callback form.
+//
+//lpm:allocfree
 func (ix *Index) Scan(b Box) (iter.Seq2[int, []int], error) {
 	return ix.core.Scan(b)
 }
@@ -809,6 +826,8 @@ func (ix *Index) Scan(b Box) (iter.Seq2[int, []int], error) {
 // point in ascending rank order until it returns false. The coords slice
 // passed to yield is reused between calls — copy it if it must survive.
 // ScanInto is the allocation-free core of the scanning path.
+//
+//lpm:allocfree
 func (ix *Index) ScanInto(b Box, yield func(rank int, coords []int) bool) error {
 	return ix.core.ScanInto(b, yield)
 }
@@ -823,12 +842,16 @@ func (ix *Index) Pages(b Box) ([]PageRun, error) {
 // PagesInto is Pages appending to dst, so a serving loop can reuse one plan
 // buffer across queries; with sufficient capacity it performs zero
 // steady-state heap allocations.
+//
+//lpm:allocfree
 func (ix *Index) PagesInto(b Box, dst []PageRun) ([]PageRun, error) {
 	return ix.core.PagesInto(b, dst)
 }
 
 // QueryIO returns the simulated I/O cost of a box query (distinct pages,
 // seeks, scan span). It allocates nothing in steady state.
+//
+//lpm:allocfree
 func (ix *Index) QueryIO(b Box) (IOStats, error) {
 	return ix.core.QueryIO(b)
 }

@@ -133,7 +133,10 @@ func newShape(coords []int, d, n int, ord []int, fanout int) *Tree {
 // the k-th point in the linear order), then levels of MBRs are built
 // bottom-up, fanout-at-a-time. This is exactly how Hilbert-packed R-trees
 // are built; passing a spectral order yields the spectral-packed variant.
-// The point coordinates are copied into owned flat storage.
+// The point coordinates are copied into owned flat storage: every flat
+// written here was allocated just above, so the writes are owner writes.
+//
+//lpm:ownsframe
 func Pack(points [][]int, ord []int, fanout int) (*Tree, error) {
 	n := len(points)
 	var d int
@@ -171,7 +174,11 @@ func Pack(points [][]int, ord []int, fanout int) (*Tree, error) {
 // already be validated as a permutation by the caller. The persisted rects
 // are verified value-for-value against a bottom-up recomputation — a
 // mismatch (a corrupted or hand-edited file) returns an error rather than
-// serving wrong query results.
+// serving wrong query results. This is the adoption point itself: the
+// borrowed flats are installed into the fields here and never written
+// (fillRects runs in verify-only mode).
+//
+//lpm:ownsframe
 func FromParts(coords []int, d int, ord []int, fanout int, rects []int64) (*Tree, error) {
 	n := len(ord)
 	if err := checkPack(n, d, fanout, ord); err != nil {
@@ -194,7 +201,11 @@ func FromParts(coords []int, d int, ord []int, fanout int, rects []int64) (*Tree
 // fillRects computes every node's MBR bottom-up. With check == nil the
 // values are written into t.rects (Pack); otherwise each computed value is
 // compared against check in place and the first disagreement returns false
-// (FromParts verification, which never writes to the borrowed slice).
+// (FromParts verification, which never writes to the borrowed slice). It
+// writes only when check == nil, i.e. into Pack's freshly allocated rects;
+// the borrowed FromParts path is compare-only.
+//
+//lpm:ownsframe
 func (t *Tree) fillRects(check []int64) bool {
 	d := t.d
 	emit := func(node int, mbr []int64) bool {
@@ -305,8 +316,11 @@ func (t *Tree) Search(q Rect) (results []int, nodesVisited int) {
 // pack order: children are visited in order and leaf entries retain the
 // bulk-load permutation, so a tree packed on a rank order emits matches in
 // ascending rank. The walk itself performs no heap allocation.
+//
+//lpm:allocfree
 func (t *Tree) SearchAppend(q Rect, dst []int) ([]int, int) {
 	if len(q.Min) != t.d {
+		//lpm:allocok — programmer-error panic; never taken by a well-formed query.
 		panic(fmt.Sprintf("rtree: query arity %d, want %d", len(q.Min), t.d))
 	}
 	s := searcher{t: t, q: q, dst: dst}
@@ -326,6 +340,8 @@ type searcher struct {
 }
 
 // intersects tests the query window against the node at flat index k.
+//
+//lpm:allocfree
 func (s *searcher) intersects(k int) bool {
 	d := s.t.d
 	at := s.t.rects[k*2*d:]
@@ -339,6 +355,8 @@ func (s *searcher) intersects(k int) bool {
 
 // walk visits node i of the given level (the node was already tested
 // against the query).
+//
+//lpm:allocfree
 func (s *searcher) walk(level, i int) {
 	s.visited++
 	t := s.t

@@ -85,10 +85,14 @@ type Scratch struct {
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
 // GetScratch checks a scratch out of the shared pool.
+//
+//lpm:poolget — the canonical Get wrapper; callers owe a Release on every path.
 func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
 
 // Release empties the growable buffers and returns the scratch to the
 // pool, keeping capacity for the next query.
+//
+//lpm:allocfree
 func (sc *Scratch) Release() {
 	sc.Ranks = sc.Ranks[:0]
 	sc.Tmp = sc.Tmp[:0]
@@ -142,6 +146,9 @@ func newScanState() any {
 // release retires a consumed sequence: the heavy scratch and the shell both
 // return to their pools, and the shell is disarmed so a (forbidden) second
 // iteration yields nothing instead of replaying stale ranks.
+//
+//lpm:ownsscratch — takes over the iteration's scratch and Releases it.
+//lpm:allocfree
 func (s *scanState) release(sc *Scratch) {
 	sc.Release()
 	s.eng = nil
@@ -151,6 +158,8 @@ func (s *scanState) release(sc *Scratch) {
 // arm readies the shell for a d-dimensional query over the given box,
 // copying the box so the caller's slices are free for reuse the moment Scan
 // returns.
+//
+//lpm:allocfree — the makes below fire only while buffers grow to steady state.
 func (s *scanState) arm(eng Engine, b workload.Box, d int) {
 	if cap(s.start) < d {
 		s.start = make([]int, d)
@@ -168,6 +177,8 @@ func (s *scanState) arm(eng Engine, b workload.Box, d int) {
 
 // Scan validates the box, arms a pooled shell, and returns its single-use
 // sequence — see the public Index.Scan for the full buffer-reuse contract.
+//
+//lpm:allocfree
 func (c Core) Scan(b workload.Box) (iter.Seq2[int, []int], error) {
 	if err := c.eng.CheckBox(b); err != nil {
 		return nil, err
@@ -179,6 +190,8 @@ func (c Core) Scan(b workload.Box) (iter.Seq2[int, []int], error) {
 
 // ScanInto is Scan in callback form, sharing its iteration body so the two
 // cannot drift.
+//
+//lpm:allocfree
 func (c Core) ScanInto(b workload.Box, yield func(rank int, coords []int) bool) error {
 	seq, err := c.Scan(b)
 	if err != nil {
@@ -189,6 +202,8 @@ func (c Core) ScanInto(b workload.Box, yield func(rank int, coords []int) bool) 
 }
 
 // PagesInto appends the page-run plan of a box query to dst.
+//
+//lpm:allocfree
 func (c Core) PagesInto(b workload.Box, dst []storage.PageRun) ([]storage.PageRun, error) {
 	if err := c.eng.CheckBox(b); err != nil {
 		return dst, err
@@ -200,6 +215,8 @@ func (c Core) PagesInto(b workload.Box, dst []storage.PageRun) ([]storage.PageRu
 }
 
 // QueryIO returns the simulated I/O cost of a box query.
+//
+//lpm:allocfree
 func (c Core) QueryIO(b workload.Box) (storage.IOStats, error) {
 	if err := c.eng.CheckBox(b); err != nil {
 		return storage.IOStats{}, err

@@ -80,6 +80,8 @@ type boxScratch struct {
 }
 
 // bitmap returns the rank bitmap with at least words words, all zero.
+//
+//lpm:allocfree — the make fires only while the pooled bitmap grows.
 func (sc *boxScratch) bitmap(words int) []uint64 {
 	if cap(sc.bits) < words {
 		// A fresh allocation is already zero, and the dropped buffer was
@@ -94,6 +96,8 @@ var boxScratchPool = sync.Pool{New: func() any { return new(boxScratch) }}
 // appendBoxRanks appends the sorted ranks of the box's cells to dst and
 // returns the extended slice. The box must be validated already. sc supplies
 // all scratch; dst is only appended to (existing contents untouched).
+//
+//lpm:allocfree — with sufficient dst capacity the whole query is off-heap.
 func (l *rankLayout) appendBoxRanks(dst []int, start, dims []int, sc *boxScratch) []int {
 	d := len(dims)
 	width := dims[d-1]
@@ -123,6 +127,8 @@ func (l *rankLayout) appendBoxRanks(dst []int, start, dims []int, sc *boxScratch
 // span/64 word reads, proportional to the run structure the mapping
 // optimizes), or one in-place sort when an adversarial order scatters the
 // box across the whole rank space.
+//
+//lpm:allocfree
 func (l *rankLayout) gatherBoxRanks(dst []int, start, dims []int, sc *boxScratch) []int {
 	width := dims[len(dims)-1]
 	n0 := len(dst)
@@ -175,6 +181,8 @@ func (l *rankLayout) gatherBoxRanks(dst []int, start, dims []int, sc *boxScratch
 
 // mergeBoxRanks k-way-merges the presorted per-row rank slices of the box's
 // slabs. Results stream out in ascending rank order with no sort.
+//
+//lpm:allocfree
 func (l *rankLayout) mergeBoxRanks(dst []int, start, dims []int, sc *boxScratch) []int {
 	d := len(dims)
 	width := dims[d-1]
@@ -229,6 +237,8 @@ func (l *rankLayout) mergeBoxRanks(dst []int, start, dims []int, sc *boxScratch)
 // rank blocks) concatenate in one pass with no heap. All scratch is pooled;
 // with sufficient dst capacity the merge performs no steady-state heap
 // allocations.
+//
+//lpm:allocfree
 func MergeSortedAppend(dst []int, streams [][]int) []int {
 	k := 0
 	total := 0
@@ -297,6 +307,8 @@ func MergeSortedAppend(dst []int, streams [][]int) []int {
 // advance moves slab i's cursor to its next entry with column in
 // [colLo, colHi), caching it in sc.cur[i]. Returns false when the slab is
 // exhausted.
+//
+//lpm:allocfree
 func (l *rankLayout) advance(i int, colLo, colHi uint64, sc *boxScratch) bool {
 	pos, end := sc.pos[i], sc.end[i]
 	for pos < end {
@@ -313,6 +325,8 @@ func (l *rankLayout) advance(i int, colLo, colHi uint64, sc *boxScratch) bool {
 }
 
 // odometer returns the reusable BoxRows scratch, sized to d.
+//
+//lpm:allocfree
 func (sc *boxScratch) odometer(d int) []int {
 	if cap(sc.coords) < d {
 		sc.coords = make([]int, d)
@@ -322,6 +336,8 @@ func (sc *boxScratch) odometer(d int) []int {
 }
 
 // grow sizes the per-slab cursor arrays for k slabs.
+//
+//lpm:allocfree — the makes fire only while the pooled arrays grow.
 func (sc *boxScratch) grow(k int) {
 	if cap(sc.pos) < k {
 		sc.pos = make([]int, k)
@@ -336,6 +352,8 @@ func (sc *boxScratch) grow(k int) {
 
 // siftUp restores the min-heap property after appending at index i. The
 // heap holds slab indices ordered by their cached current entries.
+//
+//lpm:allocfree
 func siftUp(heap []int, i int, cur []uint64) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -348,6 +366,8 @@ func siftUp(heap []int, i int, cur []uint64) {
 }
 
 // siftDown restores the min-heap property after replacing index i.
+//
+//lpm:allocfree
 func siftDown(heap []int, i int, cur []uint64) {
 	n := len(heap)
 	for {

@@ -203,7 +203,11 @@ type Store struct {
 }
 
 // NewStore lays the mapping's grid points on pages in rank order, building
-// an owned frame (the packed row layout is computed here).
+// an owned frame (the packed row layout is computed here): the frame is
+// assembled in this function from the mapping's own slices, and nothing is
+// mapped yet at build time.
+//
+//lpm:ownsframe
 func NewStore(m *order.Mapping, recordsPerPage int) (*Store, error) {
 	f := Frame{Rank: m.Ranks(), Vert: m.Verts()}
 	f.Rows = BuildRows(m.Grid(), f.Rank)

@@ -357,15 +357,19 @@ func (sx *ShardedIndex) NumPages() int { return sx.pager.NumPages() }
 // Errors mirror Index.Rank. Like Index.Rank it allocates nothing on
 // success: the shard-local translation lives in a fixed stack buffer up to
 // 8 dimensions and error paths never leak the coords slice.
+//
+//lpm:allocfree — error branches and the >8-dimension fallback excepted.
 func (sx *ShardedIndex) Rank(coords ...int) (int, error) {
 	d := sx.grid.D()
 	if len(coords) != d {
+		//lpm:allocok — error branch; success never reaches it.
 		return 0, fmt.Errorf("spectrallpm: coordinate arity %d, want %d: %w", len(coords), d, ErrDimensionMismatch)
 	}
 	dims := sx.grid.Dims()
 	for i, c := range coords {
 		if c < 0 || c >= dims[i] {
 			if !sx.points {
+				//lpm:allocok — error branch; success never reaches it.
 				return 0, fmt.Errorf("spectrallpm: coordinate %d outside [0,%d): %w", c, dims[i], ErrDimensionMismatch)
 			}
 			return 0, errPointNotIndexed(coords)
@@ -374,6 +378,7 @@ func (sx *ShardedIndex) Rank(coords ...int) (int, error) {
 	var buf [8]int
 	local := buf[:]
 	if d > len(buf) {
+		//lpm:allocok — >8-dimension fallback, documented above.
 		local = make([]int, d)
 	} else {
 		local = local[:d]
@@ -416,6 +421,7 @@ func (sx *ShardedIndex) Point(rank int) ([]int, error) {
 	return p, nil
 }
 
+//lpm:allocfree
 func boundsContain(lo, hi, coords []int) bool {
 	for j, c := range coords {
 		if c < lo[j] || c > hi[j] {
@@ -456,10 +462,13 @@ type shardEngine struct{ sx *ShardedIndex }
 // CheckBox mirrors the single-index validation over the global grid:
 // full-grid sharded indexes require the box inside the grid with every
 // side at least 1; point-set sharded indexes require only the right arity.
+//
+//lpm:allocfree — the rejection branches excepted.
 func (e shardEngine) CheckBox(b Box) error {
 	sx := e.sx
 	d := sx.grid.D()
 	if len(b.Start) != d || len(b.Dims) != d {
+		//lpm:allocok — error branch; a valid box never reaches it.
 		return fmt.Errorf("spectrallpm: box arity %d/%d, want %d: %w", len(b.Start), len(b.Dims), d, ErrDimensionMismatch)
 	}
 	if sx.points {
@@ -468,6 +477,7 @@ func (e shardEngine) CheckBox(b Box) error {
 	dims := sx.grid.Dims()
 	for i, st := range b.Start {
 		if b.Dims[i] < 1 || st < 0 || st+b.Dims[i] > dims[i] {
+			//lpm:allocok — error branch; a valid box never reaches it.
 			return fmt.Errorf("spectrallpm: box %v exceeds grid %v: %w", b, dims, ErrDimensionMismatch)
 		}
 	}
@@ -483,6 +493,8 @@ func (e shardEngine) CheckBox(b Box) error {
 // since shard rank blocks are disjoint and ascending). The planner's clip
 // and concatenation scratch fields are disjoint from the fields the
 // per-shard engines use, so one Scratch serves both levels.
+//
+//lpm:allocfree
 func (e shardEngine) AppendBoxRanks(dst []int, start, dims []int, sc *serve.Scratch) []int {
 	sx := e.sx
 	d := sx.grid.D()
@@ -523,6 +535,8 @@ func (e shardEngine) AppendBoxRanks(dst []int, start, dims []int, sc *serve.Scra
 // ascend with shard order), so one forward cursor replaces a per-record
 // binary search; the shard translates locally and the origin shifts the
 // result into global coordinates in place.
+//
+//lpm:allocfree
 func (e shardEngine) EmitCoords(ranks []int, coords []int, yield func(int, []int) bool) {
 	sx := e.sx
 	cur := 0
@@ -569,12 +583,16 @@ func (sx *ShardedIndex) Close() error {
 // contract is identical to Index.Scan: the coords buffer is reused between
 // iterations, the sequence is single-use, an unconsumed sequence strands
 // no rank scratch, and steady-state iteration allocates nothing.
+//
+//lpm:allocfree
 func (sx *ShardedIndex) Scan(b Box) (iter.Seq2[int, []int], error) {
 	return sx.core.Scan(b)
 }
 
 // ScanInto is Scan in callback form, sharing its iteration body — see
 // Index.ScanInto.
+//
+//lpm:allocfree
 func (sx *ShardedIndex) ScanInto(b Box, yield func(rank int, coords []int) bool) error {
 	return sx.core.ScanInto(b, yield)
 }
@@ -588,12 +606,16 @@ func (sx *ShardedIndex) Pages(b Box) ([]PageRun, error) {
 
 // PagesInto is Pages appending to dst; with sufficient capacity it
 // performs zero steady-state heap allocations.
+//
+//lpm:allocfree
 func (sx *ShardedIndex) PagesInto(b Box, dst []PageRun) ([]PageRun, error) {
 	return sx.core.PagesInto(b, dst)
 }
 
 // QueryIO returns the simulated I/O cost of a box query against the global
 // rank space. It allocates nothing in steady state.
+//
+//lpm:allocfree
 func (sx *ShardedIndex) QueryIO(b Box) (IOStats, error) {
 	return sx.core.QueryIO(b)
 }
