@@ -1,0 +1,157 @@
+package spectrallpm_test
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+	"testing"
+
+	spectrallpm "github.com/spectral-lpm/spectrallpm"
+)
+
+// TestOpenMappedConcurrentServing hammers one mapped index from
+// GOMAXPROCS-or-more goroutines mixing every serving surface — Scan,
+// ScanInto, QueryIO, Rank, Pages — against answers precomputed serially
+// from the in-memory index the file was written from. Every query path
+// checks rank scratch in and out of the shared pools, so this is the test
+// the race detector needs to prove the borrowed mmap frame and the pooled
+// serving core are safe under concurrent load; it also pins the drain →
+// Close → second-Close shutdown sequence the package documents.
+func TestOpenMappedConcurrentServing(t *testing.T) {
+	built := buildTestIndex(t,
+		spectrallpm.WithGrid(16, 16), spectrallpm.WithMapping("hilbert"), spectrallpm.WithPageSize(8))
+	mapped, err := spectrallpm.OpenMapped(writeV2File(t, built))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One box per prospective worker, clipped inside the grid, answered
+	// serially up front by the owned index.
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	type expected struct {
+		box   spectrallpm.Box
+		ranks []int
+		pages []spectrallpm.PageRun
+		io    spectrallpm.IOStats
+	}
+	exps := make([]expected, workers)
+	for w := range exps {
+		e := &exps[w]
+		e.box = spectrallpm.Box{
+			Start: []int{w % 8, (w * 3) % 8},
+			Dims:  []int{1 + w%5, 1 + (w/2)%5},
+		}
+		if err := built.ScanInto(e.box, func(rank int, _ []int) bool {
+			e.ranks = append(e.ranks, rank)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if e.pages, err = built.Pages(e.box); err != nil {
+			t.Fatal(err)
+		}
+		if e.io, err = built.QueryIO(e.box); err != nil {
+			t.Fatal(err)
+		}
+	}
+	points := make([][]int, built.N())
+	for r := range points {
+		if points[r], err = built.Point(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const rounds = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := &exps[w]
+			other := &exps[(w+1)%workers]
+			got := make([]int, 0, len(mine.ranks))
+			for i := 0; i < rounds; i++ {
+				switch i % 5 {
+				case 0: // Scan, consuming the single-use sequence
+					seq, err := mapped.Scan(mine.box)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					got = got[:0]
+					for rank := range seq {
+						got = append(got, rank)
+					}
+					if !slices.Equal(got, mine.ranks) {
+						t.Errorf("worker %d round %d: Scan ranks %v, want %v", w, i, got, mine.ranks)
+						return
+					}
+				case 1: // ScanInto over a box shared with another worker
+					got = got[:0]
+					if err := mapped.ScanInto(other.box, func(rank int, _ []int) bool {
+						got = append(got, rank)
+						return true
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+					if !slices.Equal(got, other.ranks) {
+						t.Errorf("worker %d round %d: ScanInto ranks %v, want %v", w, i, got, other.ranks)
+						return
+					}
+				case 2: // QueryIO
+					io, err := mapped.QueryIO(mine.box)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if io != mine.io {
+						t.Errorf("worker %d round %d: QueryIO %+v, want %+v", w, i, io, mine.io)
+						return
+					}
+				case 3: // Rank over the whole point table
+					for r := (w + i) % 16; r < len(points); r += 16 {
+						rr, err := mapped.Rank(points[r]...)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if rr != r {
+							t.Errorf("worker %d round %d: Rank(%v) = %d, want %d", w, i, points[r], rr, r)
+							return
+						}
+					}
+				case 4: // Pages
+					runs, err := mapped.Pages(mine.box)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if len(runs) != len(mine.pages) {
+						t.Errorf("worker %d round %d: %d page runs, want %d", w, i, len(runs), len(mine.pages))
+						return
+					}
+					for j := range runs {
+						if runs[j] != mine.pages[j] {
+							t.Errorf("worker %d round %d: page run %d = %+v, want %+v", w, i, j, runs[j], mine.pages[j])
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Drain complete: the mapped region must unmap cleanly, and a second
+	// Close must stay a no-op.
+	if err := mapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatal("Close is not idempotent:", err)
+	}
+}
