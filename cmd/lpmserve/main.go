@@ -1,0 +1,65 @@
+// Command lpmserve is the Spectral LPM serving daemon: it maps an index
+// file built by cmd/lpm and answers rank/point/box/pages/batch queries
+// over HTTP/JSON. It is engineered for failure first — per-request
+// deadlines, bounded-queue load shedding, hot reload on SIGHUP (a corrupt
+// replacement is rejected while the old index keeps serving), and
+// graceful drain on SIGTERM/SIGINT (in-flight requests finish within the
+// drain budget; the mapped file is unmapped only after its last borrower
+// releases).
+//
+// Usage:
+//
+//	lpm -n 4096 -dims 64,64 -save idx.slpm
+//	lpmserve -index idx.slpm -addr :8080
+//	curl -s localhost:8080/v1/rank -d '{"coords":[3,5]}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/spectral-lpm/spectrallpm/internal/server"
+)
+
+func main() {
+	var (
+		index       = flag.String("index", "", "index file to serve (required; v2 single or sharded, v1 JSON)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrently served requests (0 = 4×GOMAXPROCS)")
+		maxQueued   = flag.Int("max-queued", 256, "max requests queued for a slot before shedding with 429")
+		timeout     = flag.Duration("timeout", 2*time.Second, "default per-request deadline (override per request with ?timeout_ms=)")
+		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "cap on client-requested deadlines")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM/SIGINT")
+		quiet       = flag.Bool("quiet", false, "suppress operational log lines")
+	)
+	flag.Parse()
+	if *index == "" {
+		fmt.Fprintln(os.Stderr, "lpmserve: -index is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := server.Config{
+		IndexPath:      *index,
+		Addr:           *addr,
+		MaxInFlight:    *maxInFlight,
+		MaxQueued:      *maxQueued,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DrainTimeout:   *drain,
+	}
+	if *quiet {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := s.Run(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "lpmserve:", err)
+		os.Exit(1)
+	}
+}

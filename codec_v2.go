@@ -13,6 +13,7 @@ import (
 	"github.com/spectral-lpm/spectrallpm/internal/graph"
 	"github.com/spectral-lpm/spectrallpm/internal/order"
 	"github.com/spectral-lpm/spectrallpm/internal/rtree"
+	"github.com/spectral-lpm/spectrallpm/internal/serve"
 	"github.com/spectral-lpm/spectrallpm/internal/storage"
 )
 
@@ -796,7 +797,15 @@ func OpenMapped(path string) (*Index, error) {
 		}
 		return nil, err
 	}
-	ix.closeFn = unmap
+	if unmap != nil {
+		// Only a real mapping needs the borrow-counted lifetime; the
+		// materialized fallback's frame is ordinary GC-owned memory and
+		// keeps the zero-overhead nil lifecycle. Re-arm the core so its
+		// borrow brackets see the lifecycle.
+		ix.lc = serve.NewLifecycle()
+		ix.initCore()
+		ix.closeFn = unmap
+	}
 	return ix, nil
 }
 

@@ -31,6 +31,13 @@ var (
 	// untrusted files should treat it as a permanent (non-retryable) load
 	// failure.
 	ErrCorruptIndex = errs.ErrCorruptIndex
+	// ErrIndexClosed reports a query against a mapped index whose Close has
+	// begun: the backing byte region is being (or has been) unmapped, so no
+	// new borrow of its bytes may start. In-flight queries are unaffected —
+	// Close blocks until the last borrower releases. A server that swapped
+	// in a replacement index treats it as "retry against the current
+	// index", never as a request error.
+	ErrIndexClosed = errs.ErrIndexClosed
 	// ErrPointNotIndexed reports a lookup of coordinates that are not
 	// among a point-set index's indexed points — whether inside its
 	// bounding box or beyond it (the bounding box is an implementation

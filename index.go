@@ -7,6 +7,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/spectral-lpm/spectrallpm/internal/analytic"
 	"github.com/spectral-lpm/spectrallpm/internal/core"
@@ -58,9 +59,17 @@ type Index struct {
 	pager   *storage.Pager
 	lambda2 []float64 // per-component λ₂; nil for curve/rank mappings
 	meta    provenance
-	par     int          // serving parallelism (QueryBatch workers); 0 = GOMAXPROCS
-	core    serve.Core   // the shared serving core all query methods delegate to
-	closeFn func() error // unmaps a mapped index; nil for owned indexes
+	par     int        // serving parallelism (QueryBatch workers); 0 = GOMAXPROCS
+	core    serve.Core // the shared serving core all query methods delegate to
+
+	// Mapped-index lifetime (nil/zero for owned indexes, whose frames the
+	// garbage collector manages): lc reference-counts borrows of the mapped
+	// region so Close can wait for the last in-flight query, closeFn
+	// unmaps, and closeOnce makes Close idempotent under concurrency.
+	lc        *serve.Lifecycle
+	closeFn   func() error
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // pointTreeFanout is the node capacity of the rank-order packed R-tree
@@ -597,6 +606,15 @@ func (ix *Index) Points() [][]int {
 //
 //lpm:allocfree — error branches excepted, as the doc above states.
 func (ix *Index) Rank(coords ...int) (int, error) {
+	if lc := ix.lc; lc != nil {
+		// Mapped indexes: the rank array lives in the mapped region, so
+		// even this O(1) lookup must hold a borrow or Close could unmap
+		// the bytes mid-read.
+		if !lc.TryBorrow() {
+			return 0, ErrIndexClosed
+		}
+		defer lc.EndBorrow()
+	}
 	d := ix.grid.D()
 	if len(coords) != d {
 		//lpm:allocok — error branch; success never reaches it.
@@ -635,6 +653,12 @@ func errPointNotIndexed(coords []int) error {
 // returned slice is freshly allocated. A rank outside [0, N) returns
 // ErrRankOutOfRange.
 func (ix *Index) Point(rank int) ([]int, error) {
+	if lc := ix.lc; lc != nil {
+		if !lc.TryBorrow() {
+			return nil, ErrIndexClosed
+		}
+		defer lc.EndBorrow()
+	}
 	if rank < 0 || rank >= ix.N() {
 		return nil, fmt.Errorf("spectrallpm: rank %d outside [0,%d): %w", rank, ix.N(), ErrRankOutOfRange)
 	}
@@ -710,7 +734,22 @@ func (e indexEngine) AppendBoxRanks(dst []int, start, dims []int, sc *serve.Scra
 	ix := e.ix
 	if ix.store != nil {
 		// The box passed CheckBox, so the engine cannot reject it.
-		return ix.store.AppendValidatedBoxRanks(dst, start, dims)
+		if sc.Ctx == nil {
+			return ix.store.AppendValidatedBoxRanks(dst, start, dims)
+		}
+		dst, err := ix.store.AppendValidatedBoxRanksCtx(sc.Ctx, dst, start, dims)
+		if err != nil {
+			sc.Err = err
+		}
+		return dst
+	}
+	if sc.Ctx != nil {
+		// The R-tree probe has no chunk boundaries to poll at; one check
+		// up front keeps an already-dead request from paying for it.
+		if err := sc.Ctx.Err(); err != nil {
+			sc.Err = err
+			return dst
+		}
 	}
 	for _, w := range dims {
 		if w < 1 {
@@ -766,9 +805,10 @@ func (e indexEngine) D() int                { return e.ix.grid.D() }
 func (e indexEngine) Parallelism() int      { return e.ix.par }
 
 // initCore arms the shared serving core — the last step of every Index
-// construction path (Build, ReadIndex, OpenMapped).
+// construction path (Build, ReadIndex, OpenMapped). OpenMapped re-arms it
+// after attaching the lifecycle so the core's borrow brackets see it.
 func (ix *Index) initCore() {
-	ix.core = serve.NewCore(indexEngine{ix})
+	ix.core = serve.NewCore(indexEngine{ix}, ix.lc)
 }
 
 // coordsAt fills dst (len D) with the coordinates of the point at rank r —
@@ -785,17 +825,23 @@ func (ix *Index) coordsAt(r int, dst []int) {
 }
 
 // Close releases the mapped byte region backing an index opened with
-// OpenMapped. After Close the index must not be used: its frame slices
-// point into the unmapped region. For built, read, or materialized indexes
-// Close is a no-op. Close is idempotent but not goroutine-safe against
-// in-flight queries — quiesce serving first.
+// OpenMapped. It is safe against in-flight queries: Close first latches the
+// index closed — queries that have not yet touched the mapped bytes fail
+// with ErrIndexClosed — then blocks until the last in-flight query releases
+// its borrow, and only then unmaps. Close is idempotent and safe to call
+// from multiple goroutines; every call returns the unmap's result. For
+// built, read, or materialized indexes Close is a no-op.
 func (ix *Index) Close() error {
-	c := ix.closeFn
-	ix.closeFn = nil
-	if c == nil {
+	if ix.closeFn == nil {
 		return nil
 	}
-	return c()
+	ix.closeOnce.Do(func() {
+		if ix.lc != nil {
+			ix.lc.CloseAndWait()
+		}
+		ix.closeErr = ix.closeFn()
+	})
+	return ix.closeErr
 }
 
 // Scan streams the points of an axis-aligned box query in 1-D rank order —
@@ -832,6 +878,18 @@ func (ix *Index) ScanInto(b Box, yield func(rank int, coords []int) bool) error 
 	return ix.core.ScanInto(b, yield)
 }
 
+// ScanIntoContext is ScanInto under a request context: cancellation is
+// checked before any pooled scratch is acquired (an already-dead request
+// does no work and touches no pool) and again at the engine's chunk
+// boundaries mid-query, so a disconnected client stops burning CPU inside
+// a large box. A mapped index whose Close has begun returns ErrIndexClosed
+// before touching its bytes. ctx may be nil.
+//
+//lpm:allocfree
+func (ix *Index) ScanIntoContext(ctx context.Context, b Box, yield func(rank int, coords []int) bool) error {
+	return ix.core.ScanIntoCtx(ctx, b, yield)
+}
+
 // Pages returns the page-run plan of a box query: the distinct pages
 // holding results, grouped into maximal contiguous runs sorted by start
 // page — the sequential reads an I/O-aware executor would issue.
@@ -848,12 +906,28 @@ func (ix *Index) PagesInto(b Box, dst []PageRun) ([]PageRun, error) {
 	return ix.core.PagesInto(b, dst)
 }
 
+// PagesIntoContext is PagesInto under a request context — see
+// ScanIntoContext for the cancellation and closed-index contract.
+//
+//lpm:allocfree
+func (ix *Index) PagesIntoContext(ctx context.Context, b Box, dst []PageRun) ([]PageRun, error) {
+	return ix.core.PagesIntoCtx(ctx, b, dst)
+}
+
 // QueryIO returns the simulated I/O cost of a box query (distinct pages,
 // seeks, scan span). It allocates nothing in steady state.
 //
 //lpm:allocfree
 func (ix *Index) QueryIO(b Box) (IOStats, error) {
 	return ix.core.QueryIO(b)
+}
+
+// QueryIOContext is QueryIO under a request context — see ScanIntoContext
+// for the cancellation and closed-index contract.
+//
+//lpm:allocfree
+func (ix *Index) QueryIOContext(ctx context.Context, b Box) (IOStats, error) {
+	return ix.core.QueryIOCtx(ctx, b)
 }
 
 // QueryBatch answers one QueryIO per box, fanning the slice across the
@@ -863,4 +937,12 @@ func (ix *Index) QueryIO(b Box) (IOStats, error) {
 // the serial and the parallel worker paths.
 func (ix *Index) QueryBatch(boxes []Box) ([]IOStats, error) {
 	return ix.core.QueryBatch(boxes)
+}
+
+// QueryBatchContext is QueryBatch under a request context: the context
+// threads into every parallel worker, so one expired deadline stops the
+// whole fan-out at the next engine chunk boundary instead of finishing the
+// remaining boxes for a client that is gone.
+func (ix *Index) QueryBatchContext(ctx context.Context, boxes []Box) ([]IOStats, error) {
+	return ix.core.QueryBatchCtx(ctx, boxes)
 }

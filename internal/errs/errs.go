@@ -32,4 +32,11 @@ var (
 	// untrusted files should treat it as a permanent (non-retryable) load
 	// failure.
 	ErrCorruptIndex = errors.New("corrupt index file")
+
+	// ErrIndexClosed reports a query against a mapped index whose Close has
+	// begun: the backing byte region is being (or has been) unmapped, so no
+	// new borrow may start. A server that swapped in a replacement index
+	// should treat it as a retry-with-current-index signal, never as a
+	// request error.
+	ErrIndexClosed = errors.New("index closed")
 )

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Lifecycle reference-counts borrowed access to an index's backing byte
+// region, so closing a mapped index can wait for the last borrower instead
+// of trusting callers to quiesce first. Query bodies bracket every touch of
+// potentially-mapped bytes with TryBorrow/EndBorrow; Close calls
+// CloseAndWait, which latches the closing state (no new borrow succeeds)
+// and blocks until the outstanding count drains to zero. Only then is it
+// safe to unmap.
+//
+// The counter and the closing latch share one atomic word, so the borrow
+// fast path is two uncontended atomic adds and closing never races a
+// concurrent borrow: a borrow either lands before the latch (Close waits
+// for it) or after (it fails with no access to the region).
+type Lifecycle struct {
+	// state holds the outstanding borrow count in the low bits and the
+	// closing latch at closedBit. TryBorrow optimistically increments and
+	// backs out if the latch is set, so the count briefly overshoots during
+	// a racing close — EndBorrow's decrement keeps the accounting exact.
+	state       atomic.Int64
+	drainedOnce sync.Once
+	drained     chan struct{}
+}
+
+// closedBit latches the closing state. It sits far above any plausible
+// borrow count (2^62 concurrent borrows would exhaust memory first).
+const closedBit = int64(1) << 62
+
+// NewLifecycle returns an open lifecycle with no outstanding borrows.
+func NewLifecycle() *Lifecycle {
+	return &Lifecycle{drained: make(chan struct{})}
+}
+
+// TryBorrow registers a borrow of the backing region. It fails — without
+// having granted any access — once CloseAndWait has begun. Every
+// successful TryBorrow must be paired with exactly one EndBorrow.
+//
+//lpm:allocfree
+func (l *Lifecycle) TryBorrow() bool {
+	if l.state.Add(1)&closedBit == 0 {
+		return true
+	}
+	l.endBorrow() // back out the optimistic increment
+	return false
+}
+
+// EndBorrow releases a borrow granted by TryBorrow. The last release after
+// CloseAndWait began unblocks the closer.
+//
+//lpm:allocfree
+func (l *Lifecycle) EndBorrow() {
+	l.endBorrow()
+}
+
+func (l *Lifecycle) endBorrow() {
+	if l.state.Add(-1) == closedBit {
+		// Closing and the count just hit zero: wake the closer. A failed
+		// TryBorrow can land here too (its back-out may be the decrement
+		// that reaches zero), so the signal must be idempotent.
+		l.signalDrained()
+	}
+}
+
+func (l *Lifecycle) signalDrained() {
+	l.drainedOnce.Do(func() { close(l.drained) })
+}
+
+// Borrows returns the number of outstanding borrows — diagnostic only; the
+// value is stale the moment it returns.
+func (l *Lifecycle) Borrows() int64 {
+	return l.state.Load() &^ closedBit
+}
+
+// Closing reports whether CloseAndWait has begun.
+func (l *Lifecycle) Closing() bool {
+	return l.state.Load()&closedBit != 0
+}
+
+// CloseAndWait latches the closing state and blocks until every
+// outstanding borrow has released. It is idempotent and safe to call from
+// any number of goroutines — all of them return only once the region is
+// unreferenced.
+func (l *Lifecycle) CloseAndWait() {
+	for {
+		v := l.state.Load()
+		if v&closedBit != 0 {
+			break // another closer latched; wait with it
+		}
+		if l.state.CompareAndSwap(v, v|closedBit) {
+			if v == 0 {
+				l.signalDrained() // nothing outstanding at the latch
+			}
+			break
+		}
+	}
+	<-l.drained
+}

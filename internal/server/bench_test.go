@@ -1,0 +1,50 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	spectrallpm "github.com/spectral-lpm/spectrallpm"
+)
+
+// BenchmarkServeHTTP measures the protocol layer in isolation: request
+// decode, admission, the query against a mapped index, and the buffered
+// response encode — driven straight through the handler with no network.
+// The allocs/op figure is the serving path's per-request allocation
+// budget (request construction and recorder included), tracked in
+// BENCH_query.json alongside the engine benchmarks.
+func BenchmarkServeHTTP(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.slpm")
+	writeIndexFile(b, path,
+		spectrallpm.WithGrid(16, 16), spectrallpm.WithMapping("hilbert"), spectrallpm.WithPageSize(8))
+	s, err := New(Config{IndexPath: path})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Shutdown(b.Context())
+	h := s.Handler()
+
+	cases := []struct {
+		name, path, body string
+	}{
+		{"rank", "/v1/rank", `{"coords":[3,5]}`},
+		{"box", "/v1/box", `{"start":[2,2],"dims":[4,4]}`},
+		{"batch", "/v1/batch", `{"boxes":[{"start":[0,0],"dims":[4,4]},{"start":[8,8],"dims":[6,6]},{"start":[3,1],"dims":[2,7]}]}`},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, tc.path, strings.NewReader(tc.body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Fatalf("%s: status %d: %s", tc.path, w.Code, w.Body)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,235 @@
+//go:build faultinject
+
+// Chaos tests: deterministic failure-mode drills driven through the
+// faultinject fault-point registry. Run with
+//
+//	go test -race -tags faultinject ./internal/server/
+//
+// Each test latches a stall or a concurrent signal at a named fault point
+// and asserts the daemon's failure contract: shed requests get 429 +
+// Retry-After, deadline-expired requests get 504 and never a partial
+// body, a drain loses zero accepted requests, and reloads never tear.
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	spectrallpm "github.com/spectral-lpm/spectrallpm"
+	"github.com/spectral-lpm/spectrallpm/internal/server/faultinject"
+)
+
+// TestShedDeterministic pins the admission bounds exactly: with one slot
+// and one queue spot both held, the third concurrent request sheds with
+// 429 and a Retry-After hint, without waiting.
+func TestShedDeterministic(t *testing.T) {
+	defer faultinject.DisarmAll()
+	path := filepath.Join(t.TempDir(), "idx.slpm")
+	writeIndexFile(t, path, spectrallpm.WithGrid(4, 4), spectrallpm.WithPageSize(4))
+	s := newTestServer(t, path, func(c *Config) {
+		c.MaxInFlight = 1
+		c.MaxQueued = 1
+		c.RetryAfter = 3 * time.Second
+		c.DefaultTimeout = time.Minute
+	})
+
+	stall := make(chan struct{})
+	inside := make(chan struct{}, 8)
+	faultinject.Arm("handler.admitted", func() {
+		inside <- struct{}{}
+		<-stall
+	})
+
+	var wg sync.WaitGroup
+	first := make(chan *httptest.ResponseRecorder, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		first <- post(t, s, "/v1/rank", `{"coords":[0,0]}`)
+	}()
+	<-inside // request 1 holds the only slot, stalled post-admission
+
+	queued := make(chan *httptest.ResponseRecorder, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		queued <- post(t, s, "/v1/rank", `{"coords":[0,1]}`)
+	}()
+	// Wait until request 2 occupies the single queue spot.
+	for i := 0; s.queued.Load() == 0; i++ {
+		if i > 5000 {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Request 3 must shed immediately: slot taken, queue full.
+	w := post(t, s, "/v1/rank", `{"coords":[1,0]}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("third request: status %d, want 429", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want %q", ra, "3")
+	}
+
+	faultinject.Disarm("handler.admitted")
+	close(stall)
+	wg.Wait()
+	if w := <-first; w.Code != http.StatusOK {
+		t.Fatalf("stalled request 1: status %d body %q", w.Code, w.Body)
+	}
+	if w := <-queued; w.Code != http.StatusOK {
+		t.Fatalf("queued request 2: status %d body %q", w.Code, w.Body)
+	}
+}
+
+// TestDeadlineNoPartialBody stalls a request past its deadline right
+// after admission: it must answer 504 with only the error line — no JSON
+// prefix, no partial results — and must not have touched the protocol
+// scratch pool.
+func TestDeadlineNoPartialBody(t *testing.T) {
+	defer faultinject.DisarmAll()
+	path := filepath.Join(t.TempDir(), "idx.slpm")
+	writeIndexFile(t, path, spectrallpm.WithGrid(4, 4), spectrallpm.WithPageSize(4))
+	s := newTestServer(t, path, func(c *Config) { c.DefaultTimeout = 30 * time.Millisecond })
+
+	faultinject.Arm("handler.admitted", func() { time.Sleep(80 * time.Millisecond) })
+	w := post(t, s, "/v1/box", `{"start":[0,0],"dims":[4,4]}`)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d body %q, want 504", w.Code, w.Body)
+	}
+	body := w.Body.String()
+	if strings.Contains(body, "{") || strings.Contains(body, "[") {
+		t.Fatalf("expired request wrote a partial body: %q", body)
+	}
+	if got := s.expired.Load(); got == 0 {
+		t.Fatal("expired counter not bumped")
+	}
+
+	// The same request served without the stall succeeds — the pool and
+	// engine state survived the expired request untouched.
+	faultinject.Disarm("handler.admitted")
+	if w := post(t, s, "/v1/box", `{"start":[0,0],"dims":[4,4]}`); w.Code != http.StatusOK {
+		t.Fatalf("follow-up request: status %d body %q", w.Code, w.Body)
+	}
+}
+
+// TestMidDrainLosesNothing accepts a batch of requests, stalls them all
+// mid-handler, begins a drain, fires a second drain mid-flight (the
+// daemon must not double-close), then releases the stalls: every accepted
+// request must complete 200 — a drain loses zero accepted requests.
+func TestMidDrainLosesNothing(t *testing.T) {
+	defer faultinject.DisarmAll()
+	path := filepath.Join(t.TempDir(), "idx.slpm")
+	writeIndexFile(t, path, spectrallpm.WithGrid(8, 8), spectrallpm.WithPageSize(4))
+	cfg := Config{
+		IndexPath:      path,
+		DefaultTimeout: time.Minute,
+		DrainTimeout:   time.Minute,
+		Logf:           func(string, ...any) {},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const inflight = 4
+	stall := make(chan struct{})
+	var stalled sync.WaitGroup
+	stalled.Add(inflight)
+	var once [inflight]sync.Once
+	var idx atomic.Int64
+	faultinject.Arm("handler.write", func() {
+		i := idx.Add(1) - 1
+		if i < inflight {
+			once[i].Do(stalled.Done)
+			<-stall
+		}
+	})
+
+	results := make(chan int, inflight)
+	for i := 0; i < inflight; i++ {
+		go func() {
+			w := post(t, s, "/v1/box", `{"start":[0,0],"dims":[8,8]}`)
+			results <- w.Code
+		}()
+	}
+	stalled.Wait() // all four accepted and inside the handler
+
+	drainDone := make(chan error, 2)
+	drainBegun := make(chan struct{}, 2)
+	faultinject.Arm("drain.begin", func() { drainBegun <- struct{}{} })
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		drainDone <- s.Shutdown(ctx)
+	}()
+	<-drainBegun
+	// A second shutdown mid-drain must be harmless (extra SIGTERMs).
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		drainDone <- s.Shutdown(ctx)
+	}()
+	<-drainBegun
+
+	faultinject.Disarm("handler.write")
+	close(stall)
+	for i := 0; i < inflight; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("accepted request finished %d during drain, want 200", code)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-drainDone; err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+	}
+}
+
+// TestReloadStormUnderChaos interleaves reloads with a stall latched at
+// the reload's open point, proving queries keep flowing on the old
+// generation while a reload is stuck in the middle of opening.
+func TestReloadStormUnderChaos(t *testing.T) {
+	defer faultinject.DisarmAll()
+	path := filepath.Join(t.TempDir(), "idx.slpm")
+	writeIndexFile(t, path, spectrallpm.WithGrid(8, 8), spectrallpm.WithPageSize(4))
+	s := newTestServer(t, path, func(c *Config) { c.DefaultTimeout = time.Minute })
+
+	opening := make(chan struct{})
+	release := make(chan struct{})
+	faultinject.Arm("reload.open", func() {
+		close(opening)
+		<-release
+	})
+	reloadDone := make(chan error, 1)
+	go func() { reloadDone <- s.Reload() }()
+	<-opening
+
+	// Mid-reload, the old generation must keep answering.
+	for i := 0; i < 50; i++ {
+		if w := post(t, s, "/v1/rank", `{"coords":[1,1]}`); w.Code != http.StatusOK {
+			t.Fatalf("query %d during stuck reload: status %d", i, w.Code)
+		}
+	}
+	if s.Generation() != 1 {
+		t.Fatalf("generation %d while reload still open", s.Generation())
+	}
+	close(release)
+	if err := <-reloadDone; err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if s.Generation() != 2 {
+		t.Fatalf("generation %d after reload", s.Generation())
+	}
+	if w := post(t, s, "/v1/rank", `{"coords":[1,1]}`); w.Code != http.StatusOK {
+		t.Fatalf("query after reload: status %d", w.Code)
+	}
+}

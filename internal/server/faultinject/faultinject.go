@@ -1,0 +1,54 @@
+//go:build faultinject
+
+// Package faultinject is the daemon's latched fault-point registry,
+// compiled in only under the faultinject build tag. A fault point is a
+// named location on a serving path (admission, response write, reload
+// open, drain begin, index close) where the chaos tests can latch a
+// callback — a stall, a file corruption, a concurrent signal — and drive
+// the failure modes the daemon claims to survive. Production builds
+// compile the no-op twin in faultinject_off.go, so Fire sites cost nothing
+// when the tag is absent.
+package faultinject
+
+import "sync"
+
+// Enabled reports whether fault points are compiled in.
+const Enabled = true
+
+var (
+	mu     sync.Mutex
+	points = map[string]func(){}
+)
+
+// Arm latches fn at the named fault point; every Fire of that name runs it
+// until Disarm. Arming replaces any previous latch.
+func Arm(name string, fn func()) {
+	mu.Lock()
+	points[name] = fn
+	mu.Unlock()
+}
+
+// Disarm removes the latch at the named fault point.
+func Disarm(name string) {
+	mu.Lock()
+	delete(points, name)
+	mu.Unlock()
+}
+
+// DisarmAll removes every latch — test cleanup between chaos cases.
+func DisarmAll() {
+	mu.Lock()
+	points = map[string]func(){}
+	mu.Unlock()
+}
+
+// Fire runs the latched callback for name, if any. The callback runs
+// outside the registry lock, so it may Arm or Disarm other points.
+func Fire(name string) {
+	mu.Lock()
+	fn := points[name]
+	mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}

@@ -1,0 +1,21 @@
+//go:build !faultinject
+
+// The no-op twin of the fault-point registry: without the faultinject
+// build tag every Fire site inlines to nothing, so production binaries
+// carry the chaos hooks at zero cost.
+package faultinject
+
+// Enabled reports whether fault points are compiled in.
+const Enabled = false
+
+// Arm is a no-op without the faultinject build tag.
+func Arm(string, func()) {}
+
+// Disarm is a no-op without the faultinject build tag.
+func Disarm(string) {}
+
+// DisarmAll is a no-op without the faultinject build tag.
+func DisarmAll() {}
+
+// Fire is a no-op without the faultinject build tag.
+func Fire(string) {}

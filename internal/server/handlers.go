@@ -1,0 +1,245 @@
+// HTTP handlers: one thin shim per endpoint over the shared serving
+// spine in serveDecoded — deadline derivation, bounded admission, request
+// decode, the ErrIndexClosed retry loop, and a single buffered write.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	spectrallpm "github.com/spectral-lpm/spectrallpm"
+	"github.com/spectral-lpm/spectrallpm/internal/server/faultinject"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/rank", s.handleRank)
+	s.mux.HandleFunc("POST /v1/point", s.handlePoint)
+	s.mux.HandleFunc("POST /v1/box", s.handleBox)
+	s.mux.HandleFunc("POST /v1/pages", s.handlePages)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+}
+
+// errBadRequest tags client-side failures (malformed JSON, oversized
+// bodies) so writeError maps them to 400 rather than 500.
+var errBadRequest = errors.New("bad request")
+
+// requestContext derives the per-request deadline: timeout_ms from the
+// query string, clamped to MaxTimeout, defaulting to DefaultTimeout.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			d = time.Duration(ms) * time.Millisecond
+			if d > s.cfg.MaxTimeout {
+				d = s.cfg.MaxTimeout
+			}
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// serveDecoded is the serving spine every query endpoint shares:
+//
+//  1. derive the request deadline,
+//  2. pass bounded admission (shed with 429 + Retry-After, or 504 if the
+//     deadline died while queued),
+//  3. decode the request body (dst may be nil for body-less endpoints),
+//  4. re-check the deadline so an expired request returns 504 before it
+//     touches any pooled scratch,
+//  5. run fn against the current index handle, retrying on a handle
+//     closed by a concurrent reload — the response buffer resets per
+//     attempt, so no response mixes two index generations,
+//  6. write the fully buffered response in a single Write.
+//
+// fn appends the response to ps.buf and returns nil, or returns an error
+// having written nothing the client will see — on error the buffer is
+// discarded, so a request that dies mid-query never emits a partial body.
+func (s *Server) serveDecoded(w http.ResponseWriter, r *http.Request, dst any, fn func(ctx context.Context, q Queryable, ps *protoScratch) error) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, status := s.admit(ctx)
+	if status != 0 {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			http.Error(w, "overloaded, retry later", status)
+			return
+		}
+		http.Error(w, "deadline exceeded while queued", status)
+		return
+	}
+	defer release()
+	faultinject.Fire("handler.admitted")
+	if dst != nil {
+		if err := decodeRequest(r, dst); err != nil {
+			http.Error(w, fmt.Sprintf("%v: %v", errBadRequest, err), http.StatusBadRequest)
+			return
+		}
+	}
+	// A request whose deadline already passed (e.g. it sat at the tail of
+	// the queue, or stalled in decode) answers 504 here, before leasing
+	// protocol scratch or touching the engine's pooled buffers.
+	if err := ctx.Err(); err != nil {
+		s.expired.Add(1)
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		return
+	}
+	ps := getProto()
+	defer ps.put()
+	err := s.withIndex(func(q Queryable) error {
+		ps.buf = ps.buf[:0]
+		return fn(ctx, q, ps)
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	faultinject.Fire("handler.write")
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(ps.buf)))
+	w.Write(ps.buf)
+}
+
+// writeError maps engine errors to HTTP statuses. The response body for
+// an error is only ever this error line — the success buffer was
+// discarded whole.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.expired.Add(1)
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, spectrallpm.ErrIndexClosed):
+		// Retries exhausted during a reload storm; the client should simply
+		// try again.
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, spectrallpm.ErrDimensionMismatch),
+		errors.Is(err, spectrallpm.ErrRankOutOfRange),
+		errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, spectrallpm.ErrPointNotIndexed):
+		status = http.StatusNotFound
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	var req rankRequest
+	s.serveDecoded(w, r, &req, func(_ context.Context, q Queryable, ps *protoScratch) error {
+		rank, err := q.Rank(req.Coords...)
+		if err != nil {
+			return err
+		}
+		ps.buf = appendRankResponse(ps.buf, rank)
+		return nil
+	})
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	var req pointRequest
+	s.serveDecoded(w, r, &req, func(_ context.Context, q Queryable, ps *protoScratch) error {
+		coords, err := q.Point(req.Rank)
+		if err != nil {
+			return err
+		}
+		ps.buf = appendPointResponse(ps.buf, coords)
+		return nil
+	})
+}
+
+func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
+	var req boxRequest
+	s.serveDecoded(w, r, &req, func(ctx context.Context, q Queryable, ps *protoScratch) error {
+		var countAt int
+		ps.buf, countAt = appendBoxHeader(ps.buf)
+		count := 0
+		err := q.ScanIntoContext(ctx, spectrallpm.Box{Start: req.Start, Dims: req.Dims},
+			func(rank int, coords []int) bool {
+				ps.buf = appendBoxRow(ps.buf, count == 0, rank, coords)
+				count++
+				return true
+			})
+		if err != nil {
+			return err
+		}
+		ps.buf = finishBoxResponse(ps.buf, countAt, count)
+		return nil
+	})
+}
+
+func (s *Server) handlePages(w http.ResponseWriter, r *http.Request) {
+	var req boxRequest
+	s.serveDecoded(w, r, &req, func(ctx context.Context, q Queryable, ps *protoScratch) error {
+		runs, err := q.PagesIntoContext(ctx, spectrallpm.Box{Start: req.Start, Dims: req.Dims}, ps.runs[:0])
+		ps.runs = runs
+		if err != nil {
+			return err
+		}
+		ps.buf = appendPagesResponse(ps.buf, runs)
+		return nil
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	s.serveDecoded(w, r, &req, func(ctx context.Context, q Queryable, ps *protoScratch) error {
+		ps.boxes = ps.boxes[:0]
+		for _, b := range req.Boxes {
+			ps.boxes = append(ps.boxes, spectrallpm.Box{Start: b.Start, Dims: b.Dims})
+		}
+		stats, err := q.QueryBatchContext(ctx, ps.boxes)
+		if err != nil {
+			return err
+		}
+		ps.buf = appendBatchResponse(ps.buf, stats)
+		return nil
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.cur.Load()
+	ps := getProto()
+	defer ps.put()
+	ps.buf = append(ps.buf, `{"status":"ok","generation":`...)
+	ps.buf = appendInt(ps.buf, int(h.gen))
+	ps.buf = append(ps.buf, `,"records":`...)
+	ps.buf = appendInt(ps.buf, h.q.N())
+	ps.buf = append(ps.buf, '}')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(ps.buf)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	h := s.cur.Load()
+	resp := struct {
+		Generation uint64 `json:"generation"`
+		Records    int    `json:"records"`
+		Pages      int    `json:"pages"`
+		InFlight   int    `json:"in_flight"`
+		Queued     int64  `json:"queued"`
+		Accepted   int64  `json:"accepted"`
+		Shed       int64  `json:"shed"`
+		Expired    int64  `json:"expired"`
+		Reloads    int64  `json:"reloads"`
+		Rejected   int64  `json:"rejected_reloads"`
+	}{
+		Generation: h.gen,
+		Records:    h.q.N(),
+		Pages:      h.q.NumPages(),
+		InFlight:   s.InFlight(),
+		Queued:     s.queued.Load(),
+		Accepted:   s.accepted.Load(),
+		Shed:       s.shed.Load(),
+		Expired:    s.expired.Load(),
+		Reloads:    s.reloads.Load(),
+		Rejected:   s.rejected.Load(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

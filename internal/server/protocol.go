@@ -1,0 +1,193 @@
+// The protocol layer: request decoding and response encoding, kept apart
+// from admission/deadline/reload mechanics so a compact binary protocol
+// can replace the JSON pair without touching the serving core. Responses
+// are appended to a pooled byte buffer with strconv — no encoding/json,
+// no reflection — and handed to the transport as one finished []byte, so
+// a request that dies mid-query has written nothing.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	spectrallpm "github.com/spectral-lpm/spectrallpm"
+)
+
+// maxRequestBody bounds request decoding; batch requests are the largest
+// legitimate bodies and stay far under this.
+const maxRequestBody = 1 << 20
+
+// protoScratch carries one request's reusable buffers: the response body
+// under construction plus the result slices the query layer appends into.
+// It follows the repo's scratch discipline — get from the pool, release
+// exactly once, never retain across requests.
+type protoScratch struct {
+	buf    []byte
+	coords []int
+	runs   []spectrallpm.PageRun
+	stats  []spectrallpm.IOStats
+	boxes  []spectrallpm.Box
+}
+
+var protoPool = sync.Pool{
+	New: func() any { return &protoScratch{buf: make([]byte, 0, 4096)} },
+}
+
+// getProto leases a protoScratch from the pool.
+//
+//lpm:poolget
+func getProto() *protoScratch {
+	ps := protoPool.Get().(*protoScratch)
+	ps.buf = ps.buf[:0]
+	return ps
+}
+
+// put returns the scratch to the pool. Slices keep their capacity; the
+// next lease truncates before use.
+func (ps *protoScratch) put() {
+	protoPool.Put(ps)
+}
+
+// --- response encoding (append-style, zero reflection) ---
+
+func appendInt(b []byte, v int) []byte { return strconv.AppendInt(b, int64(v), 10) }
+
+func appendIntArray(b []byte, vs []int) []byte {
+	b = append(b, '[')
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendInt(b, v)
+	}
+	return append(b, ']')
+}
+
+// appendRankResponse encodes {"rank":N}.
+func appendRankResponse(b []byte, rank int) []byte {
+	b = append(b, `{"rank":`...)
+	b = appendInt(b, rank)
+	return append(b, '}')
+}
+
+// appendPointResponse encodes {"coords":[...]}.
+func appendPointResponse(b []byte, coords []int) []byte {
+	b = append(b, `{"coords":`...)
+	b = appendIntArray(b, coords)
+	return append(b, '}')
+}
+
+// appendBoxHeader / appendBoxRow / appendBoxFooter stream
+// {"count":N,"results":[[rank,c0,...],...]} — rows are appended as the
+// scan yields them, and the count (known only at the end) is written into
+// a fixed-width slot reserved by the header.
+const boxCountWidth = 12 // fits any int up to 10^12-1 plus sign headroom
+
+func appendBoxHeader(b []byte) (out []byte, countAt int) {
+	b = append(b, `{"count":`...)
+	countAt = len(b)
+	for i := 0; i < boxCountWidth; i++ {
+		b = append(b, ' ')
+	}
+	b = append(b, `,"results":[`...)
+	return b, countAt
+}
+
+func appendBoxRow(b []byte, first bool, rank int, coords []int) []byte {
+	if !first {
+		b = append(b, ',')
+	}
+	b = append(b, '[')
+	b = appendInt(b, rank)
+	for _, c := range coords {
+		b = append(b, ',')
+		b = appendInt(b, c)
+	}
+	return append(b, ']')
+}
+
+func finishBoxResponse(b []byte, countAt, count int) []byte {
+	b = append(b, ']', '}')
+	// Write the digits at the slot's start, then shift everything after the
+	// reserved slot left to excise the unused padding.
+	s := strconv.Itoa(count)
+	copy(b[countAt:], s)
+	n := copy(b[countAt+len(s):], b[countAt+boxCountWidth:])
+	return b[:countAt+len(s)+n]
+}
+
+// appendPagesResponse encodes {"runs":[[start,pages],...]}.
+func appendPagesResponse(b []byte, runs []spectrallpm.PageRun) []byte {
+	b = append(b, `{"runs":[`...)
+	for i, r := range runs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '[')
+		b = appendInt(b, r.Start)
+		b = append(b, ',')
+		b = appendInt(b, r.Pages)
+		b = append(b, ']')
+	}
+	return append(b, ']', '}')
+}
+
+func appendIOStats(b []byte, st spectrallpm.IOStats) []byte {
+	b = append(b, `{"pages":`...)
+	b = appendInt(b, st.Pages)
+	b = append(b, `,"seeks":`...)
+	b = appendInt(b, st.Seeks)
+	b = append(b, `,"span_pages":`...)
+	b = appendInt(b, st.SpanPages)
+	return append(b, '}')
+}
+
+// appendBatchResponse encodes {"stats":[{...},...]}.
+func appendBatchResponse(b []byte, stats []spectrallpm.IOStats) []byte {
+	b = append(b, `{"stats":[`...)
+	for i, st := range stats {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendIOStats(b, st)
+	}
+	return append(b, ']', '}')
+}
+
+// --- request decoding (stdlib json; request parsing is not a hot path) ---
+
+type rankRequest struct {
+	Coords []int `json:"coords"`
+}
+
+type pointRequest struct {
+	Rank int `json:"rank"`
+}
+
+type boxRequest struct {
+	Start []int `json:"start"`
+	Dims  []int `json:"dims"`
+}
+
+type batchRequest struct {
+	Boxes []boxRequest `json:"boxes"`
+}
+
+func decodeRequest(r *http.Request, dst any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil {
+		return err
+	}
+	if len(body) > maxRequestBody {
+		return errors.New("request body too large")
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}

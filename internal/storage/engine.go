@@ -26,6 +26,7 @@
 package storage
 
 import (
+	"context"
 	"math/bits"
 	"slices"
 	"sync"
@@ -77,6 +78,52 @@ type boxScratch struct {
 	coords []int    // odometer scratch for AppendBoxRows
 	ranks  []int    // rank buffer for Runs/QueryIO callers
 	bits   []uint64 // rank bitmap for the span-bounded emit
+
+	// Cancellation state, set only on the ...Ctx query paths and cleared
+	// before the scratch returns to the pool. The engine polls cancelled at
+	// chunk boundaries — per gathered slab, per merge pop — but NEVER
+	// between setting bitmap bits and sweeping them: an abort there would
+	// strand set bits and break the all-zero pool invariant the bitmap
+	// relies on, silently corrupting a later query.
+	ctx    context.Context
+	err    error // first ctx.Err() observed; results are garbage once set
+	budget int   // work units until the next ctx.Err() poll
+}
+
+// cancelCheckInterval is how much chunk-boundary work (slab cells, heap
+// pops, row entries) the engine performs between ctx.Err() polls: large
+// enough that the atomic load inside Err stays off the per-element path,
+// small enough that a dead client stops burning CPU within microseconds.
+const cancelCheckInterval = 4096
+
+// cancelled burns cost work units from the poll budget and reports whether
+// the query's context has expired. The common path (no context, budget not
+// yet exhausted) is a couple of branches; only every cancelCheckInterval
+// units does it reach the context.
+//
+//lpm:allocfree
+func (sc *boxScratch) cancelled(cost int) bool {
+	if sc.ctx == nil {
+		return false
+	}
+	if sc.err != nil {
+		return true
+	}
+	sc.budget -= cost
+	if sc.budget > 0 {
+		return false
+	}
+	return sc.cancelledSlow()
+}
+
+//lpm:allocfree
+func (sc *boxScratch) cancelledSlow() bool {
+	sc.budget = cancelCheckInterval
+	if err := sc.ctx.Err(); err != nil {
+		sc.err = err
+		return true
+	}
+	return false
 }
 
 // bitmap returns the rank bitmap with at least words words, all zero.
@@ -135,6 +182,9 @@ func (l *rankLayout) gatherBoxRanks(dst []int, start, dims []int, sc *boxScratch
 	sc.bases = l.grid.AppendBoxRows(sc.bases[:0], start, dims, sc.odometer(len(dims)))
 	lo, hi := int(^uint(0)>>1), -1
 	for _, base := range sc.bases {
+		if sc.cancelled(width) {
+			return dst // contents past n0 are garbage; sc.err tells the caller
+		}
 		for id := base; id < base+width; id++ {
 			r := l.rank[id]
 			if r < lo {
@@ -152,6 +202,12 @@ func (l *rankLayout) gatherBoxRanks(dst []int, start, dims []int, sc *boxScratch
 		return dst
 	}
 	loWord, hiWord := lo>>6, hi>>6
+	// Last poll before the ordering phase: the bitmap sweep must run to
+	// completion once bits are set (see boxScratch), and the sort fallback
+	// is equally uninterruptible, so cancellation is decided here.
+	if sc.cancelled(hiWord - loWord + 1) {
+		return dst
+	}
 	if spanWords := hiWord - loWord + 1; spanWords <= v*bits.Len(uint(v)) {
 		// The bitmap is indexed relative to loWord, so its size (and the
 		// pooled memory it pins) is the span, never the full rank space.
@@ -193,6 +249,9 @@ func (l *rankLayout) mergeBoxRanks(dst []int, start, dims []int, sc *boxScratch)
 	k := len(sc.bases)
 	if k == 1 {
 		// Single slab: its ranks are one presorted, filtered row slice.
+		if sc.cancelled(l.rowLen) {
+			return dst
+		}
 		rowStart := sc.bases[0] / l.rowLen * l.rowLen
 		for _, e := range l.rows[rowStart : rowStart+l.rowLen] {
 			if c := e & l.colMask; c >= colLo && c < colHi {
@@ -214,6 +273,10 @@ func (l *rankLayout) mergeBoxRanks(dst []int, start, dims []int, sc *boxScratch)
 		}
 	}
 	for len(heap) > 0 {
+		if sc.cancelled(1) {
+			sc.heap = heap[:0]
+			return dst
+		}
 		i := heap[0]
 		dst = append(dst, int(sc.cur[i]>>l.colBits))
 		if l.advance(i, colLo, colHi, sc) {

@@ -7,6 +7,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -283,6 +284,23 @@ func (s *Store) AppendValidatedBoxRanks(dst []int, start, dims []int) []int {
 	dst = s.layout.appendBoxRanks(dst, start, dims, sc)
 	boxScratchPool.Put(sc)
 	return dst
+}
+
+// AppendValidatedBoxRanksCtx is AppendValidatedBoxRanks under a request
+// context: the engine polls ctx at its chunk boundaries (per gathered slab,
+// per merge pop — never mid-bitmap) and stops early when the request is
+// dead. On a non-nil error the appended region's contents are unspecified
+// and the caller must discard them; dst's backing buffer is still returned
+// so an amortized buffer survives cancellation.
+func (s *Store) AppendValidatedBoxRanksCtx(ctx context.Context, dst []int, start, dims []int) ([]int, error) {
+	sc := boxScratchPool.Get().(*boxScratch)
+	sc.ctx = ctx
+	sc.budget = cancelCheckInterval
+	dst = s.layout.appendBoxRanks(dst, start, dims, sc)
+	err := sc.err
+	sc.ctx, sc.err = nil, nil
+	boxScratchPool.Put(sc)
+	return dst, err
 }
 
 // BoxQueryIO returns the I/O cost of an axis-aligned box query without

@@ -1,6 +1,7 @@
 package spectrallpm_test
 
 import (
+	"errors"
 	"runtime"
 	"slices"
 	"sync"
@@ -153,5 +154,81 @@ func TestOpenMappedConcurrentServing(t *testing.T) {
 	}
 	if err := mapped.Close(); err != nil {
 		t.Fatal("Close is not idempotent:", err)
+	}
+}
+
+// TestOpenMappedCloseUnderLoad closes a mapped index while queries are in
+// full flight. The borrow count must hold the unmap back until the last
+// in-flight query releases, and every query must either answer correctly
+// or fail with ErrIndexClosed — never a torn read of unmapped bytes.
+func TestOpenMappedCloseUnderLoad(t *testing.T) {
+	built := buildTestIndex(t,
+		spectrallpm.WithGrid(16, 16), spectrallpm.WithMapping("hilbert"), spectrallpm.WithPageSize(8))
+	path := writeV2File(t, built)
+
+	box := spectrallpm.Box{Start: []int{2, 3}, Dims: []int{5, 4}}
+	var want []int
+	if err := built.ScanInto(box, func(rank int, _ []int) bool {
+		want = append(want, rank)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const cycles = 20
+	for c := 0; c < cycles; c++ {
+		mapped, err := spectrallpm.OpenMapped(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var started sync.WaitGroup // every worker lands one good query pre-Close
+		var wg sync.WaitGroup
+		started.Add(workers)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				got := make([]int, 0, len(want))
+				first := true
+				landed := func() {
+					if first {
+						first = false
+						started.Done()
+					}
+				}
+				defer landed() // never strand started.Wait on an early error
+				for {
+					got = got[:0]
+					err := mapped.ScanInto(box, func(rank int, _ []int) bool {
+						got = append(got, rank)
+						return true
+					})
+					if errors.Is(err, spectrallpm.ErrIndexClosed) {
+						return // closed under us — the only acceptable failure
+					}
+					if err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+					if !slices.Equal(got, want) {
+						t.Errorf("worker %d: ranks %v, want %v", w, got, want)
+						return
+					}
+					landed()
+				}
+			}(w)
+		}
+		started.Wait() // close only once load is provably in flight
+		if err := mapped.Close(); err != nil {
+			t.Fatalf("cycle %d: Close under load: %v", c, err)
+		}
+		wg.Wait()
+		if _, err := mapped.Rank(0, 0); !errors.Is(err, spectrallpm.ErrIndexClosed) {
+			t.Fatalf("cycle %d: Rank after Close = %v, want ErrIndexClosed", c, err)
+		}
 	}
 }

@@ -35,16 +35,23 @@ import (
 // global rank order. A ShardedIndex is immutable after BuildSharded or
 // ReadSharded returns and safe for concurrent use without locking.
 type ShardedIndex struct {
-	grid    *graph.Grid // global bounding grid
-	shards  []*Index
-	origin  [][]int // per-shard coordinate translation (all zeros for point shards)
-	lo, hi  [][]int // per-shard inclusive bounding box in global coordinates
-	offset  []int   // len(shards)+1: shard i owns global ranks [offset[i], offset[i+1])
-	pager   *storage.Pager
-	points  bool
-	par     int          // serving parallelism (QueryBatch workers); 0 = GOMAXPROCS
-	core    serve.Core   // the shared serving core all query methods delegate to
-	closeFn func() error // unmaps a mapped index; nil for owned indexes
+	grid   *graph.Grid // global bounding grid
+	shards []*Index
+	origin [][]int // per-shard coordinate translation (all zeros for point shards)
+	lo, hi [][]int // per-shard inclusive bounding box in global coordinates
+	offset []int   // len(shards)+1: shard i owns global ranks [offset[i], offset[i+1])
+	pager  *storage.Pager
+	points bool
+	par    int        // serving parallelism (QueryBatch workers); 0 = GOMAXPROCS
+	core   serve.Core // the shared serving core all query methods delegate to
+
+	// Mapped-index lifetime (nil/zero for owned indexes): one Lifecycle is
+	// shared with every shard Index, since all shard frames borrow from the
+	// same mapped region — see Index for the field contracts.
+	lc        *serve.Lifecycle
+	closeFn   func() error
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // BuildSharded builds a ShardedIndex over shards shards: it plans the
@@ -360,6 +367,15 @@ func (sx *ShardedIndex) NumPages() int { return sx.pager.NumPages() }
 //
 //lpm:allocfree — error branches and the >8-dimension fallback excepted.
 func (sx *ShardedIndex) Rank(coords ...int) (int, error) {
+	if lc := sx.lc; lc != nil {
+		// Mapped indexes: shard rank arrays live in the mapped region.
+		// The shard's own Rank re-borrows the shared Lifecycle — a counter
+		// increment, not a lock, so nesting is fine.
+		if !lc.TryBorrow() {
+			return 0, ErrIndexClosed
+		}
+		defer lc.EndBorrow()
+	}
 	d := sx.grid.D()
 	if len(coords) != d {
 		//lpm:allocok — error branch; success never reaches it.
@@ -407,6 +423,12 @@ func (sx *ShardedIndex) Rank(coords ...int) (int, error) {
 // returned slice is freshly allocated. A rank outside [0, N) returns
 // ErrRankOutOfRange.
 func (sx *ShardedIndex) Point(rank int) ([]int, error) {
+	if lc := sx.lc; lc != nil {
+		if !lc.TryBorrow() {
+			return nil, ErrIndexClosed
+		}
+		defer lc.EndBorrow()
+	}
 	if rank < 0 || rank >= sx.N() {
 		return nil, fmt.Errorf("spectrallpm: rank %d outside [0,%d): %w", rank, sx.N(), ErrRankOutOfRange)
 	}
@@ -514,6 +536,11 @@ func (e shardEngine) AppendBoxRanks(dst []int, start, dims []int, sc *serve.Scra
 		}
 		n0 := len(sc.Tmp)
 		sc.Tmp = indexEngine{sx.shards[i]}.AppendBoxRanks(sc.Tmp, sc.CStart, sc.CDims, sc)
+		if sc.Err != nil {
+			// A cancelled shard invalidates the whole plan; the caller
+			// discards dst on sc.Err, so skip the remaining shards.
+			return dst
+		}
 		for j := n0; j < len(sc.Tmp); j++ {
 			sc.Tmp[j] += sx.offset[i]
 		}
@@ -561,21 +588,29 @@ func (e shardEngine) Parallelism() int      { return e.sx.par }
 
 // initCore arms the shared serving core — the last step of finishSharded
 // on every construction path (BuildSharded, ReadSharded, OpenMappedSharded).
+// OpenMappedSharded re-arms it after attaching the shared lifecycle.
 func (sx *ShardedIndex) initCore() {
-	sx.core = serve.NewCore(shardEngine{sx})
+	sx.core = serve.NewCore(shardEngine{sx}, sx.lc)
 }
 
 // Close releases the mapped byte region backing a sharded index opened
-// with OpenMappedSharded (all shard frames share one mapping). After Close
-// the index and its shards must not be used. No-op for built or
-// materialized indexes; idempotent.
+// with OpenMappedSharded (all shard frames share one mapping and one
+// Lifecycle). Like Index.Close it is safe against in-flight queries: the
+// index latches closed, new queries fail with ErrIndexClosed, and the
+// unmap waits for the last borrower — including queries issued directly
+// against a Shard(i). No-op for built or materialized indexes; idempotent
+// and goroutine-safe.
 func (sx *ShardedIndex) Close() error {
-	c := sx.closeFn
-	sx.closeFn = nil
-	if c == nil {
+	if sx.closeFn == nil {
 		return nil
 	}
-	return c()
+	sx.closeOnce.Do(func() {
+		if sx.lc != nil {
+			sx.lc.CloseAndWait()
+		}
+		sx.closeErr = sx.closeFn()
+	})
+	return sx.closeErr
 }
 
 // Scan streams the points of a box query in GLOBAL 1-D rank order,
@@ -597,6 +632,14 @@ func (sx *ShardedIndex) ScanInto(b Box, yield func(rank int, coords []int) bool)
 	return sx.core.ScanInto(b, yield)
 }
 
+// ScanIntoContext is ScanInto under a request context — see
+// Index.ScanIntoContext for the cancellation and closed-index contract.
+//
+//lpm:allocfree
+func (sx *ShardedIndex) ScanIntoContext(ctx context.Context, b Box, yield func(rank int, coords []int) bool) error {
+	return sx.core.ScanIntoCtx(ctx, b, yield)
+}
+
 // Pages returns the page-run plan of a box query over the GLOBAL rank
 // space — runs may span shard boundaries when adjacent shards both match,
 // which is exactly what the bisection-tree shard order arranges for.
@@ -612,6 +655,14 @@ func (sx *ShardedIndex) PagesInto(b Box, dst []PageRun) ([]PageRun, error) {
 	return sx.core.PagesInto(b, dst)
 }
 
+// PagesIntoContext is PagesInto under a request context — see
+// Index.ScanIntoContext for the cancellation and closed-index contract.
+//
+//lpm:allocfree
+func (sx *ShardedIndex) PagesIntoContext(ctx context.Context, b Box, dst []PageRun) ([]PageRun, error) {
+	return sx.core.PagesIntoCtx(ctx, b, dst)
+}
+
 // QueryIO returns the simulated I/O cost of a box query against the global
 // rank space. It allocates nothing in steady state.
 //
@@ -620,8 +671,22 @@ func (sx *ShardedIndex) QueryIO(b Box) (IOStats, error) {
 	return sx.core.QueryIO(b)
 }
 
+// QueryIOContext is QueryIO under a request context — see
+// Index.ScanIntoContext for the cancellation and closed-index contract.
+//
+//lpm:allocfree
+func (sx *ShardedIndex) QueryIOContext(ctx context.Context, b Box) (IOStats, error) {
+	return sx.core.QueryIOCtx(ctx, b)
+}
+
 // QueryBatch answers one QueryIO per box, fanning the slice across the
 // index's parallelism — see Index.QueryBatch for the contract.
 func (sx *ShardedIndex) QueryBatch(boxes []Box) ([]IOStats, error) {
 	return sx.core.QueryBatch(boxes)
+}
+
+// QueryBatchContext is QueryBatch under a request context — see
+// Index.QueryBatchContext.
+func (sx *ShardedIndex) QueryBatchContext(ctx context.Context, boxes []Box) ([]IOStats, error) {
+	return sx.core.QueryBatchCtx(ctx, boxes)
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"github.com/spectral-lpm/spectrallpm/internal/graph"
+	"github.com/spectral-lpm/spectrallpm/internal/serve"
 )
 
 // The sharded v2 container: a checksummed header and shard table followed
@@ -225,6 +226,19 @@ func OpenMappedSharded(path string) (*ShardedIndex, error) {
 		}
 		return nil, err
 	}
-	sx.closeFn = unmap
+	if unmap != nil {
+		// One Lifecycle guards the single shared mapping: the composite
+		// index and every shard Index borrow from it, so queries issued
+		// directly against a Shard(i) are counted too. Each core re-arms
+		// to pick the lifecycle up. Congruent shards may share an *Index;
+		// assigning the same lifecycle twice is harmless.
+		sx.lc = serve.NewLifecycle()
+		sx.initCore()
+		for _, ix := range sx.shards {
+			ix.lc = sx.lc
+			ix.initCore()
+		}
+		sx.closeFn = unmap
+	}
 	return sx, nil
 }
