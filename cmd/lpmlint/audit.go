@@ -1,0 +1,109 @@
+// Rendering for -audit: the //lpm:* marker inventory plus its problems.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/spectral-lpm/spectrallpm/internal/lint"
+)
+
+// writeAuditText prints the marker inventory grouped as a flat listing —
+// one "file:line: marker [class] justification" line per marker — then
+// the problems in the standard findings format, then a per-marker tally.
+// Reviewers read the listing top to bottom; CI greps the problem lines.
+func writeAuditText(w io.Writer, entries []lint.AuditEntry, problems []lint.Diagnostic, base string) {
+	counts := make(map[string]int)
+	for _, e := range entries {
+		counts[e.Marker]++
+		class := string(e.Class)
+		if class == "" {
+			class = "UNKNOWN"
+		}
+		line := fmt.Sprintf("%s:%d: //%s [%s]", relPath(e.Position.Filename, base), e.Position.Line, e.Marker, class)
+		if e.Justification != "" {
+			line += " — " + e.Justification
+		}
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "\n%d markers", len(entries))
+	for _, e := range sortedCounts(counts) {
+		fmt.Fprintf(w, ", %d //%s", e.n, e.name)
+	}
+	fmt.Fprintln(w)
+	if len(problems) > 0 {
+		fmt.Fprintln(w)
+		writeText(w, problems, base)
+	}
+}
+
+// auditReport is the JSON shape of -audit -json output.
+type auditReport struct {
+	Markers  []auditMarker `json:"markers"`
+	Problems []finding     `json:"problems"`
+}
+
+type auditMarker struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Marker        string `json:"marker"`
+	Class         string `json:"class"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// writeAuditJSON emits the inventory and problems as one JSON object with
+// stable field names (empty arrays when clean, never null).
+func writeAuditJSON(w io.Writer, entries []lint.AuditEntry, problems []lint.Diagnostic, base string) error {
+	report := auditReport{
+		Markers:  make([]auditMarker, 0, len(entries)),
+		Problems: make([]finding, 0, len(problems)),
+	}
+	for _, e := range entries {
+		class := string(e.Class)
+		if class == "" {
+			class = "unknown"
+		}
+		report.Markers = append(report.Markers, auditMarker{
+			File:          relPath(e.Position.Filename, base),
+			Line:          e.Position.Line,
+			Marker:        e.Marker,
+			Class:         class,
+			Justification: e.Justification,
+		})
+	}
+	for _, d := range problems {
+		report.Problems = append(report.Problems, finding{
+			File:     relPath(d.Position.Filename, base),
+			Line:     d.Position.Line,
+			Col:      d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(report)
+}
+
+type markerCount struct {
+	name string
+	n    int
+}
+
+// sortedCounts orders the tally by descending count, then name.
+func sortedCounts(counts map[string]int) []markerCount {
+	out := make([]markerCount, 0, len(counts))
+	for name, n := range counts {
+		out = append(out, markerCount{name, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].n != out[j].n {
+			return out[i].n > out[j].n
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}

@@ -1,16 +1,23 @@
 // Command lpmlint runs the repo's invariant analyzers (borrowwrite,
-// poolpair, maporder, errwrap, allocfree — see internal/lint) over the
-// named packages, test files included, and exits non-zero on any finding.
+// poolpair, maporder, errwrap, allocfree, borrowpair, ctxflow, atomiconly,
+// faultpoint — see internal/lint) over the named packages, test files
+// included, and exits non-zero on any finding.
 //
 // Usage:
 //
-//	lpmlint [-json] [-only name,name] [packages]
+//	lpmlint [-json|-sarif] [-only name,name] [-notests] [-tags list] [packages]
+//	lpmlint -audit [-json] [-tags list] [packages]
 //
 // Packages default to ./... relative to the current directory. With
 // -json, findings are emitted as a JSON array of {file, line, col,
-// analyzer, message} objects for machine consumption; otherwise as
-// file:line:col: analyzer: message lines. Exit status: 0 clean, 1 with
-// findings, 2 on a load or usage error.
+// analyzer, message} objects for machine consumption; with -sarif, as a
+// SARIF 2.1.0 log for code-scanning upload; otherwise as
+// file:line:col: analyzer: message lines. -tags passes build tags to the
+// loader, so `lpmlint -tags faultinject` checks the chaos-test build
+// exactly as it compiles. -audit switches from analysis to the
+// escape-marker audit: every //lpm:* marker line is inventoried, and
+// unknown markers or escape markers lacking a justification are findings.
+// Exit status: 0 clean, 1 with findings, 2 on a load or usage error.
 package main
 
 import (
@@ -26,9 +33,17 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	noTests := flag.Bool("notests", false, "skip test files and test packages")
+	tags := flag.String("tags", "", "build tags for package loading (as in go build -tags)")
+	audit := flag.Bool("audit", false, "audit //lpm:* markers instead of running analyzers")
 	flag.Parse()
+
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "lpmlint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -46,20 +61,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lpmlint:", err)
 		os.Exit(2)
 	}
-	pkgs, err := lint.Load(cwd, patterns, !*noTests)
+	pkgs, err := lint.Load(cwd, patterns, !*noTests, *tags)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lpmlint:", err)
 		os.Exit(2)
 	}
 
-	diags := lint.Run(pkgs, analyzers)
-	if *jsonOut {
-		if err := writeJSON(os.Stdout, diags, cwd); err != nil {
-			fmt.Fprintln(os.Stderr, "lpmlint:", err)
-			os.Exit(2)
+	var diags []lint.Diagnostic
+	if *audit {
+		var entries []lint.AuditEntry
+		entries, diags = lint.Audit(pkgs)
+		if *jsonOut {
+			if err := writeAuditJSON(os.Stdout, entries, diags, cwd); err != nil {
+				fmt.Fprintln(os.Stderr, "lpmlint:", err)
+				os.Exit(2)
+			}
+		} else {
+			writeAuditText(os.Stdout, entries, diags, cwd)
 		}
-	} else {
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	diags = lint.Run(pkgs, analyzers)
+	switch {
+	case *jsonOut:
+		err = writeJSON(os.Stdout, diags, cwd)
+	case *sarifOut:
+		err = writeSARIF(os.Stdout, diags, analyzers, cwd)
+	default:
 		writeText(os.Stdout, diags, cwd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpmlint:", err)
+		os.Exit(2)
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

@@ -1,0 +1,157 @@
+// SARIF 2.1.0 output — the interchange format GitHub code scanning
+// ingests. One run, one tool ("lpmlint"), one reportingDescriptor per
+// analyzer (its Doc becomes the rule help text), one result per
+// diagnostic. File URIs are emitted repo-relative against %SRCROOT%, the
+// uriBaseId code scanning resolves to the checkout root, so the log is
+// valid no matter where the runner placed the workspace.
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"github.com/spectral-lpm/spectrallpm/internal/lint"
+)
+
+// The sarif* types cover the slice of the SARIF 2.1.0 schema lpmlint
+// emits — nothing more. Field names follow the spec casing.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription"`
+	DefaultConfig    sarifConfig  `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF emits the findings as one SARIF run. Every selected analyzer
+// appears in the rules table even when it found nothing, so code scanning
+// can show the full checked surface, and results reference rules by index
+// as the spec recommends.
+func writeSARIF(w io.Writer, diags []lint.Diagnostic, analyzers []*lint.Analyzer, base string) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	index := make(map[string]int, len(analyzers))
+	addRule := func(id, doc string) {
+		index[id] = len(rules)
+		short := doc
+		if cut := strings.IndexAny(doc, ";."); cut > 0 {
+			short = doc[:cut]
+		}
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: short},
+			FullDescription:  sarifMessage{Text: doc},
+			DefaultConfig:    sarifConfig{Level: "error"},
+		})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := index[d.Analyzer]
+		if !ok {
+			// A diagnostic from outside the selected set (the audit's
+			// synthetic "audit" analyzer); register it on the fly.
+			addRule(d.Analyzer, "lpmlint "+d.Analyzer+" finding")
+			idx = index[d.Analyzer]
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       sarifURI(d.Position.Filename, base),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   d.Position.Line,
+						StartColumn: d.Position.Column,
+					},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "lpmlint",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(log)
+}
+
+// sarifURI renders a finding path as a forward-slash URI relative to the
+// repo root (the %SRCROOT% base).
+func sarifURI(name, base string) string {
+	return filepath.ToSlash(relPath(name, base))
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/spectral-lpm/spectrallpm/internal/lint"
+)
+
+// decodeSARIF unmarshals the writer's output into loosely-typed maps so
+// the test checks the emitted JSON shape, not the Go structs.
+func decodeSARIF(t *testing.T, s string) map[string]any {
+	t.Helper()
+	var log map[string]any
+	if err := json.Unmarshal([]byte(s), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, s)
+	}
+	return log
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var buf strings.Builder
+	analyzers := lint.All()
+	if err := writeSARIF(&buf, sampleDiags(), analyzers, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	log := decodeSARIF(t, buf.String())
+	if log["version"] != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", log["version"])
+	}
+	runs := log["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "lpmlint" {
+		t.Errorf("driver name = %v", driver["name"])
+	}
+	rules := driver["rules"].([]any)
+	if len(rules) != len(analyzers) {
+		t.Errorf("got %d rules, want one per analyzer (%d) even with no findings for most", len(rules), len(analyzers))
+	}
+	ruleIDs := make(map[string]int)
+	for i, r := range rules {
+		rm := r.(map[string]any)
+		ruleIDs[rm["id"].(string)] = i
+		if rm["fullDescription"].(map[string]any)["text"] == "" {
+			t.Errorf("rule %v has empty description", rm["id"])
+		}
+	}
+	results := run["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["ruleId"] != "allocfree" {
+		t.Errorf("ruleId = %v", first["ruleId"])
+	}
+	if int(first["ruleIndex"].(float64)) != ruleIDs["allocfree"] {
+		t.Errorf("ruleIndex %v does not point at the allocfree rule (%d)", first["ruleIndex"], ruleIDs["allocfree"])
+	}
+	loc := first["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	art := loc["artifactLocation"].(map[string]any)
+	if art["uri"] != "internal/serve/serve.go" {
+		t.Errorf("uri not repo-relative: %v", art["uri"])
+	}
+	if art["uriBaseId"] != "%SRCROOT%" {
+		t.Errorf("uriBaseId = %v, want %%SRCROOT%%", art["uriBaseId"])
+	}
+	region := loc["region"].(map[string]any)
+	if int(region["startLine"].(float64)) != 42 || int(region["startColumn"].(float64)) != 7 {
+		t.Errorf("region mismatch: %v", region)
+	}
+}
+
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf strings.Builder
+	if err := writeSARIF(&buf, nil, lint.All(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	log := decodeSARIF(t, buf.String())
+	run := log["runs"].([]any)[0].(map[string]any)
+	results, ok := run["results"].([]any)
+	if !ok || results == nil {
+		t.Fatalf("clean run must emit results: [] (never null): %s", buf.String())
+	}
+	if len(results) != 0 {
+		t.Errorf("clean run emitted %d results", len(results))
+	}
+}
+
+func TestWriteAuditJSON(t *testing.T) {
+	entries := []lint.AuditEntry{
+		{Marker: "lpm:ctxok", Class: lint.ClassEscape, Justification: "pre-billed sweep"},
+		{Marker: "lpm:bogus"},
+	}
+	entries[0].Position.Filename = "/repo/internal/storage/engine.go"
+	entries[0].Position.Line = 10
+	entries[1].Position.Filename = "/repo/x.go"
+	entries[1].Position.Line = 3
+	problems := []lint.Diagnostic{{
+		Analyzer: "audit",
+		Message:  "unknown marker //lpm:bogus",
+	}}
+	problems[0].Position.Filename = "/repo/x.go"
+	problems[0].Position.Line = 3
+
+	var buf strings.Builder
+	if err := writeAuditJSON(&buf, entries, problems, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Markers []struct {
+			File          string `json:"file"`
+			Line          int    `json:"line"`
+			Marker        string `json:"marker"`
+			Class         string `json:"class"`
+			Justification string `json:"justification"`
+		} `json:"markers"`
+		Problems []struct {
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"problems"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &report); err != nil {
+		t.Fatalf("audit JSON invalid: %v\n%s", err, buf.String())
+	}
+	if len(report.Markers) != 2 || len(report.Problems) != 1 {
+		t.Fatalf("report shape: %+v", report)
+	}
+	if report.Markers[0].File != "internal/storage/engine.go" || report.Markers[0].Class != "escape" {
+		t.Errorf("marker entry mangled: %+v", report.Markers[0])
+	}
+	if report.Markers[1].Class != "unknown" {
+		t.Errorf("unregistered marker must render class unknown: %+v", report.Markers[1])
+	}
+}
+
+func TestWriteAuditText(t *testing.T) {
+	entries := []lint.AuditEntry{
+		{Marker: "lpm:allocfree", Class: lint.ClassContract},
+		{Marker: "lpm:ctxok", Class: lint.ClassEscape, Justification: "pre-billed"},
+	}
+	entries[0].Position.Filename = "/repo/a.go"
+	entries[0].Position.Line = 1
+	entries[1].Position.Filename = "/repo/b.go"
+	entries[1].Position.Line = 2
+
+	var buf strings.Builder
+	writeAuditText(&buf, entries, nil, "/repo")
+	out := buf.String()
+	for _, want := range []string{
+		"a.go:1: //lpm:allocfree [contract]",
+		"b.go:2: //lpm:ctxok [escape] — pre-billed",
+		"2 markers",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("audit text missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -58,6 +58,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	//lpm:ctxok — process root: there is no caller context above main
 	if err := s.Run(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, "lpmserve:", err)
 		os.Exit(1)

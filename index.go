@@ -729,6 +729,7 @@ func (e indexEngine) CheckBox(b Box) error {
 // leaves hold consecutive rank runs). sc supplies rectangle and point-id
 // scratch for the probe.
 //
+//lpm:ctxaware — grid boxes poll in the storage engine; the R-tree probe polls once up front
 //lpm:allocfree
 func (e indexEngine) AppendBoxRanks(dst []int, start, dims []int, sc *serve.Scratch) []int {
 	ix := e.ix
@@ -770,6 +771,7 @@ func (e indexEngine) AppendBoxRanks(dst []int, start, dims []int, sc *serve.Scra
 		sc.Max[i] = start[i] + dims[i] - 1
 	}
 	sc.Pids, _ = ix.rt.SearchAppend(rtree.Rect{Min: sc.Min, Max: sc.Max}, sc.Pids[:0])
+	//lpm:ctxok — copy-out of an already-completed probe; pre-polled above
 	for _, pid := range sc.Pids {
 		dst = append(dst, ix.rank[pid])
 	}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicOnly flags mixed atomic/plain access to the same memory word. A
+// variable touched through sync/atomic anywhere must be touched that way
+// everywhere: one plain load racing an atomic store is a data race even
+// when every OTHER access is atomic, and it is exactly the kind the race
+// detector misses when the plain access sits on a path the tests never
+// drive concurrently. The serving tier's convention is typed atomics
+// (atomic.Int64, atomic.Pointer), which make plain access unrepresentable;
+// this analyzer closes the gap for the function-style API, where the
+// compiler happily mixes atomic.LoadInt64(&x.n) with x.n++.
+//
+// Two patterns are reported:
+//
+//   - a field or variable that appears as the address argument of any
+//     sync/atomic function in the package, and is also read or written
+//     plainly elsewhere in the package (composite-literal initialization
+//     is exempt — the object is not shared before publication);
+//   - a write through the result of an atomic.Pointer Load — mutating the
+//     published object after unsynchronized readers may hold it.
+//
+// A deliberate plain access (an init path provably before any spawn, a
+// test poking internals under a stopped world) carries //lpm:atomicok
+// with the justification.
+var AtomicOnly = &Analyzer{
+	Name: "atomiconly",
+	Doc: "flags plain reads/writes of variables that are accessed through " +
+		"sync/atomic elsewhere, and writes through atomic.Pointer.Load results; " +
+		"mixed access is a data race the detector only catches when scheduled",
+	Run: runAtomicOnly,
+}
+
+func runAtomicOnly(pass *Pass) {
+	// Sweep 1: collect every object whose address feeds a sync/atomic call,
+	// remembering the identifiers inside those calls as sanctioned.
+	atomicObjs := make(map[types.Object]bool)
+	sanctioned := make(map[*ast.Ident]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isSyncAtomicCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op.String() != "&" {
+				return true
+			}
+			obj, id := accessedObject(pass, un.X)
+			if obj == nil {
+				return true
+			}
+			atomicObjs[obj] = true
+			sanctioned[id] = true
+			return true
+		})
+	}
+
+	// Sweep 2: every other appearance of those objects is a plain access.
+	// Composite-literal keys are sanctioned first: initialization happens
+	// before the object is published, so it cannot race.
+	if len(atomicObjs) > 0 {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				for _, elt := range cl.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							sanctioned[id] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || sanctioned[id] {
+					return true
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil || !atomicObjs[obj] {
+					return true
+				}
+				if pass.allowedAt(id.Pos(), "lpm:atomicok") {
+					return true
+				}
+				pass.Reportf(id.Pos(), "%s is accessed with sync/atomic elsewhere in this package; this plain access races with the atomic ones (use the atomic API, or mark //lpm:atomicok with justification)", id.Name)
+				return true
+			})
+		}
+	}
+
+	// Independent check: writes through an atomic.Pointer Load result.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var targets []ast.Expr
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				targets = st.Lhs
+			case *ast.IncDecStmt:
+				targets = []ast.Expr{st.X}
+			default:
+				return true
+			}
+			for _, lhs := range targets {
+				if call := loadResultIn(pass, lhs); call != nil {
+					if pass.allowedAt(lhs.Pos(), "lpm:atomicok") {
+						continue
+					}
+					pass.Reportf(lhs.Pos(), "write through an atomic Load result mutates the published object while unsynchronized readers may hold it; copy-on-write and Store the replacement (or mark //lpm:atomicok with justification)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSyncAtomicCall reports whether call invokes a package-level function
+// of sync/atomic (the address-taking function API, not the typed values).
+func isSyncAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// accessedObject resolves the variable or field object named by an
+// address-taken expression: plain identifiers (x) and field selectors
+// (s.n, through any prefix) both resolve to the field/var object. Index
+// expressions (a[i]) are skipped — element identity is not trackable by
+// object.
+func accessedObject(pass *Pass, e ast.Expr) (types.Object, *ast.Ident) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[x]
+		if obj == nil {
+			obj = pass.Info.Defs[x]
+		}
+		return obj, x
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[x.Sel], x.Sel
+	}
+	return nil, nil
+}
+
+// loadResultIn finds a Load() method call on a sync/atomic typed value in
+// the lvalue chain of lhs — p.Load().field = v, p.Load().m[k] = v — and
+// returns it, or nil.
+func loadResultIn(pass *Pass, lhs ast.Expr) *ast.CallExpr {
+	for {
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			lhs = x.X
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Load" {
+				return nil
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return nil
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return nil
+			}
+			return x
+		default:
+			return nil
+		}
+	}
+}

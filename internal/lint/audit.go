@@ -1,0 +1,172 @@
+// The escape-marker audit. The //lpm:* markers are load-bearing: contract
+// markers opt functions into analyzer checking, and escape markers turn
+// individual diagnostics off. An escape with no justification is a
+// suppressed finding nobody can review, and a typo'd marker is worse — it
+// suppresses nothing, checks nothing, and reads as if it did. The audit
+// inventories every marker in the loaded packages and reports the ones
+// that cannot be trusted: unknown names and escapes with no justification
+// text. It is the reviewers' view of the analyzer suite's blind spots,
+// wired into CI so the inventory cannot rot.
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MarkerClass distinguishes how a marker binds.
+type MarkerClass string
+
+const (
+	// ClassContract marks a function as promising an invariant the
+	// analyzers then enforce (//lpm:allocfree, //lpm:ctxaware, ...).
+	// Justification is optional — the contract is the meaning.
+	ClassContract MarkerClass = "contract"
+	// ClassEscape suppresses one diagnostic at one site (//lpm:allocok,
+	// //lpm:ctxok, ...). Justification is mandatory: an unexplained escape
+	// is an unreviewable suppression.
+	ClassEscape MarkerClass = "escape"
+)
+
+// markerClasses is the registry of every known //lpm:* marker.
+var markerClasses = map[string]MarkerClass{
+	"lpm:allocfree":   ClassContract,
+	"lpm:ownsframe":   ClassContract,
+	"lpm:ownsscratch": ClassContract,
+	"lpm:poolget":     ClassContract,
+	"lpm:ownsborrow":  ClassContract,
+	"lpm:ctxaware":    ClassContract,
+
+	"lpm:allocok":  ClassEscape,
+	"lpm:orderok":  ClassEscape,
+	"lpm:cmpok":    ClassEscape,
+	"lpm:ctxok":    ClassEscape,
+	"lpm:atomicok": ClassEscape,
+	"lpm:borrowok": ClassEscape,
+	"lpm:faultok":  ClassEscape,
+}
+
+// AuditEntry is one marker occurrence.
+type AuditEntry struct {
+	// Position locates the marker line.
+	Position token.Position
+	// Marker is the marker name ("lpm:ctxok").
+	Marker string
+	// Class is the marker's registry class, or "" for unknown markers.
+	Class MarkerClass
+	// Justification is the text following the marker on its line, dashes
+	// and whitespace trimmed. "" when the marker stands alone.
+	Justification string
+}
+
+// Audit inventories every //lpm:* marker line in the loaded packages and
+// returns the inventory alongside the problems: unknown marker names and
+// escape markers with no justification. Only marker LINES count — a
+// comment line beginning with the marker after the // — matching how
+// funcMarked and allowedAt bind markers, so prose mentioning a marker
+// mid-sentence is not inventoried.
+func Audit(pkgs []*Package) ([]AuditEntry, []Diagnostic) {
+	var entries []AuditEntry
+	var problems []Diagnostic
+	seen := make(map[string]bool) // file:line dedupe across shared loads
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					base := pkg.Fset.Position(c.Pos())
+					for i, line := range strings.Split(c.Text, "\n") {
+						e, ok := parseMarkerLine(line)
+						if !ok {
+							continue
+						}
+						e.Position = base
+						e.Position.Line += i
+						key := e.Position.Filename + ":" + strconv.Itoa(e.Position.Line)
+						if seen[key] {
+							continue
+						}
+						seen[key] = true
+						entries = append(entries, e)
+						switch {
+						case e.Class == "":
+							problems = append(problems, Diagnostic{
+								Position: e.Position,
+								Analyzer: "audit",
+								Message:  "unknown marker //" + e.Marker + "; it binds no analyzer and checks nothing (registered markers: " + knownMarkers() + ")",
+							})
+						case e.Class == ClassEscape && e.Justification == "":
+							problems = append(problems, Diagnostic{
+								Position: e.Position,
+								Analyzer: "audit",
+								Message:  "escape marker //" + e.Marker + " has no justification; state why the suppressed finding is safe on the marker line",
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].Position, entries[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return entries, problems
+}
+
+// parseMarkerLine recognizes one comment line that IS a marker line:
+// "//lpm:name" (optionally space-separated, optionally followed by a
+// justification) — the binding shapes funcMarked and allowedAt accept.
+func parseMarkerLine(line string) (AuditEntry, bool) {
+	line = strings.TrimSpace(line)
+	line = strings.TrimPrefix(line, "/*")
+	line = strings.TrimSuffix(line, "*/")
+	rest, ok := strings.CutPrefix(strings.TrimSpace(line), "//")
+	if !ok {
+		// Inside a /* */ block, marker lines carry no //; funcMarked also
+		// accepts the doc-comment "*"-prefixed continuation style.
+		rest = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "*"))
+	}
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "lpm:") {
+		return AuditEntry{}, false
+	}
+	name := rest[:len("lpm:")]
+	rest = rest[len("lpm:"):]
+	for len(rest) > 0 {
+		ch := rest[0]
+		if ch < 'a' || ch > 'z' {
+			break
+		}
+		name += string(ch)
+		rest = rest[1:]
+	}
+	if name == "lpm:" {
+		return AuditEntry{}, false // "//lpm:*" and friends are prose, not markers
+	}
+	just := strings.TrimSpace(strings.TrimLeft(rest, " \t—–-:"))
+	return AuditEntry{
+		Marker:        name,
+		Class:         markerClasses[name],
+		Justification: just,
+	}, true
+}
+
+// knownMarkers renders the registry for diagnostics, contracts first.
+func knownMarkers() string {
+	var contracts, escapes []string
+	for name, class := range markerClasses {
+		if class == ClassContract {
+			contracts = append(contracts, "//"+name)
+		} else {
+			escapes = append(escapes, "//"+name)
+		}
+	}
+	sort.Strings(contracts)
+	sort.Strings(escapes)
+	return strings.Join(append(contracts, escapes...), ", ")
+}

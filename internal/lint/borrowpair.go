@@ -1,0 +1,476 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BorrowPair flags serve.Lifecycle borrows that can leak: every successful
+// TryBorrow must reach an EndBorrow on every path out of the function. A
+// leaked borrow is worse than a leaked pooled buffer — CloseAndWait blocks
+// until the count drains, so one unpaired TryBorrow turns the next reload
+// or shutdown into a hang, and an unmap that proceeds anyway turns reads
+// into SIGSEGVs. The runtime tests can only catch the hang after the
+// fact; this is the review-time twin of that contract, mirroring
+// poolpair's path dataflow with the Lifecycle borrow as the tracked
+// resource.
+//
+// The analyzer recognizes the two guard shapes the serving tier uses:
+//
+//	if !lc.TryBorrow() { return ... }   // failure path must terminate
+//	defer lc.EndBorrow()                // borrow live from here on
+//
+//	if lc.TryBorrow() {                 // borrow live inside the branch
+//	        defer lc.EndBorrow()
+//	        ...
+//	}
+//
+// (both also in the `if ok := lc.TryBorrow(); !ok` spelling). On the
+// success region the borrow is considered released by an EndBorrow on the
+// same receiver — direct, deferred, or inside a deferred closure — or by
+// handing the Lifecycle to a same-package callee marked //lpm:ownsborrow
+// (ownership documented at the callee, as with //lpm:ownsscratch). The
+// deferred form is the repo convention: it is the only shape that also
+// covers panic unwinding, which a direct call on the happy path does not.
+//
+// Any other use of TryBorrow — a bare call statement whose bool is
+// dropped, a call buried in a larger boolean expression, a result stored
+// for later — is flagged as untrackable: the pairing cannot be proven, so
+// the site must either use a guard shape or carry //lpm:borrowok with a
+// justification.
+var BorrowPair = &Analyzer{
+	Name: "borrowpair",
+	Doc: "flags serve.Lifecycle.TryBorrow successes that do not reach EndBorrow on " +
+		"every return path (hand-offs via //lpm:ownsborrow owners); an unpaired " +
+		"borrow hangs CloseAndWait and blocks unmap forever",
+	Run: runBorrowPair,
+}
+
+// lifecyclePkgSuffix identifies the Lifecycle type without tying the
+// analyzer to one module path, so fixtures can declare a local
+// internal/serve package of their own.
+const lifecyclePkgSuffix = "internal/serve"
+
+func runBorrowPair(pass *Pass) {
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					analyzeBorrowBody(pass, fn.Body, decls)
+				}
+			case *ast.FuncLit:
+				analyzeBorrowBody(pass, fn.Body, decls)
+			}
+			return true
+		})
+	}
+}
+
+// isLifecycle reports whether t is (a pointer to) serve.Lifecycle.
+func isLifecycle(t types.Type) bool {
+	named := namedType(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Lifecycle" && obj.Pkg() != nil &&
+		hasPathSuffix(obj.Pkg().Path(), lifecyclePkgSuffix)
+}
+
+// tryBorrowCall returns the receiver expression of e when e is (a paren
+// of) a recv.TryBorrow() call on a Lifecycle, or nil.
+func tryBorrowCall(pass *Pass, e ast.Expr) ast.Expr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "TryBorrow" {
+		return nil
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || !isLifecycle(tv.Type) {
+		return nil
+	}
+	return sel.X
+}
+
+// borrowGuard describes one recognized TryBorrow guard statement.
+type borrowGuard struct {
+	ifStmt *ast.IfStmt
+	recv   ast.Expr // the Lifecycle receiver expression
+	// successInBranch is true for `if lc.TryBorrow() { ... }` (the borrow
+	// lives inside Body) and false for `if !lc.TryBorrow() { fail }` (the
+	// borrow lives in the statements after the if).
+	successInBranch bool
+}
+
+// analyzeBorrowBody finds every TryBorrow call at any nesting depth of one
+// function-like body (nested literals get their own analysis), classifies
+// each into a guard shape or reports it untrackable, then path-checks the
+// guards' success regions.
+func analyzeBorrowBody(pass *Pass, body *ast.BlockStmt, decls map[types.Object]*ast.FuncDecl) {
+	// Map recognized guard conditions so the generic call sweep can skip
+	// them; every TryBorrow call NOT consumed by a guard is untrackable.
+	guards := make(map[*ast.CallExpr]*borrowGuard)
+	var collect func(stmts []ast.Stmt)
+	classify := func(s ast.Stmt) {
+		ifStmt, ok := s.(*ast.IfStmt)
+		if !ok {
+			return
+		}
+		cond := ast.Unparen(ifStmt.Cond)
+		// `if ok := lc.TryBorrow(); !ok` / `if ok := lc.TryBorrow(); ok`:
+		// resolve the condition identifier back to the init assignment.
+		var callExpr ast.Expr
+		negated := false
+		if un, isNot := cond.(*ast.UnaryExpr); isNot && un.Op.String() == "!" {
+			negated = true
+			cond = ast.Unparen(un.X)
+		}
+		switch c := cond.(type) {
+		case *ast.CallExpr:
+			callExpr = c
+		case *ast.Ident:
+			as, isAssign := ifStmt.Init.(*ast.AssignStmt)
+			if !isAssign || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return
+			}
+			lhs, isIdent := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+			if !isIdent || lhs.Name != c.Name {
+				return
+			}
+			callExpr = as.Rhs[0]
+		default:
+			return
+		}
+		recv := tryBorrowCall(pass, callExpr)
+		if recv == nil {
+			return
+		}
+		call := ast.Unparen(callExpr).(*ast.CallExpr)
+		guards[call] = &borrowGuard{ifStmt: ifStmt, recv: recv, successInBranch: !negated}
+	}
+	collect = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			classify(s)
+			switch st := s.(type) {
+			case *ast.BlockStmt:
+				collect(st.List)
+			case *ast.IfStmt:
+				collect(st.Body.List)
+				if st.Else != nil {
+					collect([]ast.Stmt{st.Else})
+				}
+			case *ast.ForStmt:
+				collect(st.Body.List)
+			case *ast.RangeStmt:
+				collect(st.Body.List)
+			case *ast.SwitchStmt:
+				collect(st.Body.List)
+			case *ast.TypeSwitchStmt:
+				collect(st.Body.List)
+			case *ast.SelectStmt:
+				collect(st.Body.List)
+			case *ast.CaseClause:
+				collect(st.Body)
+			case *ast.CommClause:
+				collect(st.Body)
+			case *ast.LabeledStmt:
+				collect([]ast.Stmt{st.Stmt})
+			}
+		}
+	}
+	collect(body.List)
+
+	// Untrackable sweep: every TryBorrow call in this body (skipping nested
+	// function literals, which are analyzed separately) must be a guard
+	// condition.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tryBorrowCall(pass, call) == nil || guards[call] != nil {
+			return true
+		}
+		if pass.allowedAt(call.Pos(), "lpm:borrowok") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "TryBorrow result is not consumed by an if-guard; the borrow pairing cannot be checked (guard it, or mark //lpm:borrowok with justification)")
+		return true
+	})
+
+	for _, g := range guards {
+		checkBorrowGuard(pass, body, g, decls)
+	}
+}
+
+// checkBorrowGuard path-checks one guard's success region.
+func checkBorrowGuard(pass *Pass, body *ast.BlockStmt, g *borrowGuard, decls map[types.Object]*ast.FuncDecl) {
+	bc := &borrowChecker{
+		pass:  pass,
+		recv:  g.recv,
+		root:  rootObj(pass, g.recv),
+		key:   types.ExprString(g.recv),
+		decls: decls,
+		guard: g,
+	}
+	if g.successInBranch {
+		// The borrow exists only inside the then-branch; it must resolve
+		// before the branch falls through.
+		st := bc.checkStmts(g.ifStmt.Body.List, borrowLive)
+		if st == borrowLive && !bc.deferReleased {
+			pass.Reportf(g.ifStmt.Body.Rbrace, "borrow from TryBorrow not EndBorrow'd before the success branch falls through")
+		}
+		return
+	}
+	// `if !lc.TryBorrow() { fail }`: the failure branch must leave the
+	// function (or loop) — otherwise the unborrowed path falls into the
+	// success region and EndBorrow would underflow the count.
+	if !terminatesOrBranches(g.ifStmt.Body.List) {
+		pass.Reportf(g.ifStmt.Pos(), "TryBorrow failure branch falls through into the success path; it must return, panic, or continue/break")
+		return
+	}
+	// The success region is every statement after the guard, at every
+	// enclosing nesting level up to the function body: walk the whole body
+	// and flip to live when the guard statement is crossed.
+	st := bc.checkStmts(body.List, borrowBefore)
+	if st == borrowLive && !bc.deferReleased {
+		pass.Reportf(body.Rbrace, "borrow from TryBorrow not EndBorrow'd on the fall-through return path")
+	}
+}
+
+// rootObj resolves the root identifier object of an expression, or nil.
+func rootObj(pass *Pass, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}
+
+// Borrow states along one path, ordered so the weaker state merges wins.
+type borrowState int
+
+const (
+	borrowBefore   borrowState = iota // the guard has not executed yet
+	borrowLive                        // borrowed, not yet released
+	borrowReleased                    // EndBorrow reached or ownership moved
+)
+
+// borrowChecker walks one function body checking one guard's borrow.
+type borrowChecker struct {
+	pass          *Pass
+	recv          ast.Expr
+	root          types.Object // root identifier object of recv (may be nil)
+	key           string       // ExprString of recv, for selector receivers
+	decls         map[types.Object]*ast.FuncDecl
+	guard         *borrowGuard
+	deferReleased bool // a defer EndBorrows on every exit from here on
+}
+
+func (bc *borrowChecker) checkStmts(stmts []ast.Stmt, st borrowState) borrowState {
+	for _, s := range stmts {
+		st = bc.checkStmt(s, st)
+	}
+	return st
+}
+
+func (bc *borrowChecker) checkStmt(s ast.Stmt, st borrowState) borrowState {
+	if s == ast.Stmt(bc.guard.ifStmt) && !bc.guard.successInBranch {
+		// Crossing the guard: the failure branch terminates (checked by the
+		// caller), so fall-through means the borrow is now live. The branch
+		// body is checked for stray EndBorrows implicitly — the borrow is
+		// not live there, so nothing to track.
+		return borrowLive
+	}
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		if st == borrowLive && !bc.deferReleased {
+			bc.pass.Reportf(x.Pos(), "borrow from TryBorrow not EndBorrow'd on this return path")
+		}
+		return st
+	case *ast.DeferStmt:
+		if bc.callReleases(x.Call) || bc.deferLitReleases(x.Call) {
+			bc.deferReleased = true
+		}
+		return st
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if st == borrowLive && bc.callReleases(call) {
+				return borrowReleased
+			}
+			if st == borrowLive && bc.callOwns(call) {
+				return borrowReleased
+			}
+		}
+		return st
+	case *ast.IfStmt:
+		thenSt := bc.checkStmts(x.Body.List, st)
+		elseSt := st
+		if x.Else != nil {
+			elseSt = bc.checkStmt(x.Else, st)
+		}
+		return mergeBorrowStates(thenSt, elseSt, x.Body, x.Else)
+	case *ast.BlockStmt:
+		return bc.checkStmts(x.List, st)
+	case *ast.ForStmt:
+		bc.checkStmts(x.Body.List, st)
+		return st // the body may run zero times
+	case *ast.RangeStmt:
+		bc.checkStmts(x.Body.List, st)
+		return st
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return bc.checkSwitch(s, st)
+	case *ast.CaseClause:
+		return bc.checkStmts(x.Body, st)
+	case *ast.CommClause:
+		return bc.checkStmts(x.Body, st)
+	case *ast.LabeledStmt:
+		return bc.checkStmt(x.Stmt, st)
+	case *ast.GoStmt:
+		// Handing the Lifecycle to a goroutine that EndBorrows is a valid
+		// transfer (the goroutine owns the borrow now); anything else in a
+		// go statement does not affect this path's state.
+		if st == borrowLive && bc.deferLitReleases(x.Call) {
+			return borrowReleased
+		}
+		return st
+	}
+	return st
+}
+
+// checkSwitch merges all case paths; without a default the whole statement
+// may be skipped, so the entry state stays reachable.
+func (bc *borrowChecker) checkSwitch(s ast.Stmt, st borrowState) borrowState {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		body = x.Body
+	case *ast.TypeSwitchStmt:
+		body = x.Body
+	case *ast.SelectStmt:
+		body = x.Body
+	}
+	merged := borrowState(-1)
+	for _, c := range body.List {
+		var caseBody []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			caseBody = cc.Body
+			if cc.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			caseBody = cc.Body
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		cs := bc.checkStmts(caseBody, st)
+		if merged < 0 || cs < merged {
+			merged = cs
+		}
+	}
+	if merged < 0 || !hasDefault {
+		return st
+	}
+	return merged
+}
+
+func mergeBorrowStates(thenSt, elseSt borrowState, thenBody *ast.BlockStmt, elseStmt ast.Stmt) borrowState {
+	if terminates(thenBody.List) {
+		return elseSt
+	}
+	if elseStmt != nil {
+		if blk, ok := elseStmt.(*ast.BlockStmt); ok && terminates(blk.List) {
+			return thenSt
+		}
+	}
+	if thenSt < elseSt {
+		return thenSt
+	}
+	return elseSt
+}
+
+// sameRecv reports whether e denotes the same receiver as the guard's:
+// identical expression text rooted at the same identifier object, so
+// `lc` matches `lc` and `s.lc` matches `s.lc` but not a different s.
+func (bc *borrowChecker) sameRecv(e ast.Expr) bool {
+	if types.ExprString(e) != bc.key {
+		return false
+	}
+	return bc.root == nil || rootObj(bc.pass, e) == bc.root
+}
+
+// callReleases reports whether the call is recv.EndBorrow().
+func (bc *borrowChecker) callReleases(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "EndBorrow" || len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := bc.pass.Info.Types[sel.X]
+	if !ok || !isLifecycle(tv.Type) {
+		return false
+	}
+	return bc.sameRecv(sel.X)
+}
+
+// callOwns reports whether the call hands the Lifecycle to a same-package
+// callee marked //lpm:ownsborrow with recv among its arguments.
+func (bc *borrowChecker) callOwns(call *ast.CallExpr) bool {
+	fd := calleeFuncDecl(bc.pass, call, bc.decls)
+	if fd == nil || !funcMarked(fd, "lpm:ownsborrow") {
+		return false
+	}
+	for _, a := range call.Args {
+		if bc.sameRecv(ast.Unparen(a)) {
+			return true
+		}
+	}
+	return false
+}
+
+// deferLitReleases reports whether a func-literal call's body EndBorrows
+// the receiver (defer func() { lc.EndBorrow() }()).
+func (bc *borrowChecker) deferLitReleases(call *ast.CallExpr) bool {
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	released := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && bc.callReleases(c) {
+			released = true
+		}
+		return !released
+	})
+	return released
+}
+
+// terminatesOrBranches reports whether a statement list always transfers
+// control out of the fall-through path: return, panic, or a loop
+// continue/break (the guard-in-a-retry-loop shape).
+func terminatesOrBranches(stmts []ast.Stmt) bool {
+	if terminates(stmts) {
+		return true
+	}
+	if len(stmts) == 0 {
+		return false
+	}
+	switch stmts[len(stmts)-1].(type) {
+	case *ast.BranchStmt:
+		return true
+	}
+	return false
+}

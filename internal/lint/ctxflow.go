@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// CtxFlow enforces the serving tier's cancellation contract at two
+// levels. The daemon promises that an abandoned request stops consuming
+// CPU at the next chunk boundary; that promise dies silently if a handler
+// path calls a ctx-free query variant (the work runs to completion no
+// matter what the client did) or manufactures a fresh context.Background()
+// (detaching the work from the request's deadline). Both mistakes
+// typecheck, behave identically under light load, and only show up as a
+// saturated daemon when clients start timing out — review-time is the
+// place to catch them.
+//
+// Rules in server scope (packages listed in ctxFlowPackages, plus files
+// whose base name starts with a ctxFlowFilePrefixes entry; _test.go files
+// exempt — tests drive both variants on purpose):
+//
+//   - no context.Background()/context.TODO(): request paths must thread
+//     the request's context (//lpm:ctxok escapes the rare legitimate
+//     detachment, e.g. a shutdown deadline that must outlive requests);
+//   - no call to a ctx-free function or method when a sibling with the
+//     same name + "Ctx" exists: the variant pair exists exactly so server
+//     paths take the cancellable side.
+//
+// Rule everywhere: a function marked //lpm:ctxaware promises its long
+// loops poll cancellation at chunk boundaries. Each outermost loop must
+// contain — transitively, nested loops included — a cancellation poll: a
+// ctx.Err()/ctx.Done() check, a call to another //lpm:ctxaware function
+// in the same package, or a call threading a context (an argument or
+// receiver that is, or carries a field of type, context.Context — the
+// scratch structs that cache ctx for allocation-free polling count).
+// Loops with no calls at all are exempt: a pure arithmetic fold over a
+// handful of dims cannot be long. A loop that deliberately must not poll
+// (the bitmap emit sweep, whose all-zero pool invariant forbids early
+// exit) carries //lpm:ctxok with the justification.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flags server-scope calls to context.Background/TODO and to ctx-free " +
+		"variants of functions that have a Ctx sibling, and requires loops in " +
+		"//lpm:ctxaware functions to poll cancellation at chunk boundaries",
+	Run: runCtxFlow,
+}
+
+// ctxFlowPackages lists import-path suffixes whose every non-test file is
+// in server scope.
+var ctxFlowPackages = []string{
+	"internal/server",
+	"cmd/lpmserve",
+}
+
+// ctxFlowFilePrefixes lists base-name prefixes in server scope in any
+// package.
+var ctxFlowFilePrefixes = []string{"server"}
+
+func runCtxFlow(pass *Pass) {
+	decls := packageFuncDecls(pass)
+	pkgInScope := false
+	base := strings.TrimSuffix(pass.PkgPath, "_test")
+	for _, suffix := range ctxFlowPackages {
+		if hasPathSuffix(base, suffix) {
+			pkgInScope = true
+			break
+		}
+	}
+	for _, f := range pass.Files {
+		fname := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		inScope := pkgInScope || ctxFlowFileInScope(fname)
+		if inScope && !strings.HasSuffix(fname, "_test.go") {
+			checkServerScope(pass, f)
+		}
+		// The ctxaware loop contract is global: the marker is the opt-in.
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcMarked(fd, "lpm:ctxaware") {
+				continue
+			}
+			checkCtxAwareLoops(pass, fd.Body, decls)
+		}
+	}
+}
+
+func ctxFlowFileInScope(base string) bool {
+	for _, prefix := range ctxFlowFilePrefixes {
+		if strings.HasPrefix(base, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkServerScope applies the two server-scope rules to one file.
+func checkServerScope(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		case *ast.Ident:
+			id = fun
+		default:
+			return true
+		}
+		fn, ok := pass.Info.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+			(fn.Name() == "Background" || fn.Name() == "TODO") {
+			if !pass.allowedAt(call.Pos(), "lpm:ctxok") {
+				pass.Reportf(call.Pos(), "context.%s() detaches this path from the request's deadline; thread the caller's ctx (or mark //lpm:ctxok with justification)", fn.Name())
+			}
+			return true
+		}
+		if ctxVariant := ctxSibling(pass, fn); ctxVariant != "" {
+			if !pass.allowedAt(call.Pos(), "lpm:ctxok") {
+				pass.Reportf(call.Pos(), "%s has a cancellable sibling %s; server paths must call the Ctx variant (or mark //lpm:ctxok with justification)", fn.Name(), ctxVariant)
+			}
+		}
+		return true
+	})
+}
+
+// ctxSibling returns the name of fn's "+Ctx" sibling when one exists —
+// a method of the same receiver type, or a package-level function of the
+// same package — and "" otherwise.
+func ctxSibling(pass *Pass, fn *types.Func) string {
+	if strings.HasSuffix(fn.Name(), "Ctx") {
+		return ""
+	}
+	want := fn.Name() + "Ctx"
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), want)
+		if _, isFunc := obj.(*types.Func); isFunc {
+			return want
+		}
+		return ""
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	if _, isFunc := fn.Pkg().Scope().Lookup(want).(*types.Func); isFunc {
+		return want
+	}
+	return ""
+}
+
+// checkCtxAwareLoops walks one //lpm:ctxaware function body and checks
+// every outermost loop (nested loops are covered by the enclosing check —
+// a poll anywhere in the iteration bounds the stale work).
+func checkCtxAwareLoops(pass *Pass, body *ast.BlockStmt, decls map[types.Object]*ast.FuncDecl) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loopBody = l.Body
+		case *ast.RangeStmt:
+			loopBody = l.Body
+		case *ast.FuncLit:
+			return false // its own contract, if marked
+		default:
+			return true
+		}
+		if pass.allowedAt(n.Pos(), "lpm:ctxok") {
+			return false
+		}
+		if pureLoop(pass, loopBody) {
+			return false
+		}
+		if !pollsCancellation(pass, loopBody, decls) {
+			pass.Reportf(n.Pos(), "loop in a //lpm:ctxaware function has no cancellation poll; check ctx at a chunk boundary (or mark //lpm:ctxok with justification)")
+		}
+		return false // outermost loops only
+	})
+}
+
+// pureLoop reports whether the loop body performs no real calls — type
+// conversions and len/cap do not count — so a plain arithmetic fold over
+// a few dims is exempt from the poll requirement. The body may still be a
+// long sweep (the bitmap emit is exactly that), but a pure sweep is also
+// the shape most likely to be invariant-bound; those carry //lpm:ctxok
+// when they outgrow this exemption's spirit.
+func pureLoop(pass *Pass, body *ast.BlockStmt) bool {
+	pure := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return pure
+		}
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			return pure // conversion, not a call
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok &&
+				(b.Name() == "len" || b.Name() == "cap") {
+				return pure
+			}
+		}
+		pure = false
+		return false
+	})
+	return pure
+}
+
+// pollsCancellation reports whether the loop body transitively contains a
+// recognized cancellation poll.
+func pollsCancellation(pass *Pass, body *ast.BlockStmt, decls map[types.Object]*ast.FuncDecl) bool {
+	polls := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if polls {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isCtxPoll(pass, call) || callsCtxAware(pass, call, decls) || threadsContext(pass, call) {
+			polls = true
+			return false
+		}
+		return true
+	})
+	return polls
+}
+
+// isCtxPoll recognizes ctx.Err() / ctx.Done() on a context.Context value.
+func isCtxPoll(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	return ok && isContextType(tv.Type)
+}
+
+// callsCtxAware reports whether the callee is a same-package function
+// itself marked //lpm:ctxaware — its loops carry the poll.
+func callsCtxAware(pass *Pass, call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl) bool {
+	fd := calleeFuncDecl(pass, call, decls)
+	return fd != nil && funcMarked(fd, "lpm:ctxaware")
+}
+
+// threadsContext reports whether the call passes a context along: an
+// argument or method receiver whose type is context.Context or carries a
+// context.Context field (the pooled scratch structs that cache ctx for
+// allocation-free polling).
+func threadsContext(pass *Pass, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := pass.Info.Types[sel.X]; ok && typeCarriesContext(tv.Type) {
+			return true
+		}
+	}
+	for _, a := range call.Args {
+		if tv, ok := pass.Info.Types[a]; ok && typeCarriesContext(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named := namedType(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// typeCarriesContext reports whether t is context.Context or (a pointer
+// to) a struct with a context.Context field.
+func typeCarriesContext(t types.Type) bool {
+	if isContextType(t) {
+		return true
+	}
+	u := t.Underlying()
+	if ptr, ok := u.(*types.Pointer); ok {
+		u = ptr.Elem().Underlying()
+	}
+	st, ok := u.(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FaultPoint validates every fault-point name against the faultinject
+// registry (points.go). The registry is the contract between the daemon's
+// Fire sites and the chaos tests' Arm latches: both sides name points by
+// string, and a typo on either side fails silently — a Fire nobody can
+// latch, or a latch that never fires, turning a chaos drill into a test
+// that proves nothing. The analyzer resolves the name argument of every
+// Fire/Arm/Disarm call as a typed constant and requires its value to be
+// one of the exported string constants of the faultinject package, so the
+// wire names have exactly one spelling and it lives in one file.
+//
+// Call sites may reference the constant (faultinject.PointReloadOpen —
+// the daemon convention) or repeat the literal ("reload.open" — the chaos
+// tests do, exercising the latch path exactly as an external harness
+// would); both resolve to constant values. A name computed at runtime
+// cannot be checked and is reported; if a test genuinely needs a dynamic
+// point name it carries //lpm:faultok with the justification.
+var FaultPoint = &Analyzer{
+	Name: "faultpoint",
+	Doc: "flags faultinject.Fire/Arm/Disarm calls whose point name is not a " +
+		"registered constant in the faultinject package, so Fire sites and chaos " +
+		"latches cannot drift apart silently",
+	Run: runFaultPoint,
+}
+
+// faultinjectPkgSuffix identifies the registry package without tying the
+// analyzer to one module path.
+const faultinjectPkgSuffix = "internal/server/faultinject"
+
+// faultNamedCalls are the registry entry points whose first argument is a
+// point name.
+var faultNamedCalls = map[string]bool{"Fire": true, "Arm": true, "Disarm": true}
+
+func runFaultPoint(pass *Pass) {
+	var registry map[string]bool // lazily built from the resolved package
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := faultinjectCallee(pass, call)
+			if fn == nil || !faultNamedCalls[fn.Name()] || len(call.Args) == 0 {
+				return true
+			}
+			if registry == nil {
+				registry = registeredPoints(fn.Pkg())
+			}
+			arg := call.Args[0]
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				if !pass.allowedAt(arg.Pos(), "lpm:faultok") {
+					pass.Reportf(arg.Pos(), "fault-point name is not a string constant; the registry check needs a compile-time name (mark //lpm:faultok with justification if it must be dynamic)")
+				}
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !registry[name] {
+				if pass.allowedAt(arg.Pos(), "lpm:faultok") {
+					return true
+				}
+				pass.Reportf(arg.Pos(), "fault point %q is not registered in the faultinject package; declare the constant in points.go (registered: %s)", name, registryList(registry))
+			}
+			return true
+		})
+	}
+}
+
+// faultinjectCallee resolves call to a function of the faultinject
+// package, or nil.
+func faultinjectCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || !hasPathSuffix(fn.Pkg().Path(), faultinjectPkgSuffix) {
+		return nil
+	}
+	return fn
+}
+
+// registeredPoints collects the exported string-constant values of the
+// faultinject package — the registry surface of points.go.
+func registeredPoints(pkg *types.Package) map[string]bool {
+	out := make(map[string]bool)
+	if pkg == nil {
+		return out
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || c.Val().Kind() != constant.String {
+			continue
+		}
+		out[constant.StringVal(c.Val())] = true
+	}
+	return out
+}
+
+// registryList renders the registered names for the diagnostic message.
+func registryList(registry map[string]bool) string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -9,6 +9,10 @@
 //	maporder    — no order-dependent iteration over maps in codec paths
 //	errwrap     — sentinels are wrapped with %w and matched with errors.Is
 //	allocfree   — //lpm:allocfree functions stay off the heap
+//	borrowpair  — every Lifecycle.TryBorrow reaches EndBorrow on every path
+//	ctxflow     — server-reachable code uses the *Context query variants
+//	atomiconly  — fields accessed atomically anywhere are atomic everywhere
+//	faultpoint  — fault-point names come from the faultinject registry
 package lint
 
 import (
@@ -72,6 +76,10 @@ func All() []*Analyzer {
 		MapOrder,
 		ErrWrap,
 		AllocFree,
+		BorrowPair,
+		CtxFlow,
+		AtomicOnly,
+		FaultPoint,
 	}
 }
 

@@ -8,3 +8,7 @@ func TestPoolPair(t *testing.T)         { RunFixture(t, PoolPair, "poolpair") }
 func TestMapOrder(t *testing.T)         { RunFixture(t, MapOrder, "maporder") }
 func TestErrWrap(t *testing.T)          { RunFixture(t, ErrWrap, "errwrap") }
 func TestAllocFree(t *testing.T)        { RunFixture(t, AllocFree, "allocfree") }
+func TestBorrowPair(t *testing.T)       { RunFixture(t, BorrowPair, "borrowpair") }
+func TestCtxFlow(t *testing.T)          { RunFixture(t, CtxFlow, "ctxflow") }
+func TestAtomicOnly(t *testing.T)       { RunFixture(t, AtomicOnly, "atomiconly") }
+func TestFaultPoint(t *testing.T)       { RunFixture(t, FaultPoint, "faultpoint") }

@@ -105,9 +105,14 @@ func (l *loader) Import(path string) (*types.Package, error) {
 }
 
 // goList runs `go list` in dir with the given arguments and decodes the
-// JSON stream.
-func goList(dir string, args ...string) ([]*listedPackage, error) {
-	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+// JSON stream. tags, when non-empty, is passed as -tags so the listing
+// selects the same files and export data the tagged build would.
+func goList(dir, tags string, args ...string) ([]*listedPackage, error) {
+	full := []string{"list"}
+	if tags != "" {
+		full = append(full, "-tags", tags)
+	}
+	cmd := exec.Command("go", append(full, args...)...)
 	cmd.Dir = dir
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
@@ -129,9 +134,12 @@ func goList(dir string, args ...string) ([]*listedPackage, error) {
 // Load typechecks the packages matching patterns (run from dir, a
 // directory inside the module) and returns them ready for analysis.
 // When tests is true, in-package test files are folded into their package
-// and external test packages are loaded as their own entries.
-func Load(dir string, patterns []string, tests bool) ([]*Package, error) {
-	targets, err := goList(dir, append([]string{"-json"}, patterns...)...)
+// and external test packages are loaded as their own entries. tags is the
+// build-tag list for file selection (empty for the default build): linting
+// under -tags faultinject sees the chaos tests and the tagged registry
+// exactly as that build compiles them.
+func Load(dir string, patterns []string, tests bool, tags string) ([]*Package, error) {
+	targets, err := goList(dir, tags, append([]string{"-json"}, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +159,7 @@ func Load(dir string, patterns []string, tests bool) ([]*Package, error) {
 
 	// One -deps listing covers the non-test dependency graph; a second
 	// sweeps in whatever the test files add (mostly "testing" and friends).
-	deps, err := goList(dir, append([]string{"-deps", "-export", "-json"}, patterns...)...)
+	deps, err := goList(dir, tags, append([]string{"-deps", "-export", "-json"}, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +175,7 @@ func Load(dir string, patterns []string, tests bool) ([]*Package, error) {
 	}
 	if len(extra) > 0 {
 		sort.Strings(extra)
-		more, err := goList(dir, append([]string{"-deps", "-export", "-json"}, extra...)...)
+		more, err := goList(dir, tags, append([]string{"-deps", "-export", "-json"}, extra...)...)
 		if err != nil {
 			return nil, err
 		}
@@ -269,7 +277,7 @@ func LoadDir(moduleDir, fixtureDir, pkgPath string) (*Package, error) {
 			imps = append(imps, p)
 		}
 		sort.Strings(imps)
-		deps, err := goList(moduleDir, append([]string{"-deps", "-export", "-json"}, imps...)...)
+		deps, err := goList(moduleDir, "", append([]string{"-deps", "-export", "-json"}, imps...)...)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,80 @@
+// Package atomiconly exercises the mixed atomic/plain access analyzer.
+package atomiconly
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	plain int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// mixedRead races with inc: the load is plain while the stores are
+// atomic.
+func (c *counter) mixedRead() int64 {
+	return c.n // want "accessed with sync/atomic elsewhere"
+}
+
+func (c *counter) mixedWrite() {
+	c.n++ // want "accessed with sync/atomic elsewhere"
+}
+
+// plainOnly never meets the atomic API; plain access is fine.
+func (c *counter) plainOnly() int64 {
+	c.plain++
+	return c.plain
+}
+
+// newCounter initializes via composite literal before publication — not a
+// race, not reported.
+func newCounter() *counter {
+	return &counter{n: 0, plain: 0}
+}
+
+// justified documents why a plain read is safe.
+func (c *counter) justified() int64 {
+	//lpm:atomicok — read under the stopped-world test harness; no concurrent writers
+	return c.n
+}
+
+var global int64
+
+func bumpGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+func readGlobal() int64 {
+	return global // want "accessed with sync/atomic elsewhere"
+}
+
+type config struct {
+	limit int
+}
+
+var current atomic.Pointer[config]
+
+// publish is the correct copy-on-write shape.
+func publish(limit int) {
+	next := &config{limit: limit}
+	current.Store(next)
+}
+
+// mutateShared writes through the Load result, mutating the object
+// concurrent readers hold.
+func mutateShared(limit int) {
+	current.Load().limit = limit // want "write through an atomic Load result"
+}
+
+// copyThenMutate snapshots first; the mutation targets the private copy.
+func copyThenMutate(limit int) {
+	snap := *current.Load()
+	snap.limit = limit
+	current.Store(&snap)
+}

@@ -1,0 +1,206 @@
+// Package borrowpair exercises the Lifecycle TryBorrow/EndBorrow pairing
+// analyzer against the real serve.Lifecycle type.
+package borrowpair
+
+import (
+	"errors"
+
+	serve "github.com/spectral-lpm/spectrallpm/internal/serve"
+)
+
+var errClosed = errors.New("closed")
+
+type engine struct {
+	lc *serve.Lifecycle
+	n  int
+}
+
+// guardedDeferred is the repo convention: failure terminates, success is
+// covered by a deferred EndBorrow on every exit including panics.
+func guardedDeferred(lc *serve.Lifecycle) error {
+	if !lc.TryBorrow() {
+		return errClosed
+	}
+	defer lc.EndBorrow()
+	return nil
+}
+
+// guardedDirect releases on the single fall-through path; fine, though it
+// would not survive a panic between the calls.
+func guardedDirect(lc *serve.Lifecycle) {
+	if !lc.TryBorrow() {
+		return
+	}
+	lc.EndBorrow()
+}
+
+func leakOnReturn(lc *serve.Lifecycle, n int) error {
+	if !lc.TryBorrow() {
+		return errClosed
+	}
+	if n == 0 {
+		return errClosed // want "not EndBorrow'd on this return path"
+	}
+	lc.EndBorrow()
+	return nil
+}
+
+func leakFallThrough(lc *serve.Lifecycle) {
+	if !lc.TryBorrow() {
+		return
+	}
+} // want "not EndBorrow'd on the fall-through return path"
+
+// failureFallsThrough lets the failed borrow reach the success region,
+// where EndBorrow would underflow the count.
+func failureFallsThrough(lc *serve.Lifecycle) {
+	if !lc.TryBorrow() { // want "failure branch falls through"
+		println("closed")
+	}
+	lc.EndBorrow()
+}
+
+// successInBranch keeps the borrow inside the then-branch.
+func successInBranch(lc *serve.Lifecycle) {
+	if lc.TryBorrow() {
+		defer lc.EndBorrow()
+		println("borrowed")
+	}
+}
+
+func successInBranchLeak(lc *serve.Lifecycle) {
+	if lc.TryBorrow() {
+		println("borrowed")
+	} // want "not EndBorrow'd before the success branch falls through"
+}
+
+// okForm spells the guard through a named bool.
+func okForm(lc *serve.Lifecycle) error {
+	if ok := lc.TryBorrow(); !ok {
+		return errClosed
+	}
+	defer lc.EndBorrow()
+	return nil
+}
+
+func bareCall(lc *serve.Lifecycle) {
+	lc.TryBorrow() // want "not consumed by an if-guard"
+	lc.EndBorrow()
+}
+
+func storedResult(lc *serve.Lifecycle) bool {
+	ok := lc.TryBorrow() // want "not consumed by an if-guard"
+	if ok {
+		lc.EndBorrow()
+	}
+	return ok
+}
+
+// trustedElsewhere documents why an untrackable site is fine.
+func trustedElsewhere(lc *serve.Lifecycle) bool {
+	//lpm:borrowok — probe only: a matching EndBorrow runs in the caller's teardown
+	return lc.TryBorrow()
+}
+
+// fieldReceiver borrows through a struct field; the receiver is matched by
+// expression, so e.lc pairs with e.lc.
+func fieldReceiver(e *engine) error {
+	if !e.lc.TryBorrow() {
+		return errClosed
+	}
+	defer e.lc.EndBorrow()
+	return nil
+}
+
+func fieldReceiverLeak(e *engine) {
+	if !e.lc.TryBorrow() {
+		return
+	}
+	e.n++
+} // want "not EndBorrow'd on the fall-through return path"
+
+// nestedGuard is the on-tree nil-guarded shape: the borrow lives inside
+// the outer if and its deferred release covers every later return.
+func nestedGuard(e *engine) error {
+	if lc := e.lc; lc != nil {
+		if !lc.TryBorrow() {
+			return errClosed
+		}
+		defer lc.EndBorrow()
+	}
+	return nil
+}
+
+// finish owns the borrow handed to it and releases it.
+//
+//lpm:ownsborrow — EndBorrows lc after recording the result
+func finish(lc *serve.Lifecycle, n int) {
+	_ = n
+	lc.EndBorrow()
+}
+
+func viaOwner(lc *serve.Lifecycle) error {
+	if !lc.TryBorrow() {
+		return errClosed
+	}
+	finish(lc, 1)
+	return nil
+}
+
+// helper does not own the borrow; passing lc through it keeps the
+// obligation with the caller.
+func helper(lc *serve.Lifecycle) { _ = lc }
+
+func viaNonOwner(lc *serve.Lifecycle) {
+	if !lc.TryBorrow() {
+		return
+	}
+	helper(lc)
+} // want "not EndBorrow'd on the fall-through return path"
+
+// handToGoroutine transfers the borrow to a goroutine that releases it.
+func handToGoroutine(lc *serve.Lifecycle, done chan struct{}) error {
+	if !lc.TryBorrow() {
+		return errClosed
+	}
+	go func() {
+		defer lc.EndBorrow()
+		<-done
+	}()
+	return nil
+}
+
+// deferredClosure releases inside a deferred literal.
+func deferredClosure(lc *serve.Lifecycle) error {
+	if !lc.TryBorrow() {
+		return errClosed
+	}
+	defer func() {
+		lc.EndBorrow()
+	}()
+	return nil
+}
+
+// branchRelease pairs on both arms of a branch.
+func branchRelease(lc *serve.Lifecycle, n int) int {
+	if !lc.TryBorrow() {
+		return -1
+	}
+	if n > 0 {
+		lc.EndBorrow()
+		return n
+	}
+	lc.EndBorrow()
+	return 0
+}
+
+func branchLeak(lc *serve.Lifecycle, n int) int {
+	if !lc.TryBorrow() {
+		return -1
+	}
+	if n > 0 {
+		return n // want "not EndBorrow'd on this return path"
+	}
+	lc.EndBorrow()
+	return 0
+}

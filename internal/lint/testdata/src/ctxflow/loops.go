@@ -1,0 +1,142 @@
+// The //lpm:ctxaware loop contract applies in every package and file;
+// this file is outside the analyzer's server scope on purpose.
+package ctxflow
+
+import "context"
+
+type scratch struct {
+	ctx context.Context
+	buf []int
+}
+
+// cancelled is the allocation-free poll primitive: marked ctxaware so
+// loops may poll through it.
+//
+//lpm:ctxaware — polls the cached request context directly
+func (sc *scratch) cancelled() bool {
+	return sc.ctx != nil && sc.ctx.Err() != nil
+}
+
+func work(s []int) int { return len(s) }
+
+func workCtx(ctx context.Context, s []int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return len(s)
+}
+
+func gather(sc *scratch, s []int) int {
+	sc.buf = append(sc.buf, s...)
+	return len(s)
+}
+
+// perSlab polls ctx directly at each chunk boundary.
+//
+//lpm:ctxaware — checks ctx.Err once per slab
+func perSlab(ctx context.Context, slabs [][]int) int {
+	total := 0
+	for _, s := range slabs {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += work(s)
+	}
+	return total
+}
+
+// viaHelper polls through the marked helper.
+//
+//lpm:ctxaware — polls via scratch.cancelled per slab
+func viaHelper(sc *scratch, slabs [][]int) int {
+	total := 0
+	for _, s := range slabs {
+		if sc.cancelled() {
+			break
+		}
+		total += work(s)
+	}
+	return total
+}
+
+// threaded hands ctx to the per-chunk callee; the poll lives there.
+//
+//lpm:ctxaware — workCtx polls per chunk
+func threaded(ctx context.Context, slabs [][]int) int {
+	total := 0
+	for _, s := range slabs {
+		total += workCtx(ctx, s)
+	}
+	return total
+}
+
+// scratchThreaded hands the ctx-carrying scratch to the callee.
+//
+//lpm:ctxaware — gather sees sc.ctx per chunk
+func scratchThreaded(sc *scratch, slabs [][]int) int {
+	total := 0
+	for _, s := range slabs {
+		total += gather(sc, s)
+	}
+	return total
+}
+
+// noPoll promises chunked cancellation but its loop can run forever.
+//
+//lpm:ctxaware — (broken on purpose)
+func noPoll(slabs [][]int) int {
+	total := 0
+	for _, s := range slabs { // want "no cancellation poll"
+		total += work(s)
+	}
+	return total
+}
+
+// volume's loop is a pure arithmetic fold: no calls, cannot be long.
+//
+//lpm:ctxaware — only the callers loop over real data
+func volume(dims []int) int {
+	v := 1
+	for _, d := range dims {
+		v *= d
+	}
+	return v
+}
+
+// nested polls in the outer loop; the inner loop is covered by it.
+//
+//lpm:ctxaware — outer loop polls per row
+func nested(ctx context.Context, grid [][]int) int {
+	total := 0
+	for _, row := range grid {
+		if ctx.Err() != nil {
+			return total
+		}
+		for _, v := range row {
+			total += work([]int{v})
+		}
+	}
+	return total
+}
+
+// emitSweep must NOT poll: the sweep restores the all-zero invariant and
+// an early exit would leak dirty words back to the pool.
+//
+//lpm:ctxaware — the emit sweep is exempted below
+func emitSweep(words []uint64, vs []uint64) {
+	//lpm:ctxok — the all-zero pool invariant forbids exiting mid-sweep
+	for i := range words {
+		words[i] = mix(vs[i%len(vs)])
+	}
+}
+
+func mix(w uint64) uint64 { return w * 2654435761 }
+
+// unmarked makes no promise; its loops are not checked.
+func unmarked(slabs [][]int) int {
+	total := 0
+	for _, s := range slabs {
+		total += work(s)
+	}
+	return total
+}

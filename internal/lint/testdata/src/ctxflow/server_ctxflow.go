@@ -1,0 +1,50 @@
+// The "server" base-name prefix puts this file in ctxflow's server scope
+// in any package, mirroring how the analyzer covers server-named files
+// outside the listed packages.
+package ctxflow
+
+import "context"
+
+type index struct{ n int }
+
+// Query is the ctx-free variant; server paths must not call it.
+func (ix *index) Query(p []int) int { return ix.n + len(p) }
+
+// QueryCtx is the cancellable sibling.
+func (ix *index) QueryCtx(ctx context.Context, p []int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return ix.n + len(p)
+}
+
+func lookup(k string) int { return len(k) }
+
+func lookupCtx(ctx context.Context, k string) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return len(k)
+}
+
+func handler(ctx context.Context, ix *index) int {
+	total := ix.QueryCtx(ctx, []int{1})
+	total += ix.Query([]int{2}) // want "cancellable sibling QueryCtx"
+	total += lookup("k")        // want "cancellable sibling lookupCtx"
+	total += lookupCtx(ctx, "k")
+	return total
+}
+
+func detached() context.Context {
+	return context.Background() // want "detaches this path"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "detaches this path"
+}
+
+// shutdownDeadline legitimately outlives any single request.
+func shutdownDeadline() (context.Context, context.CancelFunc) {
+	//lpm:ctxok — drain deadline must survive request cancellation
+	return context.WithTimeout(context.Background(), 1)
+}

@@ -1,0 +1,32 @@
+// Package faultpoint exercises the fault-point registry analyzer against
+// the real faultinject package.
+package faultpoint
+
+import (
+	faultinject "github.com/spectral-lpm/spectrallpm/internal/server/faultinject"
+)
+
+// registered names pass in both spellings: the constant reference (the
+// daemon convention) and the raw literal (the chaos-test convention).
+func registered() {
+	faultinject.Fire(faultinject.PointReloadOpen)
+	faultinject.Fire("reload.open")
+	faultinject.Arm("handler.write", func() {})
+	faultinject.Disarm(faultinject.PointHandlerWrite)
+	faultinject.DisarmAll() // no name argument; nothing to check
+}
+
+// localPoint is a constant, but its value is not in the registry.
+const localPoint = "handler.retry"
+
+func unregistered() {
+	faultinject.Fire("reload.opeb")             // want `fault point "reload\.opeb" is not registered`
+	faultinject.Arm("handler.retry", func() {}) // want `fault point "handler\.retry" is not registered`
+	faultinject.Fire(localPoint)                // want `fault point "handler\.retry" is not registered`
+}
+
+func dynamic(name string) {
+	faultinject.Fire(name) // want "not a string constant"
+	//lpm:faultok — fan-out helper: every name it receives is a registry constant at the call sites
+	faultinject.Disarm(name)
+}

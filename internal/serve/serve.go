@@ -382,6 +382,8 @@ func (c Core) QueryBatch(boxes []workload.Box) ([]storage.IOStats, error) {
 // into every worker's QueryIOCtx, so one expired deadline stops the whole
 // fan-out at the next chunk boundary of each in-flight box instead of
 // burning a worker per remaining box.
+//
+//lpm:ctxaware — every box runs under QueryIOCtx, which polls per chunk
 func (c Core) QueryBatchCtx(ctx context.Context, boxes []workload.Box) ([]storage.IOStats, error) {
 	stats := make([]storage.IOStats, len(boxes))
 	if len(boxes) == 0 {
@@ -420,6 +422,7 @@ func (c Core) QueryBatchCtx(ctx context.Context, boxes []workload.Box) ([]storag
 		}()
 	}
 	wg.Wait()
+	//lpm:ctxok — post-join error scan: one comparison per box, first hit returns
 	for i, err := range boxErrs {
 		if err != nil {
 			return nil, fmt.Errorf("spectrallpm: box %d: %w", i, err)

@@ -126,6 +126,7 @@ func TestDeadlineNoPartialBody(t *testing.T) {
 // daemon must not double-close), then releases the stalls: every accepted
 // request must complete 200 — a drain loses zero accepted requests.
 func TestMidDrainLosesNothing(t *testing.T) {
+	checkGoroutineLeak(t)
 	defer faultinject.DisarmAll()
 	path := filepath.Join(t.TempDir(), "idx.slpm")
 	writeIndexFile(t, path, spectrallpm.WithGrid(8, 8), spectrallpm.WithPageSize(4))

@@ -8,6 +8,11 @@
 // the failure modes the daemon claims to survive. Production builds
 // compile the no-op twin in faultinject_off.go, so Fire sites cost nothing
 // when the tag is absent.
+//
+// Every point name is a registered constant in points.go (shared by both
+// build variants); the faultpoint analyzer rejects Fire/Arm/Disarm calls
+// whose name is not in that registry, and TestBuildVariantSurfacesMatch
+// pins the two variants to an identical exported surface.
 package faultinject
 
 import "sync"

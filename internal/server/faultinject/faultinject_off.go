@@ -2,20 +2,29 @@
 
 // The no-op twin of the fault-point registry: without the faultinject
 // build tag every Fire site inlines to nothing, so production binaries
-// carry the chaos hooks at zero cost.
+// carry the chaos hooks at zero cost. Its exported surface must stay
+// declaration-for-declaration identical to faultinject.go — parameter
+// names and doc contracts included — which TestBuildVariantSurfacesMatch
+// asserts by parsing both files regardless of the active build tag.
 package faultinject
 
 // Enabled reports whether fault points are compiled in.
 const Enabled = false
 
-// Arm is a no-op without the faultinject build tag.
-func Arm(string, func()) {}
+// Arm latches fn at the named fault point; every Fire of that name runs it
+// until Disarm. Arming replaces any previous latch. It is a no-op without
+// the faultinject build tag.
+func Arm(name string, fn func()) {}
 
-// Disarm is a no-op without the faultinject build tag.
-func Disarm(string) {}
+// Disarm removes the latch at the named fault point. It is a no-op
+// without the faultinject build tag.
+func Disarm(name string) {}
 
-// DisarmAll is a no-op without the faultinject build tag.
+// DisarmAll removes every latch — test cleanup between chaos cases. It is
+// a no-op without the faultinject build tag.
 func DisarmAll() {}
 
-// Fire is a no-op without the faultinject build tag.
-func Fire(string) {}
+// Fire runs the latched callback for name, if any. The callback runs
+// outside the registry lock, so it may Arm or Disarm other points. It is
+// a no-op without the faultinject build tag.
+func Fire(name string) {}

@@ -1,0 +1,111 @@
+// Surface parity between the tagged and untagged halves of the package.
+// This file carries no build tag, so the assertion runs under BOTH `go
+// test ./...` and `go test -tags faultinject ./...`: it parses the two
+// build variants directly (go/parser ignores build constraints when
+// handed a file), renders every exported declaration, and requires the
+// two surfaces to match declaration for declaration — names, parameter
+// names, full signatures, and the presence of a doc comment. The
+// faultpoint analyzer checks Fire/Arm/Disarm NAMES against points.go;
+// this test is the other half of its contract: the two compilation modes
+// must be drop-in substitutes for each other.
+package faultinject
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// exportedSurface renders one build variant's exported declarations as
+// sorted "kind name signature" lines. Parameter names are included on
+// purpose: the two variants must read identically in godoc, not just
+// typecheck identically.
+func exportedSurface(t *testing.T, path string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	var lines []string
+	for _, d := range f.Decls {
+		switch decl := d.(type) {
+		case *ast.FuncDecl:
+			if decl.Recv != nil || !decl.Name.IsExported() {
+				continue
+			}
+			if decl.Doc == nil || strings.TrimSpace(decl.Doc.Text()) == "" {
+				t.Errorf("%s: exported func %s has no doc comment", path, decl.Name.Name)
+			}
+			var buf bytes.Buffer
+			if err := printer.Fprint(&buf, fset, decl.Type); err != nil {
+				t.Fatal(err)
+			}
+			lines = append(lines, "func "+decl.Name.Name+" "+buf.String())
+		case *ast.GenDecl:
+			if decl.Tok != token.CONST && decl.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range decl.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !name.IsExported() {
+						continue
+					}
+					if decl.Doc == nil && vs.Doc == nil {
+						t.Errorf("%s: exported %s %s has no doc comment", path, decl.Tok, name.Name)
+					}
+					lines = append(lines, decl.Tok.String()+" "+name.Name)
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// TestBuildVariantSurfacesMatch pins the declaration-for-declaration
+// parity of faultinject.go and faultinject_off.go.
+func TestBuildVariantSurfacesMatch(t *testing.T) {
+	tagged := exportedSurface(t, "faultinject.go")
+	untagged := exportedSurface(t, "faultinject_off.go")
+	if len(tagged) == 0 {
+		t.Fatal("tagged variant exports nothing; parse went wrong")
+	}
+	if strings.Join(tagged, "\n") != strings.Join(untagged, "\n") {
+		t.Fatalf("build variant surfaces diverge:\n-- faultinject.go --\n%s\n-- faultinject_off.go --\n%s",
+			strings.Join(tagged, "\n"), strings.Join(untagged, "\n"))
+	}
+}
+
+// TestRegisteredPointsWellFormed sanity-checks the registry itself: every
+// registered name follows the <subsystem>.<event> convention and no two
+// constants share a wire name.
+func TestRegisteredPointsWellFormed(t *testing.T) {
+	points := []string{
+		PointHandlerAdmitted,
+		PointHandlerWrite,
+		PointReloadOpen,
+		PointIndexClose,
+		PointDrainBegin,
+	}
+	seen := make(map[string]bool, len(points))
+	for _, p := range points {
+		if seen[p] {
+			t.Errorf("duplicate registered fault point %q", p)
+		}
+		seen[p] = true
+		dot := strings.IndexByte(p, '.')
+		if dot <= 0 || dot == len(p)-1 {
+			t.Errorf("fault point %q is not <subsystem>.<event>", p)
+		}
+	}
+}

@@ -75,7 +75,7 @@ func (s *Server) serveDecoded(w http.ResponseWriter, r *http.Request, dst any, f
 		return
 	}
 	defer release()
-	faultinject.Fire("handler.admitted")
+	faultinject.Fire(faultinject.PointHandlerAdmitted)
 	if dst != nil {
 		if err := decodeRequest(r, dst); err != nil {
 			http.Error(w, fmt.Sprintf("%v: %v", errBadRequest, err), http.StatusBadRequest)
@@ -100,7 +100,7 @@ func (s *Server) serveDecoded(w http.ResponseWriter, r *http.Request, dst any, f
 		s.writeError(w, err)
 		return
 	}
-	faultinject.Fire("handler.write")
+	faultinject.Fire(faultinject.PointHandlerWrite)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(ps.buf)))
 	w.Write(ps.buf)
@@ -189,6 +189,9 @@ func (s *Server) handlePages(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	s.serveDecoded(w, r, &req, func(ctx context.Context, q Queryable, ps *protoScratch) error {
+		if len(req.Boxes) == 0 {
+			return fmt.Errorf("%w: batch has no boxes", errBadRequest)
+		}
 		ps.boxes = ps.boxes[:0]
 		for _, b := range req.Boxes {
 			ps.boxes = append(ps.boxes, spectrallpm.Box{Start: b.Start, Dims: b.Dims})

@@ -1,0 +1,29 @@
+package server
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// checkGoroutineLeak snapshots the goroutine count and registers a
+// cleanup that fails the test if the count has not returned near the
+// baseline by teardown. Call it before any other t.Cleanup registration
+// (cleanups run last-in-first-out), so the check observes the state
+// after the server and index have been torn down. The poll loop with a
+// small slack absorbs goroutines the runtime or the test framework parks
+// asynchronously — the same tolerance TestReloadCycleNoLeak uses.
+func checkGoroutineLeak(t testing.TB) {
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		g := runtime.NumGoroutine()
+		for g > before+3 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			g = runtime.NumGoroutine()
+		}
+		if g > before+3 {
+			t.Errorf("goroutine leak: %d running at teardown, %d at test start", g, before)
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	spectrallpm "github.com/spectral-lpm/spectrallpm"
 )
@@ -38,18 +39,25 @@ var protoPool = sync.Pool{
 	New: func() any { return &protoScratch{buf: make([]byte, 0, 4096)} },
 }
 
+// protoLive counts leased-but-unreleased scratches. Tests read it around
+// a request to assert the handler released its scratch on every exit
+// path, including the error ones.
+var protoLive atomic.Int64
+
 // getProto leases a protoScratch from the pool.
 //
 //lpm:poolget
 func getProto() *protoScratch {
 	ps := protoPool.Get().(*protoScratch)
 	ps.buf = ps.buf[:0]
+	protoLive.Add(1)
 	return ps
 }
 
 // put returns the scratch to the pool. Slices keep their capacity; the
 // next lease truncates before use.
 func (ps *protoScratch) put() {
+	protoLive.Add(-1)
 	protoPool.Put(ps)
 }
 

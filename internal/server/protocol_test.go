@@ -1,0 +1,148 @@
+// Protocol edge cases: the request-body size cap at its exact boundary,
+// malformed and non-integer JSON, and the empty batch — each paired with
+// an assertion that the pooled protoScratch was released, because the
+// error paths are exactly where a leaked lease would hide.
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	spectrallpm "github.com/spectral-lpm/spectrallpm"
+)
+
+// postBalanced drives one request and fails the test if the handler did
+// not release every protoScratch it leased. ServeHTTP runs the handler
+// synchronously, so the live count must be back to its pre-request value
+// by the time it returns — no polling, no slack.
+func postBalanced(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	before := protoLive.Load()
+	w := post(t, s, path, body)
+	if after := protoLive.Load(); after != before {
+		t.Fatalf("POST %s leaked scratch: %d live after, %d before", path, after, before)
+	}
+	return w
+}
+
+func newEdgeServer(t *testing.T) *Server {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "idx.slpm")
+	writeIndexFile(t, path, spectrallpm.WithGrid(4, 4), spectrallpm.WithPageSize(4))
+	return newTestServer(t, path, nil)
+}
+
+// padTo right-pads a JSON document with spaces to exactly n bytes.
+// Trailing whitespace is valid JSON, so the padded body exercises the
+// size check without changing what it decodes to.
+func padTo(t *testing.T, doc string, n int) string {
+	t.Helper()
+	if len(doc) > n {
+		t.Fatalf("document already %d bytes, cannot pad to %d", len(doc), n)
+	}
+	return doc + strings.Repeat(" ", n-len(doc))
+}
+
+// TestBodySizeCapBoundary pins the cap to its documented edge: a body of
+// exactly maxRequestBody bytes is served, one byte more is rejected
+// before JSON decoding with a 400 naming the cap.
+func TestBodySizeCapBoundary(t *testing.T) {
+	s := newEdgeServer(t)
+
+	w := postBalanced(t, s, "/v1/rank", padTo(t, `{"coords":[0,0]}`, maxRequestBody))
+	if w.Code != http.StatusOK {
+		t.Fatalf("exactly-at-cap body: status %d body %q, want 200", w.Code, w.Body)
+	}
+
+	w = postBalanced(t, s, "/v1/rank", padTo(t, `{"coords":[0,0]}`, maxRequestBody+1))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("one-over-cap body: status %d, want 400", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "request body too large") {
+		t.Fatalf("oversize rejection must name the cause: %q", w.Body)
+	}
+}
+
+// TestMalformedBodyRejected covers bodies that die in the decoder:
+// truncated JSON, the wrong top-level type, and an empty body.
+func TestMalformedBodyRejected(t *testing.T) {
+	s := newEdgeServer(t)
+	cases := []struct {
+		name, path, body string
+	}{
+		{"truncated_object", "/v1/rank", `{"coords":[0,`},
+		{"truncated_string", "/v1/rank", `{"coords`},
+		{"empty_body", "/v1/rank", ``},
+		{"wrong_type", "/v1/rank", `[0,0]`},
+		{"truncated_batch", "/v1/batch", `{"boxes":[{"start":[0,0],"dims":`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := postBalanced(t, s, c.path, c.body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status %d body %q, want 400", w.Code, w.Body)
+			}
+		})
+	}
+}
+
+// TestNonIntegerCoordsRejected: coordinates are integer grid cells; the
+// decoder must refuse fractions, overflow, and the JSON spellings clients
+// produce for non-finite floats (bare words are invalid JSON; huge
+// exponents overflow int) rather than silently truncating.
+func TestNonIntegerCoordsRejected(t *testing.T) {
+	s := newEdgeServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"fraction", `{"coords":[1.5,0]}`},
+		{"exponent_overflow", `{"coords":[1e999,0]}`},
+		{"int_overflow", `{"coords":[99999999999999999999,0]}`},
+		{"nan_word", `{"coords":[NaN,0]}`},
+		{"infinity_word", `{"coords":[Infinity,0]}`},
+		{"string_coord", `{"coords":["3",0]}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := postBalanced(t, s, "/v1/rank", c.body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status %d body %q, want 400", w.Code, w.Body)
+			}
+		})
+	}
+}
+
+// TestEmptyBatchRejected: a batch with no boxes is a client error, not a
+// trivially-successful query — both the explicit empty array and the
+// missing field reject with 400.
+func TestEmptyBatchRejected(t *testing.T) {
+	s := newEdgeServer(t)
+	for _, body := range []string{`{"boxes":[]}`, `{}`} {
+		w := postBalanced(t, s, "/v1/batch", body)
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("empty batch %q: status %d body %q, want 400", body, w.Code, w.Body)
+		}
+		if !strings.Contains(w.Body.String(), "batch") {
+			t.Fatalf("rejection must say what was empty: %q", w.Body)
+		}
+	}
+}
+
+// TestScratchReleasedOnSuccess anchors the postBalanced assertion on the
+// happy path too, so a counting bug cannot hide behind error-only use.
+func TestScratchReleasedOnSuccess(t *testing.T) {
+	s := newEdgeServer(t)
+	w := postBalanced(t, s, "/v1/box", `{"start":[0,0],"dims":[2,2]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d body %q", w.Code, w.Body)
+	}
+	if g := get(t, s, "/stats"); g.Code != http.StatusOK {
+		t.Fatalf("stats: status %d", g.Code)
+	}
+	if live := protoLive.Load(); live != 0 {
+		t.Fatalf("%d scratches still live after sequential requests", live)
+	}
+}

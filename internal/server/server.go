@@ -218,7 +218,7 @@ func (s *Server) Reload() error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	old := s.cur.Load()
-	faultinject.Fire("reload.open")
+	faultinject.Fire(faultinject.PointReloadOpen)
 	q, err := Open(s.cfg.IndexPath)
 	if err != nil {
 		s.rejected.Add(1)
@@ -227,7 +227,7 @@ func (s *Server) Reload() error {
 	}
 	s.cur.Store(&indexHandle{q: q, path: s.cfg.IndexPath, gen: old.gen + 1})
 	s.reloads.Add(1)
-	faultinject.Fire("index.close")
+	faultinject.Fire(faultinject.PointIndexClose)
 	if err := old.q.Close(); err != nil {
 		// The new index is already serving; a failed unmap leaks the old
 		// region but corrupts nothing. Surface it, don't fail the reload.
@@ -243,7 +243,7 @@ func (s *Server) Reload() error {
 // borrower of the mapped region before unmapping. Safe to call more than
 // once; concurrent calls all wait for the same drain.
 func (s *Server) Shutdown(ctx context.Context) error {
-	faultinject.Fire("drain.begin")
+	faultinject.Fire(faultinject.PointDrainBegin)
 	err := s.http.Shutdown(ctx)
 	if err != nil {
 		// Drain budget exceeded: sever what remains. Stuck handlers get
@@ -303,6 +303,7 @@ func (s *Server) Addr() net.Addr {
 }
 
 func (s *Server) drainAndWait(serveErr chan error) error {
+	//lpm:ctxok — the drain deadline must outlive every request context being drained
 	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	err := s.Shutdown(dctx)

@@ -59,6 +59,7 @@ func replaceFile(t testing.TB, path string, data []byte) {
 // adjust the config before New.
 func newTestServer(t testing.TB, path string, mut func(*Config)) *Server {
 	t.Helper()
+	checkGoroutineLeak(t)
 	cfg := Config{
 		IndexPath: path,
 		Logf:      func(string, ...any) {},
@@ -514,6 +515,7 @@ func TestReloadCycleNoLeak(t *testing.T) {
 
 // TestShutdownIdle drains an idle server cleanly and closes the index.
 func TestShutdownIdle(t *testing.T) {
+	checkGoroutineLeak(t)
 	path := filepath.Join(t.TempDir(), "idx.slpm")
 	writeIndexFile(t, path, spectrallpm.WithGrid(4, 4), spectrallpm.WithPageSize(4))
 	cfg := Config{IndexPath: path, Logf: func(string, ...any) {}}

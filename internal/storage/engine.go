@@ -101,6 +101,7 @@ const cancelCheckInterval = 4096
 // yet exhausted) is a couple of branches; only every cancelCheckInterval
 // units does it reach the context.
 //
+//lpm:ctxaware — the poll primitive: loops satisfy the contract by calling it
 //lpm:allocfree
 func (sc *boxScratch) cancelled(cost int) bool {
 	if sc.ctx == nil {
@@ -116,6 +117,7 @@ func (sc *boxScratch) cancelled(cost int) bool {
 	return sc.cancelledSlow()
 }
 
+//lpm:ctxaware — the poll primitive's slow half; reads ctx.Err directly
 //lpm:allocfree
 func (sc *boxScratch) cancelledSlow() bool {
 	sc.budget = cancelCheckInterval
@@ -144,6 +146,7 @@ var boxScratchPool = sync.Pool{New: func() any { return new(boxScratch) }}
 // returns the extended slice. The box must be validated already. sc supplies
 // all scratch; dst is only appended to (existing contents untouched).
 //
+//lpm:ctxaware — both strategies poll sc.cancelled at their chunk boundaries
 //lpm:allocfree — with sufficient dst capacity the whole query is off-heap.
 func (l *rankLayout) appendBoxRanks(dst []int, start, dims []int, sc *boxScratch) []int {
 	d := len(dims)
@@ -175,6 +178,7 @@ func (l *rankLayout) appendBoxRanks(dst []int, start, dims []int, sc *boxScratch
 // optimizes), or one in-place sort when an adversarial order scatters the
 // box across the whole rank space.
 //
+//lpm:ctxaware — polls per gathered slab; the emit sweep is exempted below
 //lpm:allocfree
 func (l *rankLayout) gatherBoxRanks(dst []int, start, dims []int, sc *boxScratch) []int {
 	width := dims[len(dims)-1]
@@ -216,6 +220,9 @@ func (l *rankLayout) gatherBoxRanks(dst []int, start, dims []int, sc *boxScratch
 			bm[r>>6-loWord] |= 1 << (uint(r) & 63)
 		}
 		idx := 0
+		// The sweep must clear every set word to restore the all-zero pool
+		// invariant, and its full cost was billed to the poll above.
+		//lpm:ctxok — invariant-bound sweep; cost pre-billed, must run to completion
 		for w := 0; w < spanWords; w++ {
 			x := bm[w]
 			if x == 0 {
@@ -238,6 +245,7 @@ func (l *rankLayout) gatherBoxRanks(dst []int, start, dims []int, sc *boxScratch
 // mergeBoxRanks k-way-merges the presorted per-row rank slices of the box's
 // slabs. Results stream out in ascending rank order with no sort.
 //
+//lpm:ctxaware — polls per heap pop; the single-slab row scan is pre-billed
 //lpm:allocfree
 func (l *rankLayout) mergeBoxRanks(dst []int, start, dims []int, sc *boxScratch) []int {
 	d := len(dims)
@@ -253,6 +261,7 @@ func (l *rankLayout) mergeBoxRanks(dst []int, start, dims []int, sc *boxScratch)
 			return dst
 		}
 		rowStart := sc.bases[0] / l.rowLen * l.rowLen
+		//lpm:ctxok — the whole row was billed to the poll budget just above
 		for _, e := range l.rows[rowStart : rowStart+l.rowLen] {
 			if c := e & l.colMask; c >= colLo && c < colHi {
 				dst = append(dst, int(e>>l.colBits))

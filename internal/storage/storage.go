@@ -292,6 +292,8 @@ func (s *Store) AppendValidatedBoxRanks(dst []int, start, dims []int) []int {
 // dead. On a non-nil error the appended region's contents are unspecified
 // and the caller must discard them; dst's backing buffer is still returned
 // so an amortized buffer survives cancellation.
+//
+//lpm:ctxaware — arms the scratch poll budget and delegates to the engine
 func (s *Store) AppendValidatedBoxRanksCtx(ctx context.Context, dst []int, start, dims []int) ([]int, error) {
 	sc := boxScratchPool.Get().(*boxScratch)
 	sc.ctx = ctx

@@ -516,6 +516,7 @@ func (e shardEngine) CheckBox(b Box) error {
 // and concatenation scratch fields are disjoint from the fields the
 // per-shard engines use, so one Scratch serves both levels.
 //
+//lpm:ctxaware — each shard's engine polls; a cancelled shard aborts the plan
 //lpm:allocfree
 func (e shardEngine) AppendBoxRanks(dst []int, start, dims []int, sc *serve.Scratch) []int {
 	sx := e.sx
@@ -550,6 +551,7 @@ func (e shardEngine) AppendBoxRanks(dst []int, start, dims []int, sc *serve.Scra
 	// appends may have reallocated it.
 	sc.Streams = sc.Streams[:0]
 	prev := 0
+	//lpm:ctxok — O(shards) stream-view assembly, no per-record work
 	for _, end := range sc.Ends {
 		sc.Streams = append(sc.Streams, sc.Tmp[prev:end])
 		prev = end
