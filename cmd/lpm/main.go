@@ -49,12 +49,13 @@ func main() {
 		save     = flag.String("save", "", "write the built index to this file")
 		saveFmt  = flag.String("saveformat", "v2", "index file format for -save: v2 (mmap-able binary) or v1 (portable JSON); -load auto-detects")
 		load     = flag.String("load", "", "load a saved index instead of building (build flags like -mapping/-seed/-pagesize are ignored: the file's saved configuration wins)")
+		shards   = flag.Int("shards", 0, "build a sharded index with this many shards and -save it as a multi-shard v2 container (servable whole, or one shard per lpmserve worker)")
 	)
 	flag.Parse()
 	cfg := config{
 		mapping: *mapping, dims: *dims, points: *points, conn: *conn,
 		format: *format, seed: *seed, solver: *solver, pageSize: *pageSize,
-		save: *save, saveFormat: *saveFmt, load: *load,
+		save: *save, saveFormat: *saveFmt, load: *load, shards: *shards,
 	}
 	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "lpm: %v\n", err)
@@ -71,6 +72,7 @@ type config struct {
 	pageSize              int
 	save, saveFormat      string
 	load                  string
+	shards                int
 }
 
 type row struct {
@@ -80,6 +82,9 @@ type row struct {
 }
 
 func run(w io.Writer, cfg config) error {
+	if cfg.shards > 1 {
+		return runSharded(w, cfg)
+	}
 	ix, err := buildIndex(context.Background(), cfg)
 	if err != nil {
 		return err
@@ -97,6 +102,44 @@ func run(w io.Writer, cfg config) error {
 		return err
 	}
 	return emit(w, rows, cfg.format)
+}
+
+// runSharded builds a multi-shard index and persists the v2 container —
+// the input both to whole-container serving (lpmserve -index) and to the
+// distributed worker/router roles (lpmserve -role worker -shard N).
+func runSharded(w io.Writer, cfg config) error {
+	if cfg.save == "" {
+		return fmt.Errorf("-shards requires -save (a sharded build exists to be served from its container file)")
+	}
+	if cfg.saveFormat != "" && cfg.saveFormat != "v2" {
+		return fmt.Errorf("sharded containers are v2-only, got -saveformat %q", cfg.saveFormat)
+	}
+	opts, err := buildOptions(cfg)
+	if err != nil {
+		return err
+	}
+	sx, err := spectrallpm.BuildSharded(context.Background(), cfg.shards, opts...)
+	if err != nil {
+		return err
+	}
+	defer sx.Close()
+	f, err := os.Create(cfg.save)
+	if err != nil {
+		return err
+	}
+	if _, err := sx.WriteToV2(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sharded index: %d records, %d shards -> %s\n", sx.N(), sx.NumShards(), cfg.save)
+	for s := 0; s < sx.NumShards(); s++ {
+		lo, hi, offset, records := sx.ShardBounds(s)
+		fmt.Fprintf(w, "  shard %d: ranks [%d,%d) bounds lo=%v hi=%v\n", s, offset, offset+records, lo, hi)
+	}
+	return nil
 }
 
 // orderRows lists the index's points in rank order, with the id column
@@ -137,6 +180,16 @@ func buildIndex(ctx context.Context, cfg config) (*spectrallpm.Index, error) {
 		// v1 JSON reader.
 		return spectrallpm.OpenIndex(cfg.load)
 	}
+	opts, err := buildOptions(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return spectrallpm.Build(ctx, opts...)
+}
+
+// buildOptions resolves the shared build flags into BuildOptions for both
+// the single-index and sharded builds.
+func buildOptions(cfg config) ([]spectrallpm.BuildOption, error) {
 	method, err := spectrallpm.ParseSolverMethod(cfg.solver)
 	if err != nil {
 		return nil, err
@@ -173,7 +226,7 @@ func buildIndex(ctx context.Context, cfg config) (*spectrallpm.Index, error) {
 	default:
 		return nil, fmt.Errorf("provide -dims, -points, or -load (see -h)")
 	}
-	return spectrallpm.Build(ctx, opts...)
+	return opts, nil
 }
 
 func saveIndex(ix *spectrallpm.Index, path, format string) error {

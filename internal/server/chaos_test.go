@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -75,8 +76,12 @@ func TestShedDeterministic(t *testing.T) {
 	if w.Code != http.StatusTooManyRequests {
 		t.Fatalf("third request: status %d, want 429", w.Code)
 	}
-	if ra := w.Header().Get("Retry-After"); ra != "3" {
-		t.Fatalf("Retry-After = %q, want %q", ra, "3")
+	// The hint is the configured base jittered by this request's shed slot
+	// (the first shed here, so slot 1) — deterministic, and within the
+	// ±50% window around the base.
+	want := strconv.Itoa(RetryAfterSeconds(3*time.Second, 1))
+	if ra := w.Header().Get("Retry-After"); ra != want {
+		t.Fatalf("Retry-After = %q, want %q", ra, want)
 	}
 
 	faultinject.Disarm("handler.admitted")

@@ -33,4 +33,15 @@ const (
 	// PointDrainBegin fires at the top of Shutdown, before the HTTP
 	// listener stops accepting — the hook for mid-drain signal drills.
 	PointDrainBegin = "drain.begin"
+	// PointRouterDial fires in the cluster router immediately before each
+	// per-replica HTTP attempt — the hook for connection-error and
+	// slow-dial drills on the fan-out path.
+	PointRouterDial = "router.dial"
+	// PointRouterHedge fires when the router launches a hedged second
+	// request because the first replica exceeded the hedge threshold —
+	// the assertion point for first-response-wins drills.
+	PointRouterHedge = "router.hedge"
+	// PointWorkerReply fires in a shard worker at the top of every scoped
+	// query — the stall point for kill/hang-a-worker-mid-query drills.
+	PointWorkerReply = "worker.reply"
 )

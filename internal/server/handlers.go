@@ -24,32 +24,62 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	if s.cfg.Routes != nil {
+		s.cfg.Routes(s, s.mux)
+	}
 }
 
-// errBadRequest tags client-side failures (malformed JSON, oversized
-// bodies) so writeError maps them to 400 rather than 500.
-var errBadRequest = errors.New("bad request")
+// ErrBadRequest tags client-side failures (malformed JSON, oversized
+// bodies) so WriteError maps them to 400 rather than 500. The cluster
+// router wraps its own validation failures with it for the same mapping.
+var ErrBadRequest = errors.New("bad request")
 
 // requestContext derives the per-request deadline: timeout_ms from the
 // query string, clamped to MaxTimeout, defaulting to DefaultTimeout.
 func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
-	d := s.cfg.DefaultTimeout
+	return RequestContext(r, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+}
+
+// RequestContext derives a per-request deadline from the timeout_ms query
+// parameter, clamped to max, defaulting to def — shared by the daemon and
+// the cluster router so both speak the same deadline dialect.
+func RequestContext(r *http.Request, def, max time.Duration) (context.Context, context.CancelFunc) {
+	d := def
 	if v := r.URL.Query().Get("timeout_ms"); v != "" {
 		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
 			d = time.Duration(ms) * time.Millisecond
-			if d > s.cfg.MaxTimeout {
-				d = s.cfg.MaxTimeout
+			if d > max {
+				d = max
 			}
 		}
 	}
 	return context.WithTimeout(r.Context(), d)
 }
 
+// RetryAfterSeconds derives the Retry-After header for a shed response:
+// the base hint jittered ±50% by the request's shed slot (a monotonically
+// increasing counter), so a synchronized burst of shed clients fans its
+// retries across a full base-width window instead of stampeding back in
+// lockstep. Deterministic in the slot — no RNG on the shed fast path —
+// and never below one second, the header's resolution floor.
+func RetryAfterSeconds(base time.Duration, slot int64) int {
+	if base <= 0 {
+		base = time.Second
+	}
+	phase := time.Duration(slot & 63) // 64-step cycle through the jitter window
+	d := base/2 + phase*base/63       // [base/2, 3*base/2]
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // serveDecoded is the serving spine every query endpoint shares:
 //
 //  1. derive the request deadline,
-//  2. pass bounded admission (shed with 429 + Retry-After, or 504 if the
-//     deadline died while queued),
+//  2. pass bounded admission (shed with 429 + a slot-jittered Retry-After,
+//     or 504 if the deadline died while queued),
 //  3. decode the request body (dst may be nil for body-less endpoints),
 //  4. re-check the deadline so an expired request returns 504 before it
 //     touches any pooled scratch,
@@ -58,16 +88,16 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 //     attempt, so no response mixes two index generations,
 //  6. write the fully buffered response in a single Write.
 //
-// fn appends the response to ps.buf and returns nil, or returns an error
+// fn appends the response to ps.Buf and returns nil, or returns an error
 // having written nothing the client will see — on error the buffer is
 // discarded, so a request that dies mid-query never emits a partial body.
-func (s *Server) serveDecoded(w http.ResponseWriter, r *http.Request, dst any, fn func(ctx context.Context, q Queryable, ps *protoScratch) error) {
+func (s *Server) serveDecoded(w http.ResponseWriter, r *http.Request, dst any, fn func(ctx context.Context, q Queryable, ps *ProtoScratch) error) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	release, status := s.admit(ctx)
+	release, status, slot := s.admit(ctx)
 	if status != 0 {
 		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(s.cfg.RetryAfter, slot)))
 			http.Error(w, "overloaded, retry later", status)
 			return
 		}
@@ -77,8 +107,8 @@ func (s *Server) serveDecoded(w http.ResponseWriter, r *http.Request, dst any, f
 	defer release()
 	faultinject.Fire(faultinject.PointHandlerAdmitted)
 	if dst != nil {
-		if err := decodeRequest(r, dst); err != nil {
-			http.Error(w, fmt.Sprintf("%v: %v", errBadRequest, err), http.StatusBadRequest)
+		if err := DecodeRequest(r, dst); err != nil {
+			http.Error(w, fmt.Sprintf("%v: %v", ErrBadRequest, err), http.StatusBadRequest)
 			return
 		}
 	}
@@ -90,10 +120,10 @@ func (s *Server) serveDecoded(w http.ResponseWriter, r *http.Request, dst any, f
 		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
 		return
 	}
-	ps := getProto()
-	defer ps.put()
+	ps := GetProto()
+	defer ps.Put()
 	err := s.withIndex(func(q Queryable) error {
-		ps.buf = ps.buf[:0]
+		ps.Buf = ps.Buf[:0]
 		return fn(ctx, q, ps)
 	})
 	if err != nil {
@@ -102,18 +132,19 @@ func (s *Server) serveDecoded(w http.ResponseWriter, r *http.Request, dst any, f
 	}
 	faultinject.Fire(faultinject.PointHandlerWrite)
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Length", strconv.Itoa(len(ps.buf)))
-	w.Write(ps.buf)
+	w.Header().Set("Content-Length", strconv.Itoa(len(ps.Buf)))
+	w.Write(ps.Buf)
 }
 
-// writeError maps engine errors to HTTP statuses. The response body for
-// an error is only ever this error line — the success buffer was
-// discarded whole.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// WriteError maps engine errors to HTTP statuses — shared with the
+// cluster router so both fronts speak one error dialect. The response
+// body for an error is only ever this error line; the success buffer was
+// discarded whole. The returned status lets callers count classes (the
+// daemon counts 504s as expired).
+func WriteError(w http.ResponseWriter, err error) int {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		s.expired.Add(1)
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, spectrallpm.ErrIndexClosed):
 		// Retries exhausted during a reload storm; the client should simply
@@ -121,101 +152,122 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, spectrallpm.ErrDimensionMismatch),
 		errors.Is(err, spectrallpm.ErrRankOutOfRange),
-		errors.Is(err, errBadRequest):
+		errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest
 	case errors.Is(err, spectrallpm.ErrPointNotIndexed):
 		status = http.StatusNotFound
 	}
 	http.Error(w, err.Error(), status)
+	return status
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	if WriteError(w, err) == http.StatusGatewayTimeout {
+		s.expired.Add(1)
+	}
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
-	var req rankRequest
-	s.serveDecoded(w, r, &req, func(_ context.Context, q Queryable, ps *protoScratch) error {
+	var req RankRequest
+	s.serveDecoded(w, r, &req, func(_ context.Context, q Queryable, ps *ProtoScratch) error {
 		rank, err := q.Rank(req.Coords...)
 		if err != nil {
 			return err
 		}
-		ps.buf = appendRankResponse(ps.buf, rank)
+		ps.Buf = AppendRankResponse(ps.Buf, rank)
 		return nil
 	})
 }
 
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
-	var req pointRequest
-	s.serveDecoded(w, r, &req, func(_ context.Context, q Queryable, ps *protoScratch) error {
+	var req PointRequest
+	s.serveDecoded(w, r, &req, func(_ context.Context, q Queryable, ps *ProtoScratch) error {
 		coords, err := q.Point(req.Rank)
 		if err != nil {
 			return err
 		}
-		ps.buf = appendPointResponse(ps.buf, coords)
+		ps.Buf = AppendPointResponse(ps.Buf, coords)
 		return nil
 	})
 }
 
 func (s *Server) handleBox(w http.ResponseWriter, r *http.Request) {
-	var req boxRequest
-	s.serveDecoded(w, r, &req, func(ctx context.Context, q Queryable, ps *protoScratch) error {
+	var req BoxRequest
+	s.serveDecoded(w, r, &req, func(ctx context.Context, q Queryable, ps *ProtoScratch) error {
 		var countAt int
-		ps.buf, countAt = appendBoxHeader(ps.buf)
+		ps.Buf, countAt = AppendBoxHeader(ps.Buf)
 		count := 0
 		err := q.ScanIntoContext(ctx, spectrallpm.Box{Start: req.Start, Dims: req.Dims},
 			func(rank int, coords []int) bool {
-				ps.buf = appendBoxRow(ps.buf, count == 0, rank, coords)
+				ps.Buf = AppendBoxRow(ps.Buf, count == 0, rank, coords)
 				count++
 				return true
 			})
 		if err != nil {
 			return err
 		}
-		ps.buf = finishBoxResponse(ps.buf, countAt, count)
+		ps.Buf = FinishBoxResponse(ps.Buf, countAt, count, nil)
 		return nil
 	})
 }
 
 func (s *Server) handlePages(w http.ResponseWriter, r *http.Request) {
-	var req boxRequest
-	s.serveDecoded(w, r, &req, func(ctx context.Context, q Queryable, ps *protoScratch) error {
-		runs, err := q.PagesIntoContext(ctx, spectrallpm.Box{Start: req.Start, Dims: req.Dims}, ps.runs[:0])
-		ps.runs = runs
+	var req BoxRequest
+	s.serveDecoded(w, r, &req, func(ctx context.Context, q Queryable, ps *ProtoScratch) error {
+		runs, err := q.PagesIntoContext(ctx, spectrallpm.Box{Start: req.Start, Dims: req.Dims}, ps.Runs[:0])
+		ps.Runs = runs
 		if err != nil {
 			return err
 		}
-		ps.buf = appendPagesResponse(ps.buf, runs)
+		ps.Buf = AppendPagesResponse(ps.Buf, runs, nil)
 		return nil
 	})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req batchRequest
-	s.serveDecoded(w, r, &req, func(ctx context.Context, q Queryable, ps *protoScratch) error {
+	var req BatchRequest
+	s.serveDecoded(w, r, &req, func(ctx context.Context, q Queryable, ps *ProtoScratch) error {
 		if len(req.Boxes) == 0 {
-			return fmt.Errorf("%w: batch has no boxes", errBadRequest)
+			return fmt.Errorf("%w: batch has no boxes", ErrBadRequest)
 		}
-		ps.boxes = ps.boxes[:0]
+		ps.Boxes = ps.Boxes[:0]
 		for _, b := range req.Boxes {
-			ps.boxes = append(ps.boxes, spectrallpm.Box{Start: b.Start, Dims: b.Dims})
+			ps.Boxes = append(ps.Boxes, spectrallpm.Box{Start: b.Start, Dims: b.Dims})
 		}
-		stats, err := q.QueryBatchContext(ctx, ps.boxes)
+		stats, err := q.QueryBatchContext(ctx, ps.Boxes)
 		if err != nil {
 			return err
 		}
-		ps.buf = appendBatchResponse(ps.buf, stats)
+		ps.Buf = AppendBatchResponse(ps.Buf, stats, nil)
 		return nil
 	})
 }
 
+// handleHealthz answers 200 {"status":"ok",...} while serving and 503
+// {"status":"draining",...} once Shutdown has begun, so a router's health
+// probe stops routing to a server that is mid-drain instead of racing its
+// listener teardown.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	h := s.cur.Load()
-	ps := getProto()
-	defer ps.put()
-	ps.buf = append(ps.buf, `{"status":"ok","generation":`...)
-	ps.buf = appendInt(ps.buf, int(h.gen))
-	ps.buf = append(ps.buf, `,"records":`...)
-	ps.buf = appendInt(ps.buf, h.q.N())
-	ps.buf = append(ps.buf, '}')
+	draining := s.draining.Load()
+	ps := GetProto()
+	defer ps.Put()
+	ps.Buf = append(ps.Buf, `{"status":"`...)
+	if draining {
+		ps.Buf = append(ps.Buf, `draining`...)
+	} else {
+		ps.Buf = append(ps.Buf, `ok`...)
+	}
+	ps.Buf = append(ps.Buf, `","generation":`...)
+	ps.Buf = AppendInt(ps.Buf, int(h.gen))
+	ps.Buf = append(ps.Buf, `,"records":`...)
+	ps.Buf = AppendInt(ps.Buf, h.q.N())
+	ps.Buf = append(ps.Buf, '}')
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(ps.buf)
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	w.Write(ps.Buf)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -224,6 +276,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Generation uint64 `json:"generation"`
 		Records    int    `json:"records"`
 		Pages      int    `json:"pages"`
+		Draining   bool   `json:"draining"`
 		InFlight   int    `json:"in_flight"`
 		Queued     int64  `json:"queued"`
 		Accepted   int64  `json:"accepted"`
@@ -235,6 +288,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Generation: h.gen,
 		Records:    h.q.N(),
 		Pages:      h.q.NumPages(),
+		Draining:   s.draining.Load(),
 		InFlight:   s.InFlight(),
 		Queued:     s.queued.Load(),
 		Accepted:   s.accepted.Load(),

@@ -99,11 +99,21 @@ type Config struct {
 	// DrainTimeout bounds how long Shutdown waits for in-flight requests
 	// (default 10s); connections still open after it are severed.
 	DrainTimeout time.Duration
-	// RetryAfter is the Retry-After hint on shed responses (default 1s).
+	// RetryAfter is the base Retry-After hint on shed responses (default
+	// 1s); each shed response jitters it ±50% by its shed slot so
+	// synchronized clients don't retry in lockstep.
 	RetryAfter time.Duration
 	// Logf receives operational log lines (default log to stderr via
 	// fmt.Fprintf; set to a no-op to silence).
 	Logf func(format string, args ...any)
+	// Open overrides how IndexPath becomes a Queryable (default Open).
+	// Reload uses the same opener, so a worker daemon scoped to one shard
+	// of a sharded container re-scopes on every hot reload too.
+	Open func(path string) (Queryable, error)
+	// Routes, when set, registers extra endpoints on the daemon's mux —
+	// the hook cluster workers use to expose GET /v1/shardinfo without the
+	// core daemon knowing about sharding.
+	Routes func(s *Server, mux *http.ServeMux)
 }
 
 func (c *Config) fillDefaults() {
@@ -158,7 +168,8 @@ type Server struct {
 	slots  chan struct{}
 	queued atomic.Int64
 
-	reloadMu sync.Mutex // serializes Reload; queries never take it
+	reloadMu sync.Mutex  // serializes Reload; queries never take it
+	draining atomic.Bool // set at Shutdown; /healthz answers 503 from then on
 
 	// Counters for /stats (monotonic; read with atomic loads).
 	accepted atomic.Int64 // requests admitted past the queue
@@ -177,7 +188,11 @@ type Server struct {
 // test server.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
-	q, err := Open(cfg.IndexPath)
+	open := cfg.Open
+	if open == nil {
+		open = Open
+	}
+	q, err := open(cfg.IndexPath)
 	if err != nil {
 		return nil, fmt.Errorf("lpmserve: open %s: %w", cfg.IndexPath, err)
 	}
@@ -219,7 +234,11 @@ func (s *Server) Reload() error {
 	defer s.reloadMu.Unlock()
 	old := s.cur.Load()
 	faultinject.Fire(faultinject.PointReloadOpen)
-	q, err := Open(s.cfg.IndexPath)
+	open := s.cfg.Open
+	if open == nil {
+		open = Open
+	}
+	q, err := open(s.cfg.IndexPath)
 	if err != nil {
 		s.rejected.Add(1)
 		s.cfg.Logf("reload rejected, keeping generation %d: %v", old.gen, err)
@@ -243,6 +262,10 @@ func (s *Server) Reload() error {
 // borrower of the mapped region before unmapping. Safe to call more than
 // once; concurrent calls all wait for the same drain.
 func (s *Server) Shutdown(ctx context.Context) error {
+	// Flip the health signal first: probes see "draining" (503) before the
+	// listener stops accepting, so routers eject this worker ahead of the
+	// connection errors its teardown would otherwise surface.
+	s.draining.Store(true)
 	faultinject.Fire(faultinject.PointDrainBegin)
 	err := s.http.Shutdown(ctx)
 	if err != nil {
@@ -334,29 +357,29 @@ func (s *Server) withIndex(fn func(q Queryable) error) error {
 }
 
 // admit passes a request through bounded-queue admission. It returns
-// (release, 0) on success — the caller must call release exactly once —
-// or (nil, status) where status is 429 (queue full, shed) or 504 (the
-// request's deadline expired while queued).
-func (s *Server) admit(ctx context.Context) (release func(), status int) {
+// (release, 0, 0) on success — the caller must call release exactly once
+// — or (nil, status, slot) where status is 429 (queue full, shed; slot is
+// the request's position in the shed sequence, the seed for the jittered
+// Retry-After) or 504 (the request's deadline expired while queued).
+func (s *Server) admit(ctx context.Context) (release func(), status int, slot int64) {
 	select {
 	case s.slots <- struct{}{}:
 		s.accepted.Add(1)
-		return s.releaseSlot, 0
+		return s.releaseSlot, 0, 0
 	default:
 	}
 	if s.queued.Add(1) > int64(s.cfg.MaxQueued) {
 		s.queued.Add(-1)
-		s.shed.Add(1)
-		return nil, http.StatusTooManyRequests
+		return nil, http.StatusTooManyRequests, s.shed.Add(1)
 	}
 	defer s.queued.Add(-1)
 	select {
 	case s.slots <- struct{}{}:
 		s.accepted.Add(1)
-		return s.releaseSlot, 0
+		return s.releaseSlot, 0, 0
 	case <-ctx.Done():
 		s.expired.Add(1)
-		return nil, http.StatusGatewayTimeout
+		return nil, http.StatusGatewayTimeout, 0
 	}
 }
 

@@ -559,3 +559,71 @@ func TestTimeoutParamClamped(t *testing.T) {
 		t.Fatalf("default timeout not applied: %v remaining", rem)
 	}
 }
+
+// TestHealthzDrainingSignal pins the load-balancer contract: /healthz
+// answers 200 "ok" while serving, flips to 503 "draining" the moment
+// Shutdown begins, and /stats reports draining:true — so a router or LB
+// health probe stops sending new work before the listener closes.
+func TestHealthzDrainingSignal(t *testing.T) {
+	checkGoroutineLeak(t)
+	path := filepath.Join(t.TempDir(), "idx.slpm")
+	writeIndexFile(t, path, spectrallpm.WithGrid(4, 4), spectrallpm.WithPageSize(4))
+	s, err := New(Config{IndexPath: path, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := get(t, s, "/healthz")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ok"`) {
+		t.Fatalf("healthz while serving: %d %q", w.Code, w.Body)
+	}
+	if w := get(t, s, "/stats"); !strings.Contains(w.Body.String(), `"draining":false`) {
+		t.Fatalf("stats while serving: %q", w.Body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	w = get(t, s, "/healthz")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), `"draining"`) {
+		t.Fatalf("healthz while draining: %d %q", w.Code, w.Body)
+	}
+	if w := get(t, s, "/stats"); !strings.Contains(w.Body.String(), `"draining":true`) {
+		t.Fatalf("stats while draining: %q", w.Body)
+	}
+}
+
+// TestRetryAfterJitterRange sweeps every shed slot through the
+// Retry-After jitter and asserts the hints stay inside the documented
+// ±50% window around the base, never below one second, and actually
+// spread (thundering-herd decorrelation needs more than one value).
+func TestRetryAfterJitterRange(t *testing.T) {
+	for _, base := range []time.Duration{time.Second, 3 * time.Second, 10 * time.Second} {
+		lo := int(base / 2 / time.Second) // floor(base/2) pre-ceil
+		hi := int((3*base/2 + time.Second - 1) / time.Second)
+		distinct := map[int]bool{}
+		for slot := int64(0); slot < 200; slot++ {
+			got := RetryAfterSeconds(base, slot)
+			if got < 1 {
+				t.Fatalf("base %v slot %d: %d < 1s floor", base, slot, got)
+			}
+			if got < lo || got > hi {
+				t.Fatalf("base %v slot %d: %ds outside [%d,%d]", base, slot, got, lo, hi)
+			}
+			distinct[got] = true
+		}
+		if base >= 3*time.Second && len(distinct) < 2 {
+			t.Fatalf("base %v: jitter produced a single value %v", base, distinct)
+		}
+		// The 64-slot cycle is deterministic: same slot, same hint.
+		if RetryAfterSeconds(base, 5) != RetryAfterSeconds(base, 5+64) {
+			t.Fatalf("base %v: slot cycle not deterministic", base)
+		}
+	}
+	// Degenerate base falls back to 1s behavior.
+	if got := RetryAfterSeconds(0, 0); got < 1 {
+		t.Fatalf("zero base: %d", got)
+	}
+}

@@ -170,3 +170,63 @@ func TestClipBox(t *testing.T) {
 		t.Fatal("empty box not clipped away")
 	}
 }
+
+// TestClipBoxDegenerate pins the edge shapes the cluster router's
+// fan-out planner depends on: a query outside every shard, a query
+// ending exactly at a shard boundary, and 1-cell boxes on both sides of
+// the inclusive upper bound.
+func TestClipBoxDegenerate(t *testing.T) {
+	out1, out2 := make([]int, 2), make([]int, 2)
+
+	// A box entirely outside the shard in every axis direction.
+	for _, start := range [][]int{{-5, -5}, {-5, 2}, {10, 2}, {2, 10}, {10, 10}} {
+		if ClipBox(start, []int{2, 2}, []int{0, 0}, []int{4, 4}, out1, out2) {
+			t.Errorf("box at %v outside shard not clipped away", start)
+		}
+	}
+
+	// Half-open box ending EXACTLY at the shard's inclusive lower bound:
+	// [0, 3) vs bounds [3, 6] shares no cell.
+	if ClipBox([]int{0, 0}, []int{3, 3}, []int{3, 3}, []int{6, 6}, out1, out2) {
+		t.Error("box ending at shard lower bound not clipped away")
+	}
+	// One cell further and they share exactly the corner cell (3,3).
+	if !ClipBox([]int{0, 0}, []int{4, 4}, []int{3, 3}, []int{6, 6}, out1, out2) {
+		t.Fatal("corner-touching box clipped away")
+	}
+	if !reflect.DeepEqual(out1, []int{3, 3}) || !reflect.DeepEqual(out2, []int{1, 1}) {
+		t.Fatalf("corner clip %v %v, want [3 3] [1 1]", out1, out2)
+	}
+
+	// Box starting exactly at the inclusive upper bound: the bound cell
+	// itself is still inside.
+	if !ClipBox([]int{6, 6}, []int{5, 5}, []int{3, 3}, []int{6, 6}, out1, out2) {
+		t.Fatal("box starting at upper bound clipped away")
+	}
+	if !reflect.DeepEqual(out1, []int{6, 6}) || !reflect.DeepEqual(out2, []int{1, 1}) {
+		t.Fatalf("upper-bound clip %v %v, want [6 6] [1 1]", out1, out2)
+	}
+	// Starting one past the inclusive upper bound: nothing.
+	if ClipBox([]int{7, 7}, []int{5, 5}, []int{3, 3}, []int{6, 6}, out1, out2) {
+		t.Error("box past upper bound not clipped away")
+	}
+
+	// 1-cell query boxes: inside survives unchanged, outside vanishes.
+	if !ClipBox([]int{4, 4}, []int{1, 1}, []int{3, 3}, []int{6, 6}, out1, out2) {
+		t.Fatal("1-cell box inside shard clipped away")
+	}
+	if !reflect.DeepEqual(out1, []int{4, 4}) || !reflect.DeepEqual(out2, []int{1, 1}) {
+		t.Fatalf("1-cell clip %v %v", out1, out2)
+	}
+	if ClipBox([]int{2, 4}, []int{1, 1}, []int{3, 3}, []int{6, 6}, out1, out2) {
+		t.Error("1-cell box outside shard not clipped away")
+	}
+
+	// A 1-cell shard (lo == hi) intersected by a big box clips to itself.
+	if !ClipBox([]int{0, 0}, []int{10, 10}, []int{5, 5}, []int{5, 5}, out1, out2) {
+		t.Fatal("big box over 1-cell shard clipped away")
+	}
+	if !reflect.DeepEqual(out1, []int{5, 5}) || !reflect.DeepEqual(out2, []int{1, 1}) {
+		t.Fatalf("1-cell shard clip %v %v", out1, out2)
+	}
+}

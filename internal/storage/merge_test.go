@@ -2,6 +2,7 @@ package storage
 
 import (
 	"math/rand"
+	"reflect"
 	"slices"
 	"sort"
 	"testing"
@@ -51,5 +52,34 @@ func TestMergeSortedAppendKeepsDst(t *testing.T) {
 	want := []int{-1, -2, 0, 1, 2, 3, 4, 5}
 	if !slices.Equal(got, want) {
 		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestMergeSortedAppendEmptyStreams pins the shapes the cluster router
+// produces under partial failure: some or all per-shard streams empty.
+func TestMergeSortedAppendEmptyStreams(t *testing.T) {
+	// No streams at all: dst unchanged.
+	dst := []int{7}
+	if got := MergeSortedAppend(dst, nil); !reflect.DeepEqual(got, []int{7}) {
+		t.Fatalf("nil streams: %v", got)
+	}
+	if got := MergeSortedAppend(dst, [][]int{}); !reflect.DeepEqual(got, []int{7}) {
+		t.Fatalf("zero streams: %v", got)
+	}
+	// All streams empty (every shard missed the box, or every shard down
+	// in partial mode): still just dst.
+	if got := MergeSortedAppend(nil, [][]int{nil, {}, nil}); len(got) != 0 {
+		t.Fatalf("all-empty streams: %v", got)
+	}
+	// One live stream among empties passes through verbatim.
+	got := MergeSortedAppend(nil, [][]int{nil, {3, 4, 9}, {}})
+	if !reflect.DeepEqual(got, []int{3, 4, 9}) {
+		t.Fatalf("single live stream: %v", got)
+	}
+	// Empties interleaved between disjoint live streams do not disturb
+	// the k-way merge.
+	got = MergeSortedAppend(nil, [][]int{{5, 6}, nil, {0, 2}, {}, {1, 8}})
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 5, 6, 8}) {
+		t.Fatalf("interleaved empties: %v", got)
 	}
 }

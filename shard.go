@@ -343,6 +343,21 @@ func (sx *ShardedIndex) ShardBounds(i int) (lo, hi []int, offset, records int) {
 		sx.offset[i], sx.offset[i+1] - sx.offset[i]
 }
 
+// ShardOrigin returns the translation from shard i's local coordinates to
+// global coordinates: grid shards are cells cut out of the global grid, so
+// local coordinate c maps to c + origin; point-set shards carry global
+// coordinates already and report a zero origin. Cluster workers use this
+// to serve one shard in the global frame.
+func (sx *ShardedIndex) ShardOrigin(i int) []int {
+	return append([]int(nil), sx.origin[i]...)
+}
+
+// PointSet reports whether the index covers an explicit point set (true)
+// or a full grid (false) — point-set shard bounding boxes may overlap, so
+// distributed planners must treat shard ownership as a candidate set, not
+// a partition.
+func (sx *ShardedIndex) PointSet() bool { return sx.points }
+
 // N returns the total number of indexed points across all shards.
 func (sx *ShardedIndex) N() int { return sx.offset[len(sx.shards)] }
 
